@@ -1,0 +1,63 @@
+//! Figures 15–16: NekTar-ALE stage breakdown grouped a (steps 1-4, 6),
+//! b (pressure solve), c (Helmholtz solves) for NCSA and
+//! RoadRunner-myrinet at P = 16 and P = 64 — model replay.
+
+use nektar::replay::replay;
+use nektar::workload::{ale_step_workload, AleShape};
+use nkt_machine::{machine, MachineId};
+use nkt_net::{cluster, NetId};
+
+fn main() {
+    let nelems_total = 15_870usize;
+    let order = 4usize;
+    // Paper percentages (CPU): (system, P, a, b, c).
+    let cases: [(&str, MachineId, NetId, usize, [f64; 3]); 4] = [
+        ("NCSA (Fig 15)", MachineId::Ncsa, NetId::Ncsa, 16, [9.0, 41.0, 50.0]),
+        (
+            "RoadRunner myr (Fig 15)",
+            MachineId::RoadRunner,
+            NetId::RoadRunnerMyr,
+            16,
+            [6.0, 42.0, 53.0],
+        ),
+        ("NCSA (Fig 16)", MachineId::Ncsa, NetId::Ncsa, 64, [8.0, 40.0, 52.0]),
+        (
+            "RoadRunner myr (Fig 16)",
+            MachineId::RoadRunner,
+            NetId::RoadRunnerMyr,
+            64,
+            [3.0, 42.0, 55.0],
+        ),
+    ];
+    for (label, mid, nid, p, paper) in cases {
+        let nelems_local = nelems_total / p;
+        let surface =
+            6.0 * (nelems_local as f64).powf(2.0 / 3.0) * ((order + 1) * (order + 1)) as f64;
+        let shape = AleShape {
+            nelems_local,
+            nm: (order + 1).pow(3),
+            nq3: (order + 3).pow(3),
+            nlocal: 1_015_680 / p + surface as usize,
+            halo: surface as usize,
+            neighbors: 6.min(p - 1),
+            press_iters: 400,
+            visc_iters: 70,
+            mesh_iters: 250,
+            nm1: order + 1,
+            j: 2,
+        };
+        let rec = ale_step_workload(&shape);
+        let t = replay(&rec, &machine(mid), &cluster(nid), p);
+        let (ca, cb, cc) = t.cpu.ale_group_percentages();
+        let (wa, wb, wc) = t.wall.ale_group_percentages();
+        println!("\n{label}, P = {p}: a/b/c stage shares");
+        println!("{:>8} {:>10} {:>10} {:>10}", "group", "paper %", "cpu %", "wall %");
+        println!("{:>8} {:>10.0} {:>10.1} {:>10.1}", "a", paper[0], ca, wa);
+        println!("{:>8} {:>10.0} {:>10.1} {:>10.1}", "b", paper[1], cb, wb);
+        println!("{:>8} {:>10.0} {:>10.1} {:>10.1}", "c", paper[2], cc, wc);
+    }
+    println!("\npaper shape check: \"the timings are distributed equivalently to");
+    println!("the serial simulations, weighting on steps 5 and 7\" — groups b + c");
+    println!("must dominate (~90%), with c (3 velocity + 1 mesh Helmholtz solves)");
+    println!("slightly ahead of b.");
+}

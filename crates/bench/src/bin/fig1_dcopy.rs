@@ -1,0 +1,24 @@
+//! Figure 1: speed of dcopy in MB/s against array size (modeled).
+
+use nkt_bench::{header, kernel_sweep_bytes, left_panel, right_panel, row};
+use nkt_machine::{machine, Kernel};
+
+fn main() {
+    for (panel, ids) in [("left", left_panel()), ("right", right_panel())] {
+        let machines: Vec<_> = ids.iter().map(|&id| machine(id)).collect();
+        println!("\nFigure 1 ({panel} panel): dcopy MB/s vs array size [modeled]");
+        let mut cols = vec!["bytes"];
+        cols.extend(machines.iter().map(|m| m.name));
+        header(&cols);
+        for bytes in kernel_sweep_bytes() {
+            let n = bytes / 8;
+            let vals: Vec<f64> = machines
+                .iter()
+                .map(|m| m.kernel_rate(Kernel::Dcopy, n).mbs)
+                .collect();
+            row(bytes, &vals);
+        }
+    }
+    println!("\npaper shape check: T3E peaks near 2 GB/s with STREAMS; the PII is");
+    println!("competitive in-cache and strong out-of-cache (100 MHz SDRAM).");
+}

@@ -1,0 +1,22 @@
+//! Figure 3: speed of ddot in MFlop/s against array size (modeled).
+
+use nkt_bench::{header, kernel_sweep_bytes, left_panel, right_panel, row};
+use nkt_machine::{machine, Kernel};
+
+fn main() {
+    for (panel, ids) in [("left", left_panel()), ("right", right_panel())] {
+        let machines: Vec<_> = ids.iter().map(|&id| machine(id)).collect();
+        println!("\nFigure 3 ({panel} panel): ddot MFlop/s vs array size [modeled]");
+        let mut cols = vec!["bytes"];
+        cols.extend(machines.iter().map(|m| m.name));
+        header(&cols);
+        for bytes in kernel_sweep_bytes() {
+            let n = bytes / 8;
+            let vals: Vec<f64> = machines
+                .iter()
+                .map(|m| m.kernel_rate(Kernel::Ddot, n).mflops)
+                .collect();
+            row(bytes, &vals);
+        }
+    }
+}

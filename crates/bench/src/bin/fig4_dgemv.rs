@@ -1,0 +1,25 @@
+//! Figure 4: speed of dgemv in MFlop/s against matrix size (modeled).
+//! The paper sweeps small sizes (x-axis to ~1200 bytes of row).
+
+use nkt_bench::{header, left_panel, right_panel, row};
+use nkt_machine::{machine, Kernel};
+
+fn main() {
+    for (panel, ids) in [("left", left_panel()), ("right", right_panel())] {
+        let machines: Vec<_> = ids.iter().map(|&id| machine(id)).collect();
+        println!("\nFigure 4 ({panel} panel): dgemv MFlop/s vs n (n x n matrix) [modeled]");
+        let mut cols = vec!["n"];
+        cols.extend(machines.iter().map(|m| m.name));
+        header(&cols);
+        for n in [4usize, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024] {
+            let vals: Vec<f64> = machines
+                .iter()
+                .map(|m| m.kernel_rate(Kernel::Dgemv, n).mflops)
+                .collect();
+            row(n, &vals);
+        }
+    }
+    println!("\npaper shape check: in-cache PII dgemv reaches its ddot level");
+    println!("(\"the ddot() performance is actually unmatched\"); out of L2 all");
+    println!("machines drop to main-memory bandwidth.");
+}

@@ -1,0 +1,23 @@
+//! Figure 5: speed of dgemm in MFlop/s against matrix size (modeled).
+
+use nkt_bench::{header, left_panel, right_panel, row};
+use nkt_machine::{machine, Kernel};
+
+fn main() {
+    for (panel, ids) in [("left", left_panel()), ("right", right_panel())] {
+        let machines: Vec<_> = ids.iter().map(|&id| machine(id)).collect();
+        println!("\nFigure 5 ({panel} panel): dgemm MFlop/s vs n [modeled]");
+        let mut cols = vec!["n"];
+        cols.extend(machines.iter().map(|m| m.name));
+        header(&cols);
+        for n in [4usize, 8, 16, 32, 64, 96, 128, 192, 256, 384, 512] {
+            let vals: Vec<f64> = machines
+                .iter()
+                .map(|m| m.kernel_rate(Kernel::Dgemm, n).mflops)
+                .collect();
+            row(n, &vals);
+        }
+    }
+    println!("\npaper shape check: T3E and P2SC top out near their (high) peaks;");
+    println!("the 450 MFlop/s PII \"is lower than that of most of the competition\".");
+}

@@ -1,0 +1,37 @@
+//! Figure 7: NetPIPE ping-pong one-way latency (left) and bandwidth
+//! (right) over the 12 machine/network configurations (modeled).
+
+use nkt_bench::{header, row};
+use nkt_net::{fig7_configs, netpipe_for};
+
+fn main() {
+    println!("Figure 7 (left): one-way latency (us) for small messages [modeled]");
+    header(&["config", "8 B", "64 B", "256 B", "512 B"]);
+    for (label, net, intra) in fig7_configs() {
+        let ch = if intra { &net.intra } else { &net.inter };
+        let vals: Vec<f64> = [8usize, 64, 256, 512]
+            .iter()
+            .map(|&b| ch.latency_for(b))
+            .collect();
+        row(label, &vals);
+    }
+    println!("\nFigure 7 (right): one-way bandwidth (MB/s) vs message size [modeled]");
+    header(&["config", "1 KB", "64 KB", "1 MB", "16 MB", "256 MB"]);
+    for (label, net, intra) in fig7_configs() {
+        let pts = netpipe_for(&net, intra, 1 << 28);
+        let sample = |target: usize| -> f64 {
+            pts.iter()
+                .min_by_key(|p| p.bytes.abs_diff(target))
+                .map(|p| p.bandwidth_mbs)
+                .unwrap_or(0.0)
+        };
+        let vals: Vec<f64> = [1 << 10, 1 << 16, 1 << 20, 1 << 24, 1 << 28]
+            .iter()
+            .map(|&b| sample(b))
+            .collect();
+        row(label, &vals);
+    }
+    println!("\npaper shape check: Muses latency \"competitive with some of the");
+    println!("supercomputers\"; Muses bandwidth capped by Fast Ethernet; Myrinet");
+    println!("latency comparable to SP2-Silver; T3E on top.");
+}

@@ -1,0 +1,22 @@
+//! Table 1: CPU time per step of the serial bluff-body simulation
+//! (902 elements, order 8, 230k dof) across seven machines — model
+//! replay of the solver's recorded op stream at paper scale.
+
+use nkt_bench::table1_model;
+
+fn main() {
+    println!("Table 1: serial bluff-body CPU time per step [modeled]");
+    println!("{:<14} {:>12} {:>14} {:>12}", "machine", "paper (s)", "modeled (s)", "ratio vs PC");
+    let rows = table1_model();
+    let pc = rows.iter().find(|(n, _, _)| *n == "Muses").map(|r| r.2).unwrap();
+    for (name, paper, model) in &rows {
+        println!(
+            "{name:<14} {paper:>12.2} {model:>14.3} {:>12.2}",
+            model / pc
+        );
+    }
+    println!("\npaper claim check: \"only the P2SC nodes are faster than the PC,");
+    println!("with the T3E being just as fast\". Absolute values differ by a");
+    println!("near-constant implementation factor (our elemental kernels are not");
+    println!("sum-factorized); the machine ranking is the reproduced result.");
+}

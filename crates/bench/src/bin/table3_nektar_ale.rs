@@ -1,0 +1,105 @@
+//! Table 3: NekTar-ALE flapping-wing CPU/wall per step (4,062,720 dof,
+//! 15,870 elements, order 4), strong scaling P = 16..128 — model replay.
+//!
+//! PCG iteration counts are taken from small-scale native runs (pressure
+//! O(150), velocity O(25) at the large Helmholtz lambda, mesh O(100)) and
+//! held fixed across P, matching the paper's fixed-size problem.
+
+use nektar::replay::replay;
+use nektar::workload::{ale_step_workload, AleShape};
+use nkt_machine::{machine, MachineId};
+use nkt_net::{cluster, NetId};
+
+#[allow(clippy::type_complexity)]
+fn systems() -> Vec<(&'static str, MachineId, NetId, [Option<(f64, f64)>; 4])> {
+    vec![
+        (
+            "AP3000",
+            MachineId::Ap3000,
+            NetId::Ap3000,
+            [Some((43.23, 43.674)), None, None, None],
+        ),
+        (
+            "NCSA",
+            MachineId::Ncsa,
+            NetId::Ncsa,
+            [
+                Some((25.71, 25.79)),
+                Some((9.87, 10.08)),
+                Some((6.97, 6.99)),
+                Some((5.72, 6.04)),
+            ],
+        ),
+        (
+            "SP2-Silver",
+            MachineId::Sp2Silver,
+            NetId::Sp2Silver,
+            [Some((29.59, 29.71)), Some((15.82, 15.85)), Some((9.37, 9.40)), None],
+        ),
+        (
+            "SP2-Thin2",
+            MachineId::Sp2Thin2,
+            NetId::Sp2Thin2,
+            [Some((65.47, 69.21)), None, None, None],
+        ),
+        (
+            "RoadRunner myr",
+            MachineId::RoadRunner,
+            NetId::RoadRunnerMyr,
+            [Some((25.38, 25.4)), Some((13.57, 13.58)), Some((9.83, 9.87)), None],
+        ),
+    ]
+}
+
+fn main() {
+    let nelems_total = 15_870usize;
+    let order = 4usize;
+    let nm = (order + 1).pow(3);
+    let nq3 = (order + 3).pow(3);
+    let ndof_field = 1_015_680usize; // 4,062,720 / 4 fields
+    let ps = [16usize, 32, 64, 128];
+    println!("Table 3: NekTar-ALE CPU/wall seconds per step, flapping wing,");
+    println!("strong scaling [modeled]. '-' = not run in the paper.\n");
+    for (label, mid, nid, paper) in systems() {
+        let m = machine(mid);
+        let net = cluster(nid);
+        println!("== {label} ==");
+        println!("{:>6} {:>16} {:>16}", "P", "paper cpu/wall", "model cpu/wall");
+        for (col, &p) in ps.iter().enumerate() {
+            let nelems_local = nelems_total / p;
+            // Partition surface ~ 6 (V)^(2/3) element faces, (order+1)^2
+            // dofs per face.
+            let surface =
+                6.0 * (nelems_local as f64).powf(2.0 / 3.0) * ((order + 1) * (order + 1)) as f64;
+            let shape = AleShape {
+                nelems_local,
+                nm,
+                nq3,
+                nlocal: ndof_field / p + surface as usize,
+                halo: surface as usize,
+                neighbors: 6.min(p - 1),
+                press_iters: 400,
+                visc_iters: 70,
+                mesh_iters: 250,
+                nm1: order + 1,
+                j: 2,
+            };
+            let rec = ale_step_workload(&shape);
+            let t = replay(&rec, &m, &net, p);
+            let paper_s = paper[col]
+                .map(|(c, w)| format!("{c:.2}/{w:.2}"))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{:>6} {:>16} {:>13.2}/{:.2}",
+                p,
+                paper_s,
+                t.cpu_total(),
+                t.wall_total()
+            );
+        }
+        println!();
+    }
+    println!("paper shape checks: fixed problem size, so \"the timings drop with");
+    println!("increasing number of processors\"; \"for 16 processors, the PC cluster");
+    println!("is faster than the rest\" (with NCSA close); Thin2/AP3000 lag badly.");
+}

@@ -1,0 +1,450 @@
+//! LAPACK-style factorizations used by NekTar's direct solvers.
+//!
+//! The paper (§4.1): "Solution of the Laplacian for the Poisson equation.
+//! A direct solver (LAPACK), utilising the symmetric and banded nature of
+//! the matrix, is used." — that is [`dpbtrf`]/[`dpbtrs`] here. Dense
+//! Cholesky ([`dpotrf`]) covers elemental Schur complements, partial-pivot
+//! LU ([`dgetrf`]) covers nonsymmetric systems, and [`dpttrf`] covers the
+//! tridiagonal systems from 1-D Helmholtz problems.
+
+use crate::level2::{Trans, Uplo};
+use crate::matrix::BandedSym;
+use crate::LapackError;
+
+/// Cholesky factorization of a symmetric positive-definite **band** matrix
+/// in upper `SB` storage: A = UᵀU where U is banded upper triangular.
+/// Overwrites the band storage of `a` with U. (LAPACK `dpbtrf`, uplo='U'.)
+///
+/// # Errors
+/// [`LapackError::Singular`] (1-based pivot index) if a non-positive pivot
+/// is hit — the matrix is not positive definite.
+pub fn dpbtrf(a: &mut BandedSym) -> Result<(), LapackError> {
+    let n = a.n();
+    let kd = a.kd();
+    let ldab = a.ldab();
+    let ab = a.ab_mut();
+    for j in 0..n {
+        // u_jj = sqrt(a_jj - sum_{i<j} u_ij^2) over in-band i.
+        let mut d = ab[kd + j * ldab];
+        let lo = j.saturating_sub(kd);
+        for i in lo..j {
+            let u = ab[(kd + i - j) + j * ldab];
+            d -= u * u;
+        }
+        if d <= 0.0 {
+            return Err(LapackError::Singular(j + 1));
+        }
+        let ujj = d.sqrt();
+        ab[kd + j * ldab] = ujj;
+        // Update column entries of subsequent columns that see row j:
+        // for each k in (j, j+kd]: u_jk = (a_jk - sum u_ij u_ik) / u_jj.
+        let hi = (j + kd).min(n.saturating_sub(1));
+        for kcol in (j + 1)..=hi {
+            let mut s = ab[(kd + j - kcol) + kcol * ldab];
+            let lo2 = kcol.saturating_sub(kd).max(lo);
+            for i in lo2..j {
+                s -= ab[(kd + i - j) + j * ldab] * ab[(kd + i - kcol) + kcol * ldab];
+            }
+            ab[(kd + j - kcol) + kcol * ldab] = s / ujj;
+        }
+    }
+    Ok(())
+}
+
+/// Solves A x = b given the [`dpbtrf`] factorization (A = UᵀU banded).
+/// `b` is overwritten with x. (LAPACK `dpbtrs` single-RHS.)
+pub fn dpbtrs(u: &BandedSym, b: &mut [f64]) -> Result<(), LapackError> {
+    let n = u.n();
+    if b.len() < n {
+        return Err(LapackError::Dimension("dpbtrs: rhs shorter than n"));
+    }
+    let kd = u.kd();
+    let ldab = u.ldab();
+    let ab = u.ab();
+    // Forward: Uᵀ y = b.
+    for j in 0..n {
+        let lo = j.saturating_sub(kd);
+        let mut s = b[j];
+        for i in lo..j {
+            s -= ab[(kd + i - j) + j * ldab] * b[i];
+        }
+        b[j] = s / ab[kd + j * ldab];
+    }
+    // Backward: U x = y.
+    for j in (0..n).rev() {
+        let hi = (j + kd).min(n - 1);
+        let mut s = b[j];
+        for k in (j + 1)..=hi {
+            s -= ab[(kd + j - k) + k * ldab] * b[k];
+        }
+        b[j] = s / ab[kd + j * ldab];
+    }
+    Ok(())
+}
+
+/// Multi-RHS banded triangular solve: applies [`dpbtrs`] to each column of
+/// the column-major `m × nrhs` array `b` (with leading dimension `m`).
+pub fn dpbtrs_multi(u: &BandedSym, b: &mut [f64], nrhs: usize) -> Result<(), LapackError> {
+    let n = u.n();
+    if b.len() < n * nrhs {
+        return Err(LapackError::Dimension("dpbtrs_multi: rhs array too short"));
+    }
+    for r in 0..nrhs {
+        let col = &mut b[r * n..(r + 1) * n];
+        dpbtrs(u, col)?;
+    }
+    Ok(())
+}
+
+/// Dense Cholesky factorization A = UᵀU (upper triangle of the n × n
+/// column-major `a` is read and overwritten with U; strict lower triangle
+/// is not referenced). (LAPACK `dpotrf`, uplo='U'.)
+pub fn dpotrf(n: usize, a: &mut [f64], lda: usize) -> Result<(), LapackError> {
+    if lda < n.max(1) || (n > 0 && a.len() < lda * (n - 1) + n) {
+        return Err(LapackError::Dimension("dpotrf: bad lda or short a"));
+    }
+    for j in 0..n {
+        let mut d = a[j + j * lda];
+        for i in 0..j {
+            let u = a[i + j * lda];
+            d -= u * u;
+        }
+        if d <= 0.0 {
+            return Err(LapackError::Singular(j + 1));
+        }
+        let ujj = d.sqrt();
+        a[j + j * lda] = ujj;
+        for k in (j + 1)..n {
+            let mut s = a[j + k * lda];
+            for i in 0..j {
+                s -= a[i + j * lda] * a[i + k * lda];
+            }
+            a[j + k * lda] = s / ujj;
+        }
+    }
+    Ok(())
+}
+
+/// Solves A x = b from a [`dpotrf`] factorization (A = UᵀU dense upper).
+pub fn dpotrs(n: usize, u: &[f64], lda: usize, b: &mut [f64]) -> Result<(), LapackError> {
+    if b.len() < n {
+        return Err(LapackError::Dimension("dpotrs: rhs shorter than n"));
+    }
+    crate::level2::dtrsv(Uplo::Upper, Trans::Yes, false, n, u, lda, b);
+    crate::level2::dtrsv(Uplo::Upper, Trans::No, false, n, u, lda, b);
+    Ok(())
+}
+
+/// LU factorization with partial pivoting: A = P·L·U. The n × n
+/// column-major `a` is overwritten with L (unit lower, below diagonal) and
+/// U (on/above diagonal); returns the pivot vector `ipiv` where row `i` was
+/// swapped with row `ipiv[i]`. (LAPACK `dgetrf`.)
+pub fn dgetrf(n: usize, a: &mut [f64], lda: usize) -> Result<Vec<usize>, LapackError> {
+    if lda < n.max(1) || (n > 0 && a.len() < lda * (n - 1) + n) {
+        return Err(LapackError::Dimension("dgetrf: bad lda or short a"));
+    }
+    let mut ipiv = vec![0usize; n];
+    for k in 0..n {
+        // Pivot search in column k, rows k..n.
+        let mut p = k;
+        let mut pmax = a[k + k * lda].abs();
+        for i in (k + 1)..n {
+            let v = a[i + k * lda].abs();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        ipiv[k] = p;
+        if pmax == 0.0 {
+            return Err(LapackError::Singular(k + 1));
+        }
+        if p != k {
+            for j in 0..n {
+                a.swap(k + j * lda, p + j * lda);
+            }
+        }
+        let pivot = a[k + k * lda];
+        for i in (k + 1)..n {
+            a[i + k * lda] /= pivot;
+        }
+        // Trailing update A[k+1.., k+1..] -= L[k+1..,k] * U[k, k+1..].
+        for j in (k + 1)..n {
+            let ukj = a[k + j * lda];
+            if ukj != 0.0 {
+                for i in (k + 1)..n {
+                    a[i + j * lda] -= a[i + k * lda] * ukj;
+                }
+            }
+        }
+    }
+    Ok(ipiv)
+}
+
+/// Solves A x = b from a [`dgetrf`] factorization.
+pub fn dgetrs(n: usize, lu: &[f64], lda: usize, ipiv: &[usize], b: &mut [f64]) -> Result<(), LapackError> {
+    if b.len() < n || ipiv.len() < n {
+        return Err(LapackError::Dimension("dgetrs: rhs or ipiv too short"));
+    }
+    // Apply P.
+    for k in 0..n {
+        let p = ipiv[k];
+        if p != k {
+            b.swap(k, p);
+        }
+    }
+    crate::level2::dtrsv(Uplo::Lower, Trans::No, true, n, lu, lda, b);
+    crate::level2::dtrsv(Uplo::Upper, Trans::No, false, n, lu, lda, b);
+    Ok(())
+}
+
+/// Factors a symmetric positive-definite tridiagonal matrix as A = LDLᵀ.
+/// `d` (length n) holds the diagonal, `e` (length n−1) the off-diagonal;
+/// both are overwritten with the factors. (LAPACK `dpttrf`.)
+pub fn dpttrf(d: &mut [f64], e: &mut [f64]) -> Result<(), LapackError> {
+    let n = d.len();
+    if n > 0 && e.len() + 1 < n {
+        return Err(LapackError::Dimension("dpttrf: e must have length n-1"));
+    }
+    for i in 0..n {
+        if d[i] <= 0.0 {
+            return Err(LapackError::Singular(i + 1));
+        }
+        if i + 1 < n {
+            let ei = e[i];
+            e[i] = ei / d[i];
+            d[i + 1] -= e[i] * ei;
+        }
+    }
+    Ok(())
+}
+
+/// Solves A x = b from a [`dpttrf`] factorization.
+pub fn dpttrs(d: &[f64], e: &[f64], b: &mut [f64]) -> Result<(), LapackError> {
+    let n = d.len();
+    if b.len() < n {
+        return Err(LapackError::Dimension("dpttrs: rhs shorter than n"));
+    }
+    // L y = b (unit lower bidiagonal).
+    for i in 1..n {
+        b[i] -= e[i - 1] * b[i - 1];
+    }
+    // D z = y.
+    for i in 0..n {
+        b[i] /= d[i];
+    }
+    // Lᵀ x = z.
+    for i in (0..n.saturating_sub(1)).rev() {
+        b[i] -= e[i] * b[i + 1];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{BandedSym, ColMajor};
+
+    /// SPD banded test matrix: diagonally dominant with bandwidth kd.
+    fn spd_band(n: usize, kd: usize) -> BandedSym {
+        let mut b = BandedSym::zeros(n, kd);
+        for j in 0..n {
+            for i in j.saturating_sub(kd)..=j {
+                if i == j {
+                    b.set(i, j, 4.0 + 2.0 * kd as f64 + (j % 3) as f64);
+                } else {
+                    b.set(i, j, -1.0 / (1.0 + (j - i) as f64));
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn dpbtrf_dpbtrs_solves_banded_spd() {
+        for (n, kd) in [(1, 0), (5, 1), (12, 3), (40, 7), (64, 0)] {
+            let a = spd_band(n, kd);
+            let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin() + 1.0).collect();
+            let mut b = vec![0.0; n];
+            a.matvec(&x_true, &mut b);
+            let mut f = a.clone();
+            dpbtrf(&mut f).unwrap();
+            dpbtrs(&f, &mut b).unwrap();
+            for i in 0..n {
+                assert!((b[i] - x_true[i]).abs() < 1e-9, "n={n} kd={kd} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dpbtrf_factor_reconstructs_matrix() {
+        let n = 10;
+        let kd = 2;
+        let a = spd_band(n, kd);
+        let mut f = a.clone();
+        dpbtrf(&mut f).unwrap();
+        // Rebuild UᵀU from the factored band and compare to A.
+        let u = ColMajor::from_fn(n, n, |i, j| if i <= j { f.get(i, j) } else { 0.0 });
+        let mut utu = vec![0.0; n * n];
+        crate::level3::dgemm(
+            Trans::Yes,
+            Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            u.as_slice(),
+            n,
+            u.as_slice(),
+            n,
+            0.0,
+            &mut utu,
+            n,
+        );
+        let dense = a.to_dense();
+        for j in 0..n {
+            for i in 0..n {
+                assert!((utu[i + j * n] - dense[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn dpbtrf_rejects_indefinite() {
+        let mut b = BandedSym::zeros(3, 1);
+        b.set(0, 0, 1.0);
+        b.set(1, 1, -1.0); // indefinite
+        b.set(2, 2, 1.0);
+        assert_eq!(dpbtrf(&mut b), Err(LapackError::Singular(2)));
+    }
+
+    #[test]
+    fn dpbtrs_multi_matches_single() {
+        let n = 8;
+        let kd = 2;
+        let a = spd_band(n, kd);
+        let mut f = a.clone();
+        dpbtrf(&mut f).unwrap();
+        let nrhs = 3;
+        let mut rhs_multi = vec![0.0; n * nrhs];
+        let mut rhs_single = vec![vec![0.0; n]; nrhs];
+        for r in 0..nrhs {
+            for i in 0..n {
+                let v = ((i + r * 7) as f64 * 0.21).cos();
+                rhs_multi[r * n + i] = v;
+                rhs_single[r][i] = v;
+            }
+        }
+        dpbtrs_multi(&f, &mut rhs_multi, nrhs).unwrap();
+        for r in 0..nrhs {
+            dpbtrs(&f, &mut rhs_single[r]).unwrap();
+            for i in 0..n {
+                assert_eq!(rhs_multi[r * n + i], rhs_single[r][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn dpotrf_dpotrs_dense_spd() {
+        let n = 9;
+        // A = Mᵀ M + n I is SPD.
+        let m = ColMajor::from_fn(n, n, |i, j| ((i * n + j) as f64 * 0.113).sin());
+        let mut a = vec![0.0; n * n];
+        crate::level3::dgemm(
+            Trans::Yes,
+            Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            m.as_slice(),
+            n,
+            m.as_slice(),
+            n,
+            0.0,
+            &mut a,
+            n,
+        );
+        for i in 0..n {
+            a[i + i * n] += n as f64;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 4.0).collect();
+        let afull = ColMajor::from_fn(n, n, |i, j| a[i + j * n]);
+        let mut b = afull.matvec(&x_true);
+        dpotrf(n, &mut a, n).unwrap();
+        dpotrs(n, &a, n, &mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - x_true[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dpotrf_rejects_non_spd() {
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(matches!(dpotrf(2, &mut a, 2), Err(LapackError::Singular(2))));
+    }
+
+    #[test]
+    fn dgetrf_dgetrs_general_system() {
+        let n = 11;
+        let a0 = ColMajor::from_fn(n, n, |i, j| {
+            ((i * 13 + j * 7) as f64 * 0.17).sin() + if i == j { 4.0 } else { 0.0 }
+        });
+        let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) - 3.0) * 0.8).collect();
+        let mut b = a0.matvec(&x_true);
+        let mut lu = a0.as_slice().to_vec();
+        let ipiv = dgetrf(n, &mut lu, n).unwrap();
+        dgetrs(n, &lu, n, &ipiv, &mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - x_true[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dgetrf_pivots_zero_leading_entry() {
+        // Leading entry zero forces a pivot; naive LU would fail.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0]; // [[0,1],[1,0]] col-major
+        let ipiv = dgetrf(2, &mut a, 2).unwrap();
+        let mut b = vec![2.0, 3.0]; // solves [[0,1],[1,0]] x = b -> x = [3,2]
+        dgetrs(2, &a, 2, &ipiv, &mut b).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-15 && (b[1] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dgetrf_detects_singular() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0]; // rank 1
+        assert!(matches!(dgetrf(2, &mut a, 2), Err(LapackError::Singular(2))));
+    }
+
+    #[test]
+    fn dpttrf_dpttrs_tridiagonal() {
+        let n = 20;
+        // Standard 1-D Laplacian: d=2, e=-1 — SPD.
+        let mut d = vec![2.0; n];
+        let mut e = vec![-1.0; n - 1];
+        let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.5).sin()).collect();
+        // b = A x.
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            b[i] = 2.0 * x_true[i];
+            if i > 0 {
+                b[i] -= x_true[i - 1];
+            }
+            if i + 1 < n {
+                b[i] -= x_true[i + 1];
+            }
+        }
+        dpttrf(&mut d, &mut e).unwrap();
+        dpttrs(&d, &e, &mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dpttrf_rejects_nonpositive_pivot() {
+        let mut d = vec![1.0, 0.5];
+        let mut e = vec![1.0]; // Schur complement 0.5 - 1 < 0
+        assert!(dpttrf(&mut d, &mut e).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! BLAS Level 1: vector-vector operations.
+//!
+//! These are the kernels the paper sweeps in Figures 1–3 (`dcopy`, `daxpy`,
+//! `ddot`). All routines take plain slices; lengths are taken from the
+//! shorter operand where reference BLAS would take an explicit `n`.
+//! Strided variants carry a `_strided` suffix rather than BLAS's
+//! `incx`/`incy` arguments, so the common unit-stride path stays
+//! bounds-check free and autovectorizable.
+
+/// y ← x (vector copy). Paper Figure 1.
+///
+/// # Panics
+/// Panics if `y.len() < x.len()`.
+#[inline]
+pub fn dcopy(x: &[f64], y: &mut [f64]) {
+    y[..x.len()].copy_from_slice(x);
+}
+
+/// y ← αx + y. Paper Figure 2.
+///
+/// # Panics
+/// Panics if `y.len() < x.len()`.
+#[inline]
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    // `zip` elides bounds checks; the loop autovectorizes.
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// Returns xᵀy. Paper Figure 3.
+///
+/// Accumulates in four independent partial sums so the floating-point
+/// dependency chain does not serialize the loop (same trick vendor BLAS
+/// uses; changes rounding relative to a naive loop by O(n·eps)).
+#[inline]
+pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &y[..n]);
+    let mut s = [0.0f64; 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let b = 4 * i;
+        s[0] += x[b] * y[b];
+        s[1] += x[b + 1] * y[b + 1];
+        s[2] += x[b + 2] * y[b + 2];
+        s[3] += x[b + 3] * y[b + 3];
+    }
+    let mut tail = 0.0;
+    for i in 4 * chunks..n {
+        tail += x[i] * y[i];
+    }
+    (s[0] + s[1]) + (s[2] + s[3]) + tail
+}
+
+/// x ← αx.
+#[inline]
+pub fn dscal(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Returns ‖x‖₂ with scaling to avoid overflow/underflow (LAPACK `dnrm2`
+/// style two-pass: find max magnitude, then scaled sum of squares).
+pub fn dnrm2(x: &[f64]) -> f64 {
+    let amax = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if amax == 0.0 || !amax.is_finite() {
+        return amax;
+    }
+    let mut ssq = 0.0;
+    for &v in x {
+        let t = v / amax;
+        ssq += t * t;
+    }
+    amax * ssq.sqrt()
+}
+
+/// Returns Σ|xᵢ|.
+#[inline]
+pub fn dasum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Returns the index of the element with largest absolute value
+/// (first such index on ties, matching reference BLAS). Returns 0 for an
+/// empty slice by convention.
+pub fn idamax(x: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut bestval = f64::NEG_INFINITY;
+    for (i, &v) in x.iter().enumerate() {
+        let a = v.abs();
+        if a > bestval {
+            bestval = a;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Swaps x and y elementwise.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dswap(x: &mut [f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "dswap: length mismatch");
+    for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+        core::mem::swap(xi, yi);
+    }
+}
+
+/// Applies a Givens plane rotation: (x, y) ← (c·x + s·y, c·y − s·x).
+pub fn drot(x: &mut [f64], y: &mut [f64], c: f64, s: f64) {
+    assert_eq!(x.len(), y.len(), "drot: length mismatch");
+    for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+        let t = c * *xi + s * *yi;
+        *yi = c * *yi - s * *xi;
+        *xi = t;
+    }
+}
+
+/// Strided `daxpy`: y[i·incy] += α·x[i·incx] for i in 0..n.
+///
+/// # Panics
+/// Panics if either slice is too short for `n` strided accesses.
+pub fn daxpy_strided(n: usize, alpha: f64, x: &[f64], incx: usize, y: &mut [f64], incy: usize) {
+    assert!(incx > 0 && incy > 0, "daxpy_strided: strides must be positive");
+    if n == 0 {
+        return;
+    }
+    assert!(x.len() > (n - 1) * incx, "daxpy_strided: x too short");
+    assert!(y.len() > (n - 1) * incy, "daxpy_strided: y too short");
+    for i in 0..n {
+        y[i * incy] += alpha * x[i * incx];
+    }
+}
+
+/// Strided `ddot`.
+pub fn ddot_strided(n: usize, x: &[f64], incx: usize, y: &[f64], incy: usize) -> f64 {
+    assert!(incx > 0 && incy > 0, "ddot_strided: strides must be positive");
+    if n == 0 {
+        return 0.0;
+    }
+    assert!(x.len() > (n - 1) * incx, "ddot_strided: x too short");
+    assert!(y.len() > (n - 1) * incy, "ddot_strided: y too short");
+    let mut s = 0.0;
+    for i in 0..n {
+        s += x[i * incx] * y[i * incy];
+    }
+    s
+}
+
+/// Elementwise product accumulate: z ← x ⊙ y (used heavily by the
+/// quadrature-space nonlinear terms, paper §4.1 steps 1–4).
+pub fn dvmul(x: &[f64], y: &[f64], z: &mut [f64]) {
+    let n = x.len().min(y.len()).min(z.len());
+    for i in 0..n {
+        z[i] = x[i] * y[i];
+    }
+}
+
+/// z ← z + x ⊙ y (fused multiply-accumulate over vectors).
+pub fn dvvtvp(x: &[f64], y: &[f64], z: &mut [f64]) {
+    let n = x.len().min(y.len()).min(z.len());
+    for i in 0..n {
+        z[i] += x[i] * y[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 + 1.0).collect()
+    }
+
+    #[test]
+    fn dcopy_copies() {
+        let x = seq(17);
+        let mut y = vec![0.0; 17];
+        dcopy(&x, &mut y);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dcopy_allows_longer_destination() {
+        let x = seq(3);
+        let mut y = vec![9.0; 5];
+        dcopy(&x, &mut y);
+        assert_eq!(y, vec![1.0, 2.0, 3.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn daxpy_basic() {
+        let x = seq(5);
+        let mut y = vec![1.0; 5];
+        daxpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0, 9.0, 11.0]);
+    }
+
+    #[test]
+    fn daxpy_alpha_zero_is_identity() {
+        let x = seq(9);
+        let mut y = seq(9);
+        let y0 = y.clone();
+        daxpy(0.0, &x, &mut y);
+        assert_eq!(y, y0);
+    }
+
+    #[test]
+    fn ddot_matches_naive() {
+        for n in [0, 1, 3, 4, 7, 64, 129] {
+            let x = seq(n);
+            let y: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let got = ddot(&x, &y);
+            assert!((got - naive).abs() <= 1e-10 * (1.0 + naive.abs()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn ddot_empty_is_zero() {
+        assert_eq!(ddot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dscal_scales() {
+        let mut x = seq(6);
+        dscal(-0.5, &mut x);
+        assert_eq!(x, vec![-0.5, -1.0, -1.5, -2.0, -2.5, -3.0]);
+    }
+
+    #[test]
+    fn dnrm2_pythagorean() {
+        assert!((dnrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dnrm2_no_overflow_for_huge_entries() {
+        let big = 1e200;
+        let n = dnrm2(&[big, big]);
+        assert!((n - big * std::f64::consts::SQRT_2).abs() / n < 1e-15);
+    }
+
+    #[test]
+    fn dnrm2_zero_vector() {
+        assert_eq!(dnrm2(&[0.0; 8]), 0.0);
+        assert_eq!(dnrm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn dasum_sums_abs() {
+        assert_eq!(dasum(&[-1.0, 2.0, -3.0]), 6.0);
+    }
+
+    #[test]
+    fn idamax_finds_first_max() {
+        assert_eq!(idamax(&[1.0, -5.0, 5.0, 2.0]), 1);
+        assert_eq!(idamax(&[]), 0);
+    }
+
+    #[test]
+    fn dswap_swaps() {
+        let mut x = seq(4);
+        let mut y = vec![0.0; 4];
+        dswap(&mut x, &mut y);
+        assert_eq!(y, seq(4));
+        assert_eq!(x, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn drot_rotates_ninety_degrees() {
+        let mut x = vec![1.0];
+        let mut y = vec![0.0];
+        drot(&mut x, &mut y, 0.0, 1.0);
+        assert!((x[0] - 0.0).abs() < 1e-15 && (y[0] + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn strided_variants_match_dense() {
+        let x = seq(10);
+        let mut y = seq(10);
+        let mut y2 = seq(10);
+        daxpy(3.0, &x, &mut y);
+        daxpy_strided(10, 3.0, &x, 1, &mut y2, 1);
+        assert_eq!(y, y2);
+
+        let every_other: Vec<f64> = (0..5).map(|i| x[2 * i]).collect();
+        let d1 = ddot_strided(5, &x, 2, &x, 2);
+        let d2 = ddot(&every_other, &every_other);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vmul_and_vvtvp() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![4.0, 5.0, 6.0];
+        let mut z = vec![0.0; 3];
+        dvmul(&x, &y, &mut z);
+        assert_eq!(z, vec![4.0, 10.0, 18.0]);
+        dvvtvp(&x, &y, &mut z);
+        assert_eq!(z, vec![8.0, 20.0, 36.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dswap_length_mismatch_panics() {
+        dswap(&mut [1.0], &mut [1.0, 2.0]);
+    }
+}

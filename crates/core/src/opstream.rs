@@ -1,0 +1,189 @@
+//! Operation-stream recording: the bridge between the native solvers and
+//! the 1999-machine models (DESIGN.md §2).
+//!
+//! The solvers emit one [`WorkItem`] per computational kernel invocation
+//! and one [`CommItem`] per communication operation, each tagged with the
+//! paper's [`Stage`]. `replay` charges the stream against an
+//! `nkt-machine` CPU model and an `nkt-net` network model to produce the
+//! cross-machine application timings (Tables 1–3, Figures 12–16) that we
+//! cannot measure natively.
+
+use crate::timers::Stage;
+
+/// One computational kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkItem {
+    /// A streaming vector operation: `flops` floating ops over `bytes` of
+    /// traffic with resident working set `ws` bytes (dcopy/daxpy/vmul
+    /// class).
+    Stream {
+        /// Floating-point operations.
+        flops: f64,
+        /// Bytes moved.
+        bytes: f64,
+        /// Working-set size in bytes (selects the cache level).
+        ws: usize,
+    },
+    /// Forward/backward substitution with a banded Cholesky factor of
+    /// order `n`, semi-bandwidth `kd`.
+    BandedSolve {
+        /// Matrix order.
+        n: usize,
+        /// Semi-bandwidth.
+        kd: usize,
+    },
+    /// A batch of 1-D FFTs.
+    FftBatch {
+        /// Transform length.
+        len: usize,
+        /// Number of transforms.
+        batch: usize,
+    },
+    /// Dense matrix multiply m × k by k × n (elemental operators; paper:
+    /// "most of the calls to dgemm ... are for small n").
+    Gemm {
+        /// Rows of the result.
+        m: usize,
+        /// Columns of the result.
+        n: usize,
+        /// Inner dimension.
+        k: usize,
+    },
+}
+
+/// One communication operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CommItem {
+    /// `MPI_Alltoall` with the given per-pair block size in bytes.
+    Alltoall {
+        /// Bytes exchanged between each pair of ranks.
+        block_bytes: usize,
+    },
+    /// Global reduction of `bytes` payload.
+    Allreduce {
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// Gather-scatter halo exchange: `neighbors` pairwise messages of
+    /// `bytes` each.
+    GsExchange {
+        /// Number of neighbour ranks.
+        neighbors: usize,
+        /// Bytes per neighbour message.
+        bytes: usize,
+    },
+}
+
+/// A recorded time step (or any instrumented region).
+#[derive(Debug, Clone, Default)]
+pub struct OpRecording {
+    /// Kernel invocations with their stage tags.
+    pub work: Vec<(Stage, WorkItem)>,
+    /// Communication operations with their stage tags.
+    pub comm: Vec<(Stage, CommItem)>,
+}
+
+impl OpRecording {
+    /// Creates an empty recording.
+    pub fn new() -> OpRecording {
+        OpRecording::default()
+    }
+
+    /// Records a kernel invocation.
+    pub fn work(&mut self, stage: Stage, item: WorkItem) {
+        self.work.push((stage, item));
+    }
+
+    /// Records a communication operation.
+    pub fn comm(&mut self, stage: Stage, item: CommItem) {
+        self.comm.push((stage, item));
+    }
+
+    /// Total recorded flops.
+    pub fn total_flops(&self) -> f64 {
+        self.work
+            .iter()
+            .map(|&(_, w)| match w {
+                WorkItem::Stream { flops, .. } => flops,
+                WorkItem::BandedSolve { n, kd } => 4.0 * n as f64 * (kd + 1) as f64,
+                WorkItem::FftBatch { len, batch } => {
+                    5.0 * len as f64 * (len as f64).log2().max(1.0) * batch as f64
+                }
+                WorkItem::Gemm { m, n, k } => 2.0 * (m * n * k) as f64,
+            })
+            .sum()
+    }
+
+    /// Number of Alltoall calls recorded.
+    pub fn alltoall_count(&self) -> usize {
+        self.comm
+            .iter()
+            .filter(|(_, c)| matches!(c, CommItem::Alltoall { .. }))
+            .count()
+    }
+}
+
+/// A sink the solvers write into: either a live recorder or disabled
+/// (zero overhead beyond a branch).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// The recording being built, if enabled.
+    pub rec: Option<OpRecording>,
+}
+
+impl Recorder {
+    /// An enabled recorder.
+    pub fn enabled() -> Recorder {
+        Recorder { rec: Some(OpRecording::new()) }
+    }
+
+    /// A disabled recorder.
+    pub fn disabled() -> Recorder {
+        Recorder { rec: None }
+    }
+
+    /// Records a kernel invocation if enabled.
+    #[inline]
+    pub fn work(&mut self, stage: Stage, item: WorkItem) {
+        if let Some(r) = &mut self.rec {
+            r.work(stage, item);
+        }
+    }
+
+    /// Records a communication op if enabled.
+    #[inline]
+    pub fn comm(&mut self, stage: Stage, item: CommItem) {
+        if let Some(r) = &mut self.rec {
+            r.comm(stage, item);
+        }
+    }
+
+    /// Takes the recording out.
+    pub fn take(&mut self) -> Option<OpRecording> {
+        self.rec.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_accumulates() {
+        let mut r = Recorder::enabled();
+        r.work(Stage::NonLinear, WorkItem::Stream { flops: 100.0, bytes: 800.0, ws: 800 });
+        r.work(Stage::PressureSolve, WorkItem::BandedSolve { n: 10, kd: 2 });
+        r.comm(Stage::NonLinear, CommItem::Alltoall { block_bytes: 4096 });
+        let rec = r.take().unwrap();
+        assert_eq!(rec.work.len(), 2);
+        assert_eq!(rec.alltoall_count(), 1);
+        assert_eq!(rec.total_flops(), 100.0 + 4.0 * 10.0 * 3.0);
+    }
+
+    #[test]
+    fn disabled_recorder_is_noop() {
+        let mut r = Recorder::disabled();
+        r.work(Stage::NonLinear, WorkItem::Gemm { m: 2, n: 2, k: 2 });
+        assert!(r.take().is_none());
+    }
+}

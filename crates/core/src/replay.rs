@@ -1,0 +1,190 @@
+//! Model replay: charges an operation stream against the 1999 machine and
+//! network models to produce per-stage CPU and wall-clock times — the
+//! mechanism behind the regenerated Tables 1–3 and Figures 12–16
+//! (DESIGN.md §2 substitution).
+
+use crate::opstream::{CommItem, OpRecording, WorkItem};
+use crate::timers::StageClock;
+use nkt_machine::Machine;
+use nkt_net::ClusterNetwork;
+
+/// CPU + wall clocks of a replayed step ("The difference between the two
+/// types of timings indicates idle CPU time, which is associated with
+/// network inefficiency", paper §4.2).
+#[derive(Debug, Clone, Default)]
+pub struct ReplayTimes {
+    /// CPU ledger per stage (compute + protocol overhead).
+    pub cpu: StageClock,
+    /// Wall-clock ledger per stage (CPU + network transfer/latency).
+    pub wall: StageClock,
+}
+
+impl ReplayTimes {
+    /// Total CPU seconds.
+    pub fn cpu_total(&self) -> f64 {
+        self.cpu.total()
+    }
+
+    /// Total wall seconds.
+    pub fn wall_total(&self) -> f64 {
+        self.wall.total()
+    }
+}
+
+/// Charges one work item on a machine model (seconds).
+pub fn work_time(item: &WorkItem, m: &Machine) -> f64 {
+    match *item {
+        WorkItem::Stream { flops, bytes, ws } => m.time_stream_op(flops, bytes, ws),
+        WorkItem::BandedSolve { n, kd } => m.time_banded_solve(n, kd),
+        WorkItem::FftBatch { len, batch } => m.time_fft_batch(len, batch),
+        WorkItem::Gemm { m: mm, n, k } => m.time_gemm(mm, n, k),
+    }
+}
+
+/// Charges one communication item: returns (cpu seconds, wall seconds).
+pub fn comm_time(item: &CommItem, net: &ClusterNetwork, p: usize) -> (f64, f64) {
+    match *item {
+        CommItem::Alltoall { block_bytes } => {
+            // Pairwise exchange: P-1 rounds; round r pairs i <-> i ^ r
+            // (power of two) or a ring permutation otherwise.
+            if p <= 1 {
+                return (0.0, 0.0);
+            }
+            let mut wall = 0.0;
+            let mut cpu = 0.0;
+            for step in 1..p {
+                let pairs: Vec<(usize, usize)> = if p.is_power_of_two() {
+                    (0..p).filter(|&i| i < i ^ step).map(|i| (i, i ^ step)).collect()
+                } else {
+                    (0..p).map(|i| (i, (i + step) % p)).collect()
+                };
+                wall += net.round_time(&pairs, block_bytes);
+                // CPU: one send + one recv overhead per rank per round.
+                cpu += 2.0 * net.inter.overhead_us * 1e-6;
+            }
+            (cpu, wall)
+        }
+        CommItem::Allreduce { bytes } => {
+            if p <= 1 {
+                return (0.0, 0.0);
+            }
+            let rounds = (p as f64).log2().ceil() as usize;
+            // Reduce + broadcast trees.
+            let per_msg = net.inter.time(bytes);
+            let wall = 2.0 * rounds as f64 * per_msg;
+            let cpu = 2.0 * rounds as f64 * 2.0 * net.inter.overhead_us * 1e-6;
+            (cpu, wall)
+        }
+        CommItem::GsExchange { neighbors, bytes } => {
+            if p <= 1 || neighbors == 0 {
+                return (0.0, 0.0);
+            }
+            // Pairwise halo exchanges proceed concurrently; wall time is
+            // one round of the slowest link, serialized by neighbor count
+            // on the sending side.
+            let per_msg = net.inter.time(bytes);
+            let wall = per_msg + (neighbors.saturating_sub(1)) as f64 * net.inter.overhead_us * 1e-6;
+            let cpu = neighbors as f64 * 2.0 * net.inter.overhead_us * 1e-6;
+            (cpu, wall)
+        }
+    }
+}
+
+/// Replays a per-rank recording: compute on `machine`, communication on
+/// `net` with `p` ranks. Returns per-stage CPU and wall clocks.
+pub fn replay(rec: &OpRecording, machine: &Machine, net: &ClusterNetwork, p: usize) -> ReplayTimes {
+    let mut out = ReplayTimes::default();
+    for (stage, item) in &rec.work {
+        let t = work_time(item, machine);
+        out.cpu.add(*stage, t);
+        out.wall.add(*stage, t);
+    }
+    for (stage, item) in &rec.comm {
+        let (c, w) = comm_time(item, net, p);
+        out.cpu.add(*stage, c);
+        out.wall.add(*stage, w);
+    }
+    out
+}
+
+/// Serial replay (no network).
+pub fn replay_serial(rec: &OpRecording, machine: &Machine) -> StageClock {
+    let mut clock = StageClock::new();
+    for (stage, item) in &rec.work {
+        clock.add(*stage, work_time(item, machine));
+    }
+    clock
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opstream::OpRecording;
+    use crate::timers::Stage;
+    use nkt_machine::{machine, MachineId};
+    use nkt_net::{cluster, NetId};
+
+    fn sample_rec() -> OpRecording {
+        let mut r = OpRecording::new();
+        r.work(Stage::BwdTransform, WorkItem::Gemm { m: 100, n: 2, k: 50 });
+        r.work(Stage::PressureSolve, WorkItem::BandedSolve { n: 10_000, kd: 300 });
+        r.work(Stage::NonLinear, WorkItem::FftBatch { len: 64, batch: 500 });
+        r.work(
+            Stage::StifflyStable,
+            WorkItem::Stream { flops: 1e6, bytes: 4e6, ws: 4_000_000 },
+        );
+        r.comm(Stage::NonLinear, CommItem::Alltoall { block_bytes: 65536 });
+        r.comm(Stage::PressureSolve, CommItem::Allreduce { bytes: 8 });
+        r
+    }
+
+    #[test]
+    fn faster_machine_replays_faster() {
+        let rec = sample_rec();
+        let net = cluster(NetId::T3e);
+        let slow = replay(&rec, &machine(MachineId::Sp2Thin2), &net, 4);
+        let fast = replay(&rec, &machine(MachineId::T3e), &net, 4);
+        assert!(fast.cpu_total() < slow.cpu_total());
+    }
+
+    #[test]
+    fn slower_network_inflates_wall_not_cpu_compute() {
+        let rec = sample_rec();
+        let m = machine(MachineId::Muses);
+        let eth = replay(&rec, &m, &cluster(NetId::RoadRunnerEth), 8);
+        let myr = replay(&rec, &m, &cluster(NetId::RoadRunnerMyr), 8);
+        assert!(eth.wall_total() > myr.wall_total());
+        // Pure-compute part identical: compare work-only replays.
+        let w_eth: f64 = rec.work.iter().map(|(_, i)| work_time(i, &m)).sum();
+        let w_myr = w_eth;
+        assert_eq!(w_eth, w_myr);
+    }
+
+    #[test]
+    fn wall_never_less_than_cpu_on_comm_stages() {
+        let rec = sample_rec();
+        let t = replay(&rec, &machine(MachineId::Muses), &cluster(NetId::MusesLam), 4);
+        for i in 0..7 {
+            assert!(
+                t.wall.totals[i] >= t.cpu.totals[i] - 1e-15,
+                "stage {i}: wall {} < cpu {}",
+                t.wall.totals[i],
+                t.cpu.totals[i]
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_comm_is_free() {
+        let (c, w) = comm_time(&CommItem::Alltoall { block_bytes: 1 << 20 }, &cluster(NetId::T3e), 1);
+        assert_eq!((c, w), (0.0, 0.0));
+    }
+
+    #[test]
+    fn alltoall_wall_grows_with_ranks_on_shared_fabric() {
+        let net = cluster(NetId::RoadRunnerEth);
+        let w4 = comm_time(&CommItem::Alltoall { block_bytes: 65536 }, &net, 4).1;
+        let w16 = comm_time(&CommItem::Alltoall { block_bytes: 65536 }, &net, 16).1;
+        assert!(w16 > 3.0 * w4, "{w16} vs {w4}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Runtime flow statistics — the paper's NekTar-F communication inventory
+//! includes "Global Addition, min, max for any runtime flow statistics"
+//! and "Gather, for possible tracking of flow variables during on-the-fly
+//! analysis of data". This module provides those diagnostics for the
+//! parallel solvers.
+
+use crate::fourier::NektarF;
+use nkt_mpi::{Comm, ReduceOp};
+
+/// Global min/max/mean of a rank-local sample set (three allreduces, the
+/// paper's pattern).
+pub fn global_min_max_mean(comm: &mut Comm, local: &[f64]) -> (f64, f64, f64) {
+    let mut mn = [local.iter().copied().fold(f64::INFINITY, f64::min)];
+    let mut mx = [local.iter().copied().fold(f64::NEG_INFINITY, f64::max)];
+    let mut sum = [local.iter().sum::<f64>(), local.len() as f64];
+    comm.allreduce(&mut mn, ReduceOp::Min);
+    comm.allreduce(&mut mx, ReduceOp::Max);
+    comm.allreduce(&mut sum, ReduceOp::Sum);
+    let mean = if sum[1] > 0.0 { sum[0] / sum[1] } else { 0.0 };
+    (mn[0], mx[0], mean)
+}
+
+/// Spanwise (Fourier-mode) kinetic-energy spectrum of a NekTar-F state:
+/// E_k = ½ Σ_c ∫ (|a_k|² + |b_k|²) weighted by the z-measure — the
+/// standard DNS diagnostic for how energy distributes over the
+/// homogeneous direction. Collective: every rank receives the full
+/// spectrum (allreduce).
+pub fn spanwise_energy_spectrum(solver: &mut NektarF, comm: &mut Comm) -> Vec<f64> {
+    let nmodes = solver.cfg.nz / 2;
+    let mut spec = vec![0.0; nmodes];
+    for (mi, k) in solver.my_modes.clone().enumerate() {
+        spec[k] = solver.mode_energy(mi);
+    }
+    comm.allreduce(&mut spec, ReduceOp::Sum);
+    spec
+}
+
+/// Point probe: gathers the (rank, value) samples of a diagnostic onto
+/// rank 0 ("Sends (all but processor 0) and Receives (processor 0) for
+/// output of the solution field").
+pub fn gather_probe(comm: &mut Comm, value: f64) -> Option<Vec<f64>> {
+    comm.gather(0, &[value]).map(|rows| rows.into_iter().map(|r| r[0]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fourier::FourierConfig;
+    use nkt_mesh::rect_quads;
+    use nkt_mpi::run;
+    use nkt_net::{cluster, NetId};
+
+    #[test]
+    fn min_max_mean_across_ranks() {
+        let out = run(4, cluster(NetId::T3e), |c| {
+            let r = c.rank() as f64;
+            global_min_max_mean(c, &[r, r + 10.0])
+        });
+        for &(mn, mx, mean) in &out {
+            assert_eq!(mn, 0.0);
+            assert_eq!(mx, 13.0);
+            // Values: 0,10,1,11,2,12,3,13 -> mean 6.5.
+            assert!((mean - 6.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spectrum_sums_to_total_energy() {
+        let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, 2, 2);
+        let cfg = FourierConfig {
+            order: 3,
+            dt: 1e-3,
+            nu: 0.05,
+            nz: 8,
+            lz: 2.0 * std::f64::consts::PI,
+            scheme_order: 2,
+        };
+        let init = |x: [f64; 3]| {
+            let pi = std::f64::consts::PI;
+            let (sx, cx) = (pi * x[0]).sin_cos();
+            let (sy, cy) = (pi * x[1]).sin_cos();
+            let env = 1.0 + 0.5 * x[2].cos() + 0.25 * (2.0 * x[2]).sin();
+            [
+                2.0 * pi * sx * sx * sy * cy * env,
+                -2.0 * pi * sx * cx * sy * sy * env,
+                0.0,
+            ]
+        };
+        let out = run(2, cluster(NetId::T3e), move |c| {
+            let mut s = NektarF::new(c, &mesh, cfg.clone());
+            s.set_initial(init);
+            let spec = spanwise_energy_spectrum(&mut s, c);
+            let total = s.kinetic_energy(c);
+            (spec, total)
+        });
+        for (spec, total) in &out {
+            let sum: f64 = spec.iter().sum();
+            assert!(
+                (sum - total).abs() < 1e-9 * (1.0 + total),
+                "spectrum sum {sum} vs total {total}"
+            );
+            // Modes 0, 1, 2 carry energy; mode 3 does not.
+            assert!(spec[0] > 0.0 && spec[1] > 0.0 && spec[2] > 0.0);
+            assert!(spec[3].abs() < 1e-12 * (1.0 + total));
+        }
+    }
+
+    #[test]
+    fn probe_gathers_on_root() {
+        let out = run(3, cluster(NetId::T3e), |c| gather_probe(c, c.rank() as f64 * 2.0));
+        assert_eq!(out[0], Some(vec![0.0, 2.0, 4.0]));
+        assert_eq!(out[1], None);
+        assert_eq!(out[2], None);
+    }
+}

@@ -1,0 +1,198 @@
+//! The paper's per-time-step stage decomposition and timing ledgers.
+//!
+//! Figure 12 splits a serial time step into 7 regions; Figures 13–14 use
+//! the same regions for NekTar-F, and Figures 15–16 group them as
+//! a = steps 1–4 & 6, b = step 5, c = step 7 for NekTar-ALE.
+
+/// The 7 stages of a time step (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// 1 — transformation from modal (transformed) to quadrature
+    /// (physical) space.
+    BwdTransform,
+    /// 2 — evaluation of the non-linear terms in quadrature space
+    /// (plus, in NekTar-F, the Alltoall transposes and FFTs).
+    NonLinear,
+    /// 3 — stiffly-stable weighting with previous time-steps.
+    StifflyStable,
+    /// 4 — setup of the pressure Poisson right-hand side.
+    PressureRhs,
+    /// 5 — solution of the pressure Poisson equation.
+    PressureSolve,
+    /// 6 — setup of the viscous Helmholtz right-hand side.
+    ViscousRhs,
+    /// 7 — solution of the viscous Helmholtz equation(s).
+    ViscousSolve,
+}
+
+impl Stage {
+    /// All stages in paper order.
+    pub const ALL: [Stage; 7] = [
+        Stage::BwdTransform,
+        Stage::NonLinear,
+        Stage::StifflyStable,
+        Stage::PressureRhs,
+        Stage::PressureSolve,
+        Stage::ViscousRhs,
+        Stage::ViscousSolve,
+    ];
+
+    /// Stage index 0..7 (paper labels 1..7).
+    pub fn index(self) -> usize {
+        Stage::ALL.iter().position(|&s| s == self).expect("stage in ALL")
+    }
+
+    /// The Figures 15–16 grouping: 'a' = steps 1–4 & 6, 'b' = step 5
+    /// (pressure solve), 'c' = step 7 (Helmholtz solves).
+    pub fn ale_group(self) -> char {
+        match self {
+            Stage::PressureSolve => 'b',
+            Stage::ViscousSolve => 'c',
+            _ => 'a',
+        }
+    }
+}
+
+/// Accumulated per-stage time (seconds — host wall time for native runs,
+/// virtual time for simulated runs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageClock {
+    /// Per-stage totals, indexed by [`Stage::index`].
+    pub totals: [f64; 7],
+}
+
+impl StageClock {
+    /// Creates a zeroed clock.
+    pub fn new() -> StageClock {
+        StageClock::default()
+    }
+
+    /// Adds `seconds` to a stage.
+    pub fn add(&mut self, stage: Stage, seconds: f64) {
+        self.totals[stage.index()] += seconds;
+    }
+
+    /// Runs `f`, charging its host wall time to `stage`.
+    pub fn time<R>(&mut self, stage: Stage, f: impl FnOnce() -> R) -> R {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        self.add(stage, t0.elapsed().as_secs_f64());
+        r
+    }
+
+    /// Total across stages.
+    pub fn total(&self) -> f64 {
+        self.totals.iter().sum()
+    }
+
+    /// Percentage per stage (Figure 12's pie slices). Zero total gives
+    /// zeros.
+    pub fn percentages(&self) -> [f64; 7] {
+        let t = self.total();
+        let mut p = [0.0; 7];
+        if t > 0.0 {
+            for i in 0..7 {
+                p[i] = 100.0 * self.totals[i] / t;
+            }
+        }
+        p
+    }
+
+    /// The a/b/c grouping of Figures 15–16: (a, b, c) percentages.
+    pub fn ale_group_percentages(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut a = 0.0;
+        let mut b = 0.0;
+        let mut c = 0.0;
+        for s in Stage::ALL {
+            let v = 100.0 * self.totals[s.index()] / t;
+            match s.ale_group() {
+                'a' => a += v,
+                'b' => b += v,
+                _ => c += v,
+            }
+        }
+        (a, b, c)
+    }
+
+    /// Elementwise sum with another clock.
+    pub fn merge(&mut self, other: &StageClock) {
+        for i in 0..7 {
+            self.totals[i] += other.totals[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_cover_all_stages() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn ale_grouping() {
+        assert_eq!(Stage::PressureSolve.ale_group(), 'b');
+        assert_eq!(Stage::ViscousSolve.ale_group(), 'c');
+        assert_eq!(Stage::NonLinear.ale_group(), 'a');
+        assert_eq!(Stage::ViscousRhs.ale_group(), 'a');
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let mut c = StageClock::new();
+        c.add(Stage::NonLinear, 3.0);
+        c.add(Stage::PressureSolve, 5.0);
+        c.add(Stage::ViscousSolve, 2.0);
+        let p = c.percentages();
+        let s: f64 = p.iter().sum();
+        assert!((s - 100.0).abs() < 1e-12);
+        assert!((p[Stage::PressureSolve.index()] - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ale_group_percentages_split() {
+        let mut c = StageClock::new();
+        c.add(Stage::BwdTransform, 1.0);
+        c.add(Stage::PressureSolve, 4.0);
+        c.add(Stage::ViscousSolve, 5.0);
+        let (a, b, cc) = c.ale_group_percentages();
+        assert!((a - 10.0).abs() < 1e-12);
+        assert!((b - 40.0).abs() < 1e-12);
+        assert!((cc - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_accumulates() {
+        let mut c = StageClock::new();
+        let v = c.time(Stage::NonLinear, || {
+            std::hint::black_box((0..10000).map(|i| i as f64).sum::<f64>())
+        });
+        assert!(v > 0.0);
+        assert!(c.totals[1] > 0.0);
+    }
+
+    #[test]
+    fn zero_clock_percentages() {
+        assert_eq!(StageClock::new().percentages(), [0.0; 7]);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = StageClock::new();
+        a.add(Stage::NonLinear, 1.0);
+        let mut b = StageClock::new();
+        b.add(Stage::NonLinear, 2.0);
+        b.add(Stage::ViscousSolve, 3.0);
+        a.merge(&b);
+        assert_eq!(a.totals[Stage::NonLinear.index()], 3.0);
+        assert_eq!(a.totals[Stage::ViscousSolve.index()], 3.0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Analytic workload generators: produce the operation stream of one time
+//! step at *paper scale* without running the (100-million-dof-class)
+//! simulation natively.
+//!
+//! Each generator mirrors, loop for loop, what the corresponding
+//! instrumented solver records — validated by tests that compare against
+//! actual recordings at small scale. The replay module charges these
+//! streams against the 1999 machine/network models to regenerate
+//! Tables 1–3 and Figures 12–16.
+
+use crate::opstream::{CommItem, OpRecording, WorkItem};
+use crate::timers::Stage;
+
+/// Discretisation parameters of a serial 2-D run (paper Table 1:
+/// "902 elements and polynomial order of 8 ... 230,000 degrees of
+/// freedom").
+#[derive(Debug, Clone, Copy)]
+pub struct Serial2dShape {
+    /// Element count.
+    pub nelems: usize,
+    /// Modes per element.
+    pub nm: usize,
+    /// Quadrature points per element.
+    pub nq: usize,
+    /// Pressure system size.
+    pub ndof_p: usize,
+    /// Pressure semi-bandwidth.
+    pub kd_p: usize,
+    /// Velocity system size.
+    pub ndof_v: usize,
+    /// Velocity semi-bandwidth.
+    pub kd_v: usize,
+    /// Splitting history depth in effect (2 after startup).
+    pub j: usize,
+    /// Statically-condensed solve model: boundary-system size (0 = solve
+    /// the full system directly, as the small-scale native solver does).
+    pub nboundary: usize,
+    /// RCM bandwidth of the condensed boundary system.
+    pub kd_condensed: usize,
+    /// Interior modes per element (the per-element dense back-solve of
+    /// static condensation).
+    pub nm_interior: usize,
+}
+
+impl Serial2dShape {
+    /// True when the paper-practice statically-condensed solve model is
+    /// active.
+    pub fn condensed(&self) -> bool {
+        self.nboundary > 0
+    }
+}
+
+/// Emits the op stream of one direct solve under the shape's solve model:
+/// either a full banded solve, or (paper practice at scale) a
+/// statically-condensed boundary solve plus per-element interior
+/// back-substitution.
+fn solve_items(rec: &mut OpRecording, stage: Stage, s: &Serial2dShape, nrhs: usize, full_n: usize, full_kd: usize) {
+    if s.condensed() {
+        for _ in 0..nrhs {
+            rec.work(stage, WorkItem::BandedSolve { n: s.nboundary, kd: s.kd_condensed });
+        }
+        // Interior back-solve: two triangular solves with the nm_i × nm_i
+        // elemental factor per rhs.
+        for _ in 0..s.nelems {
+            rec.work(
+                stage,
+                WorkItem::Gemm { m: s.nm_interior, n: 2 * nrhs, k: s.nm_interior },
+            );
+        }
+    } else {
+        for _ in 0..nrhs {
+            rec.work(stage, WorkItem::BandedSolve { n: full_n, kd: full_kd });
+        }
+    }
+}
+
+/// One serial time step's op stream (mirrors
+/// [`crate::serial2d::Serial2dSolver::step`] with advection on).
+pub fn serial_step_workload(s: &Serial2dShape) -> OpRecording {
+    let mut rec = OpRecording::new();
+    // Stage 1: two modal->quadrature transforms (u, v).
+    for _ in 0..2 * s.nelems {
+        rec.work(Stage::BwdTransform, WorkItem::Gemm { m: s.nq, n: 1, k: s.nm });
+    }
+    // Stage 2: two gradient evaluations + pointwise products.
+    for _ in 0..2 * s.nelems {
+        rec.work(Stage::NonLinear, WorkItem::Gemm { m: s.nq, n: 2, k: s.nm });
+    }
+    for _ in 0..s.nelems {
+        rec.work(
+            Stage::NonLinear,
+            WorkItem::Stream {
+                flops: 6.0 * s.nq as f64,
+                bytes: 48.0 * s.nq as f64,
+                ws: 48 * s.nq,
+            },
+        );
+    }
+    // Stage 3: stiffly-stable weighting.
+    for _ in 0..s.nelems {
+        rec.work(
+            Stage::StifflyStable,
+            WorkItem::Stream {
+                flops: 8.0 * s.j as f64 * s.nq as f64,
+                bytes: 32.0 * s.j as f64 * s.nq as f64,
+                ws: 32 * s.nq,
+            },
+        );
+    }
+    // Stage 4: pressure RHS projection.
+    for _ in 0..s.nelems {
+        rec.work(Stage::PressureRhs, WorkItem::Gemm { m: s.nm, n: 2, k: s.nq });
+    }
+    // Stage 5: one banded pressure solve.
+    solve_items(&mut rec, Stage::PressureSolve, s, 1, s.ndof_p, s.kd_p);
+    // Stage 6: pressure gradient + two RHS projections.
+    for _ in 0..s.nelems {
+        rec.work(Stage::ViscousRhs, WorkItem::Gemm { m: s.nq, n: 2, k: s.nm });
+        rec.work(Stage::ViscousRhs, WorkItem::Gemm { m: s.nm, n: 2, k: s.nq });
+    }
+    // Stage 7: two banded viscous solves.
+    solve_items(&mut rec, Stage::ViscousSolve, s, 2, s.ndof_v, s.kd_v);
+    rec
+}
+
+/// Parameters of a per-rank NekTar-F step (paper Table 2: "2 planes ...
+/// at each processor", i.e. one Fourier mode per rank at the weak-scaling
+/// point).
+#[derive(Debug, Clone, Copy)]
+pub struct FourierShape {
+    /// 2-D element count.
+    pub nelems: usize,
+    /// Modes per element (2-D).
+    pub nm: usize,
+    /// Quadrature points per element.
+    pub nq: usize,
+    /// Total quadrature points per plane.
+    pub nq_total: usize,
+    /// Assembled 2-D system size.
+    pub ndof: usize,
+    /// System semi-bandwidth.
+    pub kd: usize,
+    /// Fourier modes owned per rank.
+    pub modes_per_rank: usize,
+    /// Total z-planes (2 × total modes).
+    pub nz: usize,
+    /// Rank count.
+    pub p: usize,
+    /// Splitting depth.
+    pub j: usize,
+    /// Interior modes per element for the statically-condensed solve
+    /// model (0 = plain full banded solves).
+    pub nm_interior: usize,
+}
+
+/// One NekTar-F per-rank step (mirrors
+/// [`crate::fourier::NektarF::step`]).
+pub fn fourier_step_workload(s: &FourierShape) -> OpRecording {
+    let mut rec = OpRecording::new();
+    let mpp = s.modes_per_rank;
+    // Stage 1: per element, 3 components × cos/sin planes per mode.
+    for _ in 0..3 * mpp * s.nelems {
+        rec.work(Stage::BwdTransform, WorkItem::Gemm { m: s.nq, n: 2, k: s.nm });
+    }
+    // Stage 2: gradient evaluations (x and y of each component's cos/sin
+    // planes), the 12-field transpose out, FFTs, pointwise products,
+    // 3-field transpose back.
+    for _ in 0..6 * mpp * s.nelems {
+        rec.work(Stage::NonLinear, WorkItem::Gemm { m: s.nq, n: 2, k: s.nm });
+    }
+    let chunk = s.nq_total.div_ceil(s.p);
+    let block_out = 12 * mpp * 2 * chunk;
+    // Pack the 12-field send buffer and unpack the receive buffer: pure
+    // data movement, but at paper scale it is tens of MB per step.
+    rec.work(
+        Stage::NonLinear,
+        WorkItem::Stream {
+            flops: 0.0,
+            bytes: 2.0 * 2.0 * (s.p * block_out * 8) as f64,
+            ws: s.p * block_out * 8,
+        },
+    );
+    rec.comm(Stage::NonLinear, CommItem::Alltoall { block_bytes: 8 * block_out });
+    let npts = chunk;
+    for _ in 0..12 {
+        rec.work(Stage::NonLinear, WorkItem::FftBatch { len: s.nz, batch: npts });
+    }
+    rec.work(
+        Stage::NonLinear,
+        WorkItem::Stream {
+            flops: 18.0 * (npts * s.nz) as f64,
+            bytes: 8.0 * 15.0 * (npts * s.nz) as f64,
+            ws: 8 * 15 * (npts * s.nz).max(1),
+        },
+    );
+    for _ in 0..3 {
+        rec.work(Stage::NonLinear, WorkItem::FftBatch { len: s.nz, batch: npts });
+    }
+    let block_back = 3 * mpp * 2 * chunk;
+    rec.work(
+        Stage::NonLinear,
+        WorkItem::Stream {
+            flops: 0.0,
+            bytes: 2.0 * 2.0 * (s.p * block_back * 8) as f64,
+            ws: s.p * block_back * 8,
+        },
+    );
+    rec.comm(Stage::NonLinear, CommItem::Alltoall { block_bytes: 8 * block_back });
+    // Stage 3.
+    rec.work(
+        Stage::StifflyStable,
+        WorkItem::Stream {
+            flops: (8 * s.j * mpp * 6 * s.nq_total) as f64,
+            bytes: (32 * s.j * mpp * 6 * s.nq_total) as f64,
+            ws: 32 * s.nq_total,
+        },
+    );
+    // Stages 4-7 per mode.
+    for _ in 0..mpp {
+        for _ in 0..s.nelems {
+            rec.work(Stage::PressureRhs, WorkItem::Gemm { m: s.nm, n: 4, k: s.nq });
+        }
+        // cos/sin share the factored matrix ("the real and imaginary
+        // parts of a Fourier mode sharing the same matrices"): the factor
+        // streams from memory once; the second RHS is compute-bound.
+        rec.work(Stage::PressureSolve, WorkItem::BandedSolve { n: s.ndof, kd: s.kd });
+        rec.work(
+            Stage::PressureSolve,
+            WorkItem::Stream {
+                flops: 4.0 * (s.ndof * (s.kd + 1)) as f64,
+                bytes: 32.0 * s.ndof as f64,
+                ws: 8 * s.ndof * (s.kd + 1),
+            },
+        );
+        if s.nm_interior > 0 {
+            for _ in 0..s.nelems {
+                rec.work(
+                    Stage::PressureSolve,
+                    WorkItem::Gemm { m: s.nm_interior, n: 4, k: s.nm_interior },
+                );
+            }
+        }
+        for _ in 0..s.nelems {
+            rec.work(Stage::ViscousRhs, WorkItem::Gemm { m: s.nq, n: 4, k: s.nm });
+            rec.work(Stage::ViscousRhs, WorkItem::Gemm { m: s.nm, n: 6, k: s.nq });
+        }
+        // Six RHS (3 components x cos/sin) against one factored matrix.
+        rec.work(Stage::ViscousSolve, WorkItem::BandedSolve { n: s.ndof, kd: s.kd });
+        for _ in 0..5 {
+            rec.work(
+                Stage::ViscousSolve,
+                WorkItem::Stream {
+                    flops: 4.0 * (s.ndof * (s.kd + 1)) as f64,
+                    bytes: 32.0 * s.ndof as f64,
+                    ws: 8 * s.ndof * (s.kd + 1),
+                },
+            );
+        }
+        if s.nm_interior > 0 {
+            for _ in 0..s.nelems {
+                rec.work(
+                    Stage::ViscousSolve,
+                    WorkItem::Gemm { m: s.nm_interior, n: 12, k: s.nm_interior },
+                );
+            }
+        }
+    }
+    rec
+}
+
+/// Parameters of a per-rank NekTar-ALE step (paper Table 3: "15,870
+/// elements ... polynomial order of 4", 4,062,720 dof, strong scaling).
+#[derive(Debug, Clone, Copy)]
+pub struct AleShape {
+    /// Elements owned by this rank.
+    pub nelems_local: usize,
+    /// Modes per element ((P+1)³).
+    pub nm: usize,
+    /// Quadrature points per element.
+    pub nq3: usize,
+    /// Local dof count.
+    pub nlocal: usize,
+    /// Halo dofs exchanged per GS call.
+    pub halo: usize,
+    /// Neighbour ranks in the partition.
+    pub neighbors: usize,
+    /// PCG iterations for the pressure solve.
+    pub press_iters: usize,
+    /// PCG iterations per velocity component.
+    pub visc_iters: usize,
+    /// PCG iterations for the mesh-velocity solve.
+    pub mesh_iters: usize,
+    /// 1-D mode count (P+1) for the sum-factored apply cost.
+    pub nm1: usize,
+    /// Splitting depth.
+    pub j: usize,
+}
+
+/// One NekTar-ALE per-rank step (mirrors
+/// [`crate::ale::NektarAle::step`]).
+pub fn ale_step_workload(s: &AleShape) -> OpRecording {
+    let mut rec = OpRecording::new();
+    // Stage 1: 3 sum-factorized transforms (tensor contractions scale
+    // with the 1-D mode count, not the full 3-D basis).
+    for _ in 0..3 * s.nelems_local {
+        rec.work(Stage::BwdTransform, WorkItem::Gemm { m: s.nq3, n: 3, k: s.nm1 });
+    }
+    // Stage 2: sum-factorized gradients + ALE products + vertex updates.
+    for _ in 0..3 * s.nelems_local {
+        rec.work(Stage::NonLinear, WorkItem::Gemm { m: s.nq3, n: 9, k: s.nm1 });
+    }
+    rec.work(
+        Stage::NonLinear,
+        WorkItem::Stream {
+            flops: 21.0 * (s.nelems_local * s.nq3) as f64,
+            bytes: 8.0 * 16.0 * (s.nelems_local * s.nq3) as f64,
+            ws: 8 * 16 * s.nq3,
+        },
+    );
+    // Stage 3.
+    rec.work(
+        Stage::StifflyStable,
+        WorkItem::Stream {
+            flops: (12 * s.j * s.nelems_local * s.nq3) as f64,
+            bytes: (48 * s.j * s.nelems_local * s.nq3) as f64,
+            ws: 48 * s.nq3,
+        },
+    );
+    // Stage 4: divergence RHS.
+    for _ in 0..s.nelems_local {
+        rec.work(Stage::PressureRhs, WorkItem::Gemm { m: s.nq3, n: 3, k: s.nm1 });
+    }
+    rec.comm(
+        Stage::PressureRhs,
+        CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * s.halo },
+    );
+    // Stage 5: pressure PCG. Each iteration: elemental applies (three
+    // sum-factored contractions per term, ~O(nm1^4) each) + GS + dots.
+    pcg_workload(&mut rec, Stage::PressureSolve, s, s.press_iters);
+    // Stage 6: viscous RHS (gradient of p + 3 projections) + GS.
+    for _ in 0..s.nelems_local {
+        rec.work(Stage::ViscousRhs, WorkItem::Gemm { m: s.nq3, n: 3, k: s.nm1 });
+        rec.work(Stage::ViscousRhs, WorkItem::Gemm { m: s.nm, n: 3, k: s.nq3 });
+    }
+    rec.comm(
+        Stage::ViscousRhs,
+        CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * 3 * s.halo },
+    );
+    // Stage 7: three velocity PCG solves + one mesh-velocity solve.
+    pcg_workload(&mut rec, Stage::ViscousSolve, s, 3 * s.visc_iters);
+    pcg_workload(&mut rec, Stage::ViscousSolve, s, s.mesh_iters);
+    rec
+}
+
+fn pcg_workload(rec: &mut OpRecording, stage: Stage, s: &AleShape, iters: usize) {
+    for _ in 0..iters {
+        // Elemental sum-factored Helmholtz apply: 4 terms × 3
+        // contractions, each ~2·nm1⁴ flops.
+        for _ in 0..s.nelems_local {
+            rec.work(
+                stage,
+                WorkItem::Gemm { m: s.nm1 * s.nm1, n: s.nm1, k: s.nm1 },
+            );
+        }
+        // One GS halo exchange per iteration.
+        rec.comm(
+            stage,
+            CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * s.halo },
+        );
+        // Three global dot products (allreduce of one scalar).
+        for _ in 0..3 {
+            rec.comm(stage, CommItem::Allreduce { bytes: 8 });
+        }
+        // Vector updates: x, r, z, p ~ 6 n flops.
+        rec.work(
+            stage,
+            WorkItem::Stream {
+                flops: 6.0 * s.nlocal as f64,
+                bytes: 8.0 * 10.0 * s.nlocal as f64,
+                // PCG touches ~10 full-length vectors per iteration: the
+                // working set is the whole bundle, not one vector.
+                ws: 80 * s.nlocal,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opstream::Recorder;
+    use crate::serial2d::{Serial2dSolver, SolverConfig};
+    use nkt_mesh::rect_quads;
+
+    /// The generated serial workload must match the instrumented solver's
+    /// actual op stream (structure and counts).
+    #[test]
+    fn serial_workload_matches_recorder() {
+        let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, 2, 2);
+        let order = 4;
+        let cfg = SolverConfig { order, dt: 1e-3, nu: 0.01, scheme_order: 2, advect: true };
+        let mut s = Serial2dSolver::new(mesh, cfg, |_| 0.0, |_| 0.0);
+        s.set_initial(|_| 1.0, |_| 0.0);
+        s.step(); // warm up so j = 2
+        s.recorder = Recorder::enabled();
+        s.step();
+        let actual = s.recorder.take().unwrap();
+        let basis = s.viscous.basis(0);
+        let shape = Serial2dShape {
+            nelems: s.viscous.mesh.nelems(),
+            nm: basis.nmodes(),
+            nq: basis.nquad(),
+            ndof_p: s.pressure.asm.ndof,
+            kd_p: s.pressure.matrix.kd(),
+            ndof_v: s.viscous.asm.ndof,
+            kd_v: s.viscous.matrix.kd(),
+            j: 2,
+            nboundary: 0,
+            kd_condensed: 0,
+            nm_interior: 0,
+        };
+        let model = serial_step_workload(&shape);
+        // Same item counts per stage.
+        for stage in crate::timers::Stage::ALL {
+            let count = |r: &OpRecording| {
+                r.work.iter().filter(|(st, _)| *st == stage).count()
+            };
+            assert_eq!(
+                count(&actual),
+                count(&model),
+                "stage {stage:?}: item counts differ"
+            );
+        }
+        // Total flops agree (identical items).
+        let fa = actual.total_flops();
+        let fm = model.total_flops();
+        assert!(
+            (fa - fm).abs() < 1e-6 * fa.max(1.0),
+            "flops differ: actual {fa} vs model {fm}"
+        );
+    }
+
+    #[test]
+    fn fourier_workload_has_two_alltoalls() {
+        let shape = FourierShape {
+            nelems: 902,
+            nm: 81,
+            nq: 100,
+            nq_total: 90_200,
+            ndof: 57_000,
+            kd: 600,
+            modes_per_rank: 1,
+            nz: 8,
+            p: 4,
+            j: 2,
+            nm_interior: 0,
+        };
+        let rec = fourier_step_workload(&shape);
+        assert_eq!(rec.alltoall_count(), 2);
+        assert!(rec.total_flops() > 0.0);
+    }
+
+    #[test]
+    fn ale_workload_scales_with_iterations() {
+        let base = AleShape {
+            nelems_local: 100,
+            nm: 125,
+            nq3: 216,
+            nlocal: 10_000,
+            halo: 800,
+            neighbors: 4,
+            press_iters: 100,
+            visc_iters: 30,
+            mesh_iters: 50,
+            nm1: 5,
+            j: 2,
+        };
+        let rec1 = ale_step_workload(&base);
+        let rec2 = ale_step_workload(&AleShape { press_iters: 200, ..base });
+        assert!(rec2.total_flops() > rec1.total_flops());
+        assert!(rec2.comm.len() > rec1.comm.len());
+    }
+}

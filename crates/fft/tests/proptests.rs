@@ -1,0 +1,116 @@
+//! Property-based tests for nkt-fft: transform identities over random
+//! signals and sizes.
+
+use nkt_fft::{Complex64, FftPlan, RealFft};
+use proptest::prelude::*;
+
+fn csignal(n: usize, seed: u64) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| {
+            let t = (i as u64).wrapping_mul(seed.wrapping_add(7)) as f64;
+            Complex64::new((t * 1e-3).sin(), (t * 7e-4).cos())
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_any_length(n in 1usize..200, seed in 0u64..1000) {
+        let x = csignal(n, seed);
+        let plan = FftPlan::new(n);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        for i in 0..n {
+            prop_assert!((y[i].re - x[i].re).abs() < 1e-9);
+            prop_assert!((y[i].im - x[i].im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_any_length(n in 1usize..150, seed in 0u64..500) {
+        let x = csignal(n, seed);
+        let mut y = x.clone();
+        FftPlan::new(n).forward(&mut y);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((ex - ey).abs() <= 1e-8 * (1.0 + ex));
+    }
+
+    #[test]
+    fn linearity(n in 2usize..100, seed in 0u64..200, alpha in -5.0f64..5.0) {
+        let x = csignal(n, seed);
+        let y = csignal(n, seed + 13);
+        let plan = FftPlan::new(n);
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        plan.forward(&mut fx);
+        plan.forward(&mut fy);
+        let mut combo: Vec<Complex64> = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| a.scale(alpha) + *b)
+            .collect();
+        plan.forward(&mut combo);
+        for i in 0..n {
+            let e = fx[i].scale(alpha) + fy[i];
+            prop_assert!((combo[i].re - e.re).abs() < 1e-8);
+            prop_assert!((combo[i].im - e.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn time_shift_is_phase_ramp(n in 2usize..64, seed in 0u64..200, shift in 1usize..8) {
+        // x[(j - s) mod n] transforms to X_k e^{-2pi i k s / n}.
+        let shift = shift % n;
+        let x = csignal(n, seed);
+        let shifted: Vec<Complex64> = (0..n).map(|j| x[(j + n - shift) % n]).collect();
+        let plan = FftPlan::new(n);
+        let mut fx = x.clone();
+        let mut fs = shifted.clone();
+        plan.forward(&mut fx);
+        plan.forward(&mut fs);
+        for k in 0..n {
+            let phase = Complex64::cis(
+                -2.0 * std::f64::consts::PI * (k * shift) as f64 / n as f64,
+            );
+            let e = fx[k] * phase;
+            prop_assert!((fs[k].re - e.re).abs() < 1e-7, "k={k}");
+            prop_assert!((fs[k].im - e.im).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn real_fft_matches_complex(nh in 1usize..64, seed in 0u64..200) {
+        let n = 2 * nh;
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(seed + 3) as f64 * 1e-3).sin())
+            .collect();
+        let rplan = RealFft::new(n);
+        let mut sp = vec![Complex64::ZERO; rplan.spectrum_len()];
+        rplan.forward(&x, &mut sp);
+        let mut cx: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        FftPlan::new(n).forward(&mut cx);
+        for k in 0..=n / 2 {
+            prop_assert!((sp[k].re - cx[k].re).abs() < 1e-8, "bin {k}");
+            prop_assert!((sp[k].im - cx[k].im).abs() < 1e-8, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn real_fft_hermitian_symmetry(nh in 1usize..50, seed in 0u64..100) {
+        // The full spectrum of a real signal is conjugate-symmetric: check
+        // via the complex transform against the stored half.
+        let n = 2 * nh;
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 31 + seed as usize) as f64 * 0.01).cos())
+            .collect();
+        let mut cx: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        FftPlan::new(n).forward(&mut cx);
+        for k in 1..n / 2 {
+            let a = cx[k];
+            let b = cx[n - k].conj();
+            prop_assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Gather-scatter setup and exchange.
+
+use nkt_mpi::{Comm, ReduceOp};
+use std::collections::HashMap;
+
+const TAG_GS_PAIR: u64 = (1 << 61) + 200;
+
+/// Exchange strategy (the paper's three options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GsStrategy {
+    /// Pairwise exchanges with every neighbour for every shared dof.
+    /// Ideal when dofs are shared by exactly two ranks (faces).
+    Pairwise,
+    /// Tree reduction over the whole communicator for all shared dofs
+    /// ("essentially a global reduction on a subset").
+    Tree,
+    /// Pairwise for two-rank dofs, tree for dofs shared by ≥3 ranks
+    /// (vertices/edges of the partition) — the paper's "mix of these two".
+    Hybrid,
+}
+
+/// Per-rank gather-scatter handle for a fixed local→global dof map.
+#[derive(Debug, Clone)]
+pub struct GsHandle {
+    strategy: GsStrategy,
+    /// Local indices of each global id this rank holds (a rank can hold
+    /// several copies of the same global id — e.g. element-local storage).
+    local_of_global: Vec<(u64, Vec<usize>)>,
+    /// Pairwise plan: per neighbour rank, the (sorted by global id) list
+    /// of entries into `local_of_global` to exchange.
+    pairwise: Vec<(usize, Vec<usize>)>,
+    /// Entries handled by the tree stage.
+    tree_entries: Vec<usize>,
+    /// Dense index of each tree entry in the reduction buffer.
+    tree_slot: Vec<usize>,
+    /// Total tree buffer length (same on all ranks).
+    tree_len: usize,
+}
+
+impl GsHandle {
+    /// Builds the exchange plan. Collective: every rank calls with its own
+    /// `global_ids` (one per local dof; duplicates allowed).
+    pub fn setup(comm: &mut Comm, global_ids: &[u64], strategy: GsStrategy) -> GsHandle {
+        // Group local duplicates.
+        let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, &g) in global_ids.iter().enumerate() {
+            groups.entry(g).or_default().push(i);
+        }
+        let mut local_of_global: Vec<(u64, Vec<usize>)> = groups.into_iter().collect();
+        local_of_global.sort_by_key(|(g, _)| *g);
+
+        // Discover sharers: gather all id lists on rank 0, compute the
+        // rank set per id, broadcast back a flattened description.
+        let my_ids: Vec<f64> = local_of_global.iter().map(|(g, _)| *g as f64).collect();
+        let gathered = comm.gather(0, &my_ids);
+        let mut flat: Vec<f64> = Vec::new();
+        if let Some(rows) = gathered {
+            let mut sharers: HashMap<u64, Vec<usize>> = HashMap::new();
+            for (rank, row) in rows.iter().enumerate() {
+                for &gid in row {
+                    sharers.entry(gid as u64).or_default().push(rank);
+                }
+            }
+            let mut shared: Vec<(u64, Vec<usize>)> = sharers
+                .into_iter()
+                .filter(|(_, ranks)| ranks.len() > 1)
+                .collect();
+            shared.sort_by_key(|(g, _)| *g);
+            // Flatten: [n, (gid, nranks, ranks...)*].
+            flat.push(shared.len() as f64);
+            for (gid, ranks) in &shared {
+                flat.push(*gid as f64);
+                flat.push(ranks.len() as f64);
+                for &r in ranks {
+                    flat.push(r as f64);
+                }
+            }
+        }
+        // Broadcast the shared-id table (length first so receivers size
+        // their buffer).
+        let mut len = vec![flat.len() as f64];
+        comm.bcast(0, &mut len);
+        flat.resize(len[0] as usize, 0.0);
+        comm.bcast(0, &mut flat);
+        // Parse.
+        let mut shared: Vec<(u64, Vec<usize>)> = Vec::new();
+        if !flat.is_empty() {
+            let n = flat[0] as usize;
+            let mut pos = 1;
+            for _ in 0..n {
+                let gid = flat[pos] as u64;
+                let nr = flat[pos + 1] as usize;
+                let ranks: Vec<usize> =
+                    (0..nr).map(|k| flat[pos + 2 + k] as usize).collect();
+                pos += 2 + nr;
+                shared.push((gid, ranks));
+            }
+        }
+        // Build the plan for this rank.
+        let me = comm.rank();
+        let idx_of_gid: HashMap<u64, usize> =
+            local_of_global.iter().enumerate().map(|(i, (g, _))| (*g, i)).collect();
+        let mut pair_map: HashMap<usize, Vec<(u64, usize)>> = HashMap::new();
+        let mut tree_pairs: Vec<(u64, usize)> = Vec::new();
+        let mut tree_len = 0usize;
+        let mut tree_slot_of_gid: HashMap<u64, usize> = HashMap::new();
+        for (gid, ranks) in &shared {
+            let tree_eligible = match strategy {
+                GsStrategy::Pairwise => false,
+                GsStrategy::Tree => true,
+                GsStrategy::Hybrid => ranks.len() > 2,
+            };
+            if tree_eligible {
+                tree_slot_of_gid.insert(*gid, tree_len);
+                tree_len += 1;
+                if let Some(&e) = idx_of_gid.get(gid) {
+                    tree_pairs.push((*gid, e));
+                }
+            } else if ranks.contains(&me) {
+                let e = idx_of_gid[gid];
+                for &r in ranks {
+                    if r != me {
+                        pair_map.entry(r).or_default().push((*gid, e));
+                    }
+                }
+            }
+        }
+        let mut pairwise: Vec<(usize, Vec<usize>)> = pair_map
+            .into_iter()
+            .map(|(r, mut v)| {
+                v.sort_by_key(|(g, _)| *g);
+                (r, v.into_iter().map(|(_, e)| e).collect())
+            })
+            .collect();
+        pairwise.sort_by_key(|(r, _)| *r);
+        tree_pairs.sort_by_key(|(g, _)| *g);
+        let tree_entries: Vec<usize> = tree_pairs.iter().map(|&(_, e)| e).collect();
+        let tree_slot: Vec<usize> =
+            tree_pairs.iter().map(|&(g, _)| tree_slot_of_gid[&g]).collect();
+        GsHandle { strategy, local_of_global, pairwise, tree_entries, tree_slot, tree_len }
+    }
+
+    /// The strategy this handle was built with.
+    pub fn strategy(&self) -> GsStrategy {
+        self.strategy
+    }
+
+    /// Makes every copy of every shared dof hold the reduction (`op`) of
+    /// all copies across all ranks. Local duplicates are pre-reduced.
+    pub fn exchange(&self, comm: &mut Comm, values: &mut [f64], op: ReduceOp) {
+        // Pre-reduce local duplicates into a per-group scalar.
+        let mut group_val: Vec<f64> = self
+            .local_of_global
+            .iter()
+            .map(|(_, locs)| {
+                let mut acc = values[locs[0]];
+                for &l in &locs[1..] {
+                    acc = apply(op, acc, values[l]);
+                }
+                acc
+            })
+            .collect();
+        // Pairwise stage: one message per neighbour each way. Each rank
+        // sends its *original* contribution (snapshot) so that k-way
+        // shared dofs accumulate each contribution exactly once.
+        let snapshot = group_val.clone();
+        for (nbr, entries) in &self.pairwise {
+            let payload: Vec<f64> = entries.iter().map(|&e| snapshot[e]).collect();
+            let got = comm.sendrecv(*nbr, TAG_GS_PAIR, &payload, *nbr, TAG_GS_PAIR);
+            for (k, &e) in entries.iter().enumerate() {
+                group_val[e] = apply(op, group_val[e], got[k]);
+            }
+        }
+        // Tree stage: dense allreduce over the shared-id buffer.
+        if self.tree_len > 0 {
+            let neutral = match op {
+                ReduceOp::Sum => 0.0,
+                ReduceOp::Min => f64::INFINITY,
+                ReduceOp::Max => f64::NEG_INFINITY,
+            };
+            let mut buf = vec![neutral; self.tree_len];
+            for (k, &e) in self.tree_entries.iter().enumerate() {
+                buf[self.tree_slot[k]] = group_val[e];
+            }
+            comm.allreduce(&mut buf, op);
+            for (k, &e) in self.tree_entries.iter().enumerate() {
+                group_val[e] = buf[self.tree_slot[k]];
+            }
+        }
+        // Scatter back to all local copies.
+        for ((_, locs), &v) in self.local_of_global.iter().zip(&group_val) {
+            for &l in locs {
+                values[l] = v;
+            }
+        }
+    }
+}
+
+fn apply(op: ReduceOp, a: f64, b: f64) -> f64 {
+    match op {
+        ReduceOp::Sum => a + b,
+        ReduceOp::Min => a.min(b),
+        ReduceOp::Max => a.max(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nkt_mpi::run;
+    use nkt_net::{cluster, NetId};
+
+    fn testnet() -> nkt_net::ClusterNetwork {
+        cluster(NetId::Sp2Silver)
+    }
+
+    /// 1-D chain decomposition: rank r owns nodes [r*2, r*2+2] with the
+    /// endpoints shared with neighbours (classic FEM halo).
+    fn chain_ids(rank: usize) -> Vec<u64> {
+        vec![(rank * 2) as u64, (rank * 2 + 1) as u64, (rank * 2 + 2) as u64]
+    }
+
+    fn check_chain(strategy: GsStrategy) {
+        let p = 4;
+        let out = run(p, testnet(), move |c| {
+            let ids = chain_ids(c.rank());
+            let gs = GsHandle::setup(c, &ids, strategy);
+            // Each rank contributes 1.0 at every node: after sum-exchange,
+            // shared nodes hold 2.0 and private nodes 1.0.
+            let mut v = vec![1.0; ids.len()];
+            gs.exchange(c, &mut v, ReduceOp::Sum);
+            v
+        });
+        for (r, v) in out.iter().enumerate() {
+            let left_shared = r > 0;
+            let right_shared = r + 1 < p;
+            assert_eq!(v[0], if left_shared { 2.0 } else { 1.0 }, "rank {r} left");
+            assert_eq!(v[1], 1.0, "rank {r} mid");
+            assert_eq!(v[2], if right_shared { 2.0 } else { 1.0 }, "rank {r} right");
+        }
+    }
+
+    #[test]
+    fn chain_sum_pairwise() {
+        check_chain(GsStrategy::Pairwise);
+    }
+
+    #[test]
+    fn chain_sum_tree() {
+        check_chain(GsStrategy::Tree);
+    }
+
+    #[test]
+    fn chain_sum_hybrid() {
+        check_chain(GsStrategy::Hybrid);
+    }
+
+    #[test]
+    fn multiway_shared_vertex() {
+        // Global id 100 shared by all ranks (a cross-point), id 200+r
+        // private.
+        let p = 5;
+        for strategy in [GsStrategy::Pairwise, GsStrategy::Tree, GsStrategy::Hybrid] {
+            let out = run(p, testnet(), move |c| {
+                let ids = vec![100u64, 200 + c.rank() as u64];
+                let gs = GsHandle::setup(c, &ids, strategy);
+                let mut v = vec![(c.rank() + 1) as f64, 7.0];
+                gs.exchange(c, &mut v, ReduceOp::Sum);
+                v
+            });
+            let total: f64 = (1..=p).map(|r| r as f64).sum();
+            for (r, v) in out.iter().enumerate() {
+                assert_eq!(v[0], total, "{strategy:?} rank {r}");
+                assert_eq!(v[1], 7.0, "{strategy:?} private dof touched");
+            }
+        }
+    }
+
+    #[test]
+    fn local_duplicates_prereduced() {
+        // One rank holds the same global id twice (element-local copies).
+        let out = run(2, testnet(), |c| {
+            let ids: Vec<u64> = if c.rank() == 0 { vec![5, 5] } else { vec![5] };
+            let gs = GsHandle::setup(c, &ids, GsStrategy::Hybrid);
+            let mut v = if c.rank() == 0 { vec![1.0, 2.0] } else { vec![10.0] };
+            gs.exchange(c, &mut v, ReduceOp::Sum);
+            v
+        });
+        // Sum over all copies = 13; every copy must hold it.
+        assert_eq!(out[0], vec![13.0, 13.0]);
+        assert_eq!(out[1], vec![13.0]);
+    }
+
+    #[test]
+    fn min_and_max_ops() {
+        let out = run(3, testnet(), |c| {
+            let ids = vec![1u64];
+            let gs = GsHandle::setup(c, &ids, GsStrategy::Tree);
+            let mut lo = vec![c.rank() as f64];
+            gs.exchange(c, &mut lo, ReduceOp::Min);
+            let mut hi = vec![c.rank() as f64];
+            gs.exchange(c, &mut hi, ReduceOp::Max);
+            (lo[0], hi[0])
+        });
+        for &(lo, hi) in &out {
+            assert_eq!(lo, 0.0);
+            assert_eq!(hi, 2.0);
+        }
+    }
+
+    #[test]
+    fn strategies_agree() {
+        // Random-ish sharing pattern; all three strategies must give the
+        // same result.
+        let p = 4;
+        let run_with = |s: GsStrategy| {
+            run(p, testnet(), move |c| {
+                let r = c.rank() as u64;
+                let ids = vec![r % 2, 10 + (r / 2), 100, 1000 + r];
+                let gs = GsHandle::setup(c, &ids, s);
+                let mut v: Vec<f64> =
+                    ids.iter().map(|&g| (g as f64) * 0.5 + c.rank() as f64).collect();
+                gs.exchange(c, &mut v, ReduceOp::Sum);
+                v
+            })
+        };
+        let a = run_with(GsStrategy::Pairwise);
+        let b = run_with(GsStrategy::Tree);
+        let c = run_with(GsStrategy::Hybrid);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn single_rank_is_local_reduction_only() {
+        let out = run(1, testnet(), |c| {
+            let gs = GsHandle::setup(c, &[3, 3, 4], GsStrategy::Hybrid);
+            let mut v = vec![1.0, 5.0, 9.0];
+            gs.exchange(c, &mut v, ReduceOp::Sum);
+            v
+        });
+        assert_eq!(out[0], vec![6.0, 6.0, 9.0]);
+    }
+}

@@ -1,0 +1,18 @@
+//! # nkt-gs — the Tufo–Fischer gather-scatter library
+//!
+//! NekTar-ALE's communication layer (paper §4.2.2): "This interface ...
+//! allows for the treatment of all the communications using a
+//! 'binary-tree' algorithm, 'pairwise' exchanges, or a mix of these two.
+//! Pairwise exchange is used for communicating values shared by only a
+//! few processors, while the 'binary-tree' approach is used for values
+//! shared by many processors. The latter approach is essentially a global
+//! reduction operation on a subset of the total number of processors."
+//!
+//! A [`GsHandle`] is set up once from each rank's local→global dof map;
+//! [`GsHandle::exchange`] then makes every shared dof consistent (sum /
+//! min / max over all copies). Three strategies ([`GsStrategy`]) feed the
+//! `gs_strategies` ablation bench.
+
+mod handle;
+
+pub use handle::{GsHandle, GsStrategy};

@@ -1,0 +1,26 @@
+//! # nkt-machine — analytic CPU/cache performance models
+//!
+//! The SC'99 paper's kernel-level CPU comparison (Figures 1–6) sweeps BLAS
+//! routines over working-set sizes on ten 1999 machines. None of that
+//! hardware exists here, so this crate substitutes a calibrated
+//! cache-hierarchy roofline model per machine (see DESIGN.md §2):
+//!
+//! * a [`Machine`] has a clock, peak flops/cycle, a ladder of
+//!   [`CacheLevel`]s ending in DRAM, and per-kernel in-cache efficiency
+//!   factors;
+//! * a kernel running on a working set that fits in level L runs at
+//!   `min(compute ceiling, traffic / bandwidth(L))`, plus a per-call
+//!   overhead that produces the small-size roll-off the paper's plots
+//!   show on their left edges;
+//! * [`catalog`] instantiates the ten machines of paper §2 with parameters
+//!   calibrated against the plateaus of Figures 1–6.
+//!
+//! The model is *predictive within the paper's comparison*, not a cycle
+//! simulator: what it must get right is who wins at which working-set
+//! size, the cache-edge cliffs, and the memory-bound tails.
+
+pub mod catalog;
+pub mod model;
+
+pub use catalog::{machine, machines_fig_left, machines_fig_right, MachineId};
+pub use model::{CacheLevel, Kernel, KernelEfficiency, Machine, RatePoint};

@@ -1,0 +1,75 @@
+//! Element kinds and boundary tags.
+
+/// Element shapes the spectral/hp discretisation supports (paper §4:
+/// "tensor-product representations in hybrid subdomains, i.e. tetrahedra,
+/// hexahedra, prisms and pyramids"; we implement the 2-D pair plus
+/// hexahedra, which carry the benchmark workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemKind {
+    /// 3-vertex triangle (collapsed-coordinate basis).
+    Tri,
+    /// 4-vertex quadrilateral (tensor basis).
+    Quad,
+    /// 8-vertex hexahedron (3-D tensor basis).
+    Hex,
+}
+
+impl ElemKind {
+    /// Vertices per element.
+    pub fn nverts(self) -> usize {
+        match self {
+            ElemKind::Tri => 3,
+            ElemKind::Quad => 4,
+            ElemKind::Hex => 8,
+        }
+    }
+
+    /// Edges per element (2-D kinds only).
+    pub fn nedges(self) -> usize {
+        match self {
+            ElemKind::Tri => 3,
+            ElemKind::Quad => 4,
+            ElemKind::Hex => 12,
+        }
+    }
+
+    /// Faces per element (3-D).
+    pub fn nfaces(self) -> usize {
+        match self {
+            ElemKind::Hex => 6,
+            _ => 1,
+        }
+    }
+}
+
+/// Boundary condition tag, matching the paper's bluff-body setup
+/// ("Neumann boundary conditions (i.e. zero flux) were used at the
+/// outflow and on the sides of the domain, with the inflow being a
+/// laminar flow").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundaryTag {
+    /// Prescribed laminar inflow (Dirichlet velocity).
+    Inflow,
+    /// Zero-flux outflow (Neumann).
+    Outflow,
+    /// Zero-flux side walls (Neumann).
+    Side,
+    /// No-slip body surface (Dirichlet zero velocity).
+    Wall,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(ElemKind::Tri.nverts(), 3);
+        assert_eq!(ElemKind::Quad.nverts(), 4);
+        assert_eq!(ElemKind::Hex.nverts(), 8);
+        assert_eq!(ElemKind::Tri.nedges(), 3);
+        assert_eq!(ElemKind::Quad.nedges(), 4);
+        assert_eq!(ElemKind::Hex.nedges(), 12);
+        assert_eq!(ElemKind::Hex.nfaces(), 6);
+    }
+}

@@ -1,0 +1,34 @@
+//! # nkt-mesh — 2-D/3-D unstructured meshes for the spectral/hp method
+//!
+//! NekTar "uses meshes similar to standard finite element and finite
+//! volume meshes, consisting of structured or unstructured grids or a
+//! combination of both" (paper §1.3). This crate provides:
+//!
+//! * [`Mesh2d`] — triangles and quadrilaterals with edge connectivity,
+//!   boundary tags and the element dual graph (what the METIS substitute
+//!   partitions);
+//! * [`Mesh3d`] — hexahedral meshes with face connectivity for the
+//!   NekTar-ALE 3-D runs;
+//! * generators ([`gen2d`], [`gen3d`]) for the paper's domains: the
+//!   rectangle/channel, the bluff-body wake domain of Figure 11 (left),
+//!   and the flapping-wing box of Figure 11 (right). The exact NACA 4420
+//!   geometry is replaced by a rectangular bluff section (documented
+//!   substitution — the benchmark load is element count × order, not the
+//!   aerofoil's curvature).
+//!
+//! Boundary tags follow the paper's bluff-body setup: laminar inflow,
+//! Neumann outflow and sides, no-slip walls on the body.
+
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::too_many_arguments)]
+pub mod elem;
+pub mod gen2d;
+pub mod gen3d;
+pub mod mesh2d;
+pub mod mesh3d;
+
+pub use elem::{BoundaryTag, ElemKind};
+pub use gen2d::{bluff_body_mesh, rect_quads, rect_tris};
+pub use gen3d::{box_hexes, wing_box_mesh};
+pub use mesh2d::{Edge, Elem2d, Mesh2d};
+pub use mesh3d::{Elem3d, Face, Mesh3d};

@@ -1,0 +1,229 @@
+//! 2-D unstructured mesh: triangles and quadrilaterals with full edge
+//! connectivity.
+
+use crate::elem::{BoundaryTag, ElemKind};
+use std::collections::HashMap;
+
+/// A 2-D element: kind + counterclockwise vertex list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Elem2d {
+    /// Shape.
+    pub kind: ElemKind,
+    /// Vertex indices, counterclockwise.
+    pub verts: Vec<usize>,
+}
+
+impl Elem2d {
+    /// Local edges as (local vertex a, local vertex b) pairs, CCW.
+    pub fn local_edges(&self) -> Vec<(usize, usize)> {
+        let n = self.verts.len();
+        (0..n).map(|i| (self.verts[i], self.verts[(i + 1) % n])).collect()
+    }
+}
+
+/// A unique (undirected) mesh edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Endpoint vertex ids, `v[0] < v[1]`.
+    pub v: [usize; 2],
+    /// Elements sharing this edge (1 = boundary, 2 = interior).
+    pub elems: Vec<usize>,
+    /// Boundary tag when this is a boundary edge.
+    pub tag: Option<BoundaryTag>,
+}
+
+/// A 2-D mesh of triangles/quadrilaterals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh2d {
+    /// Vertex coordinates.
+    pub verts: Vec<[f64; 2]>,
+    /// Elements.
+    pub elems: Vec<Elem2d>,
+    /// Unique edges (built by [`Mesh2d::new`]).
+    pub edges: Vec<Edge>,
+    /// For each element, its edge ids in local-edge order, with `true`
+    /// when the local direction matches the stored (ascending) direction.
+    pub elem_edges: Vec<Vec<(usize, bool)>>,
+}
+
+impl Mesh2d {
+    /// Builds connectivity from raw vertices/elements; boundary edges get
+    /// tags from `tagger(midpoint) -> BoundaryTag`.
+    ///
+    /// # Panics
+    /// Panics if an element references a missing vertex or an edge is
+    /// shared by more than two elements.
+    pub fn new(
+        verts: Vec<[f64; 2]>,
+        elems: Vec<Elem2d>,
+        tagger: impl Fn([f64; 2]) -> BoundaryTag,
+    ) -> Mesh2d {
+        let mut edge_ids: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut elem_edges = Vec::with_capacity(elems.len());
+        for (ei, el) in elems.iter().enumerate() {
+            assert_eq!(el.verts.len(), el.kind.nverts(), "element {ei} vertex count");
+            let mut ids = Vec::with_capacity(el.verts.len());
+            for (a, b) in el.local_edges() {
+                assert!(a < verts.len() && b < verts.len(), "element {ei} vertex OOR");
+                let key = (a.min(b), a.max(b));
+                let forward = a < b;
+                let id = *edge_ids.entry(key).or_insert_with(|| {
+                    edges.push(Edge { v: [key.0, key.1], elems: Vec::new(), tag: None });
+                    edges.len() - 1
+                });
+                edges[id].elems.push(ei);
+                assert!(edges[id].elems.len() <= 2, "edge shared by >2 elements");
+                ids.push((id, forward));
+            }
+            elem_edges.push(ids);
+        }
+        for e in &mut edges {
+            if e.elems.len() == 1 {
+                let mid = [
+                    0.5 * (verts[e.v[0]][0] + verts[e.v[1]][0]),
+                    0.5 * (verts[e.v[0]][1] + verts[e.v[1]][1]),
+                ];
+                e.tag = Some(tagger(mid));
+            }
+        }
+        Mesh2d { verts, elems, edges, elem_edges }
+    }
+
+    /// Number of elements.
+    pub fn nelems(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Number of vertices.
+    pub fn nverts(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Boundary edge ids.
+    pub fn boundary_edges(&self) -> Vec<usize> {
+        (0..self.edges.len()).filter(|&i| self.edges[i].elems.len() == 1).collect()
+    }
+
+    /// The element dual graph as an undirected edge list (elements sharing
+    /// an edge are adjacent) — input for the METIS-substitute partitioner.
+    pub fn dual_edges(&self) -> Vec<(usize, usize)> {
+        self.edges
+            .iter()
+            .filter(|e| e.elems.len() == 2)
+            .map(|e| (e.elems[0], e.elems[1]))
+            .collect()
+    }
+
+    /// Straight-sided element area via the shoelace formula (positive for
+    /// CCW orientation).
+    pub fn elem_area(&self, ei: usize) -> f64 {
+        let vs = &self.elems[ei].verts;
+        let mut a = 0.0;
+        for i in 0..vs.len() {
+            let p = self.verts[vs[i]];
+            let q = self.verts[vs[(i + 1) % vs.len()]];
+            a += p[0] * q[1] - q[0] * p[1];
+        }
+        0.5 * a
+    }
+
+    /// Validates orientation (all areas positive) and connectivity.
+    pub fn validate(&self) -> Result<(), String> {
+        for ei in 0..self.nelems() {
+            let a = self.elem_area(ei);
+            if a <= 0.0 {
+                return Err(format!("element {ei} has non-positive area {a}"));
+            }
+        }
+        for (id, e) in self.edges.iter().enumerate() {
+            if e.elems.is_empty() || e.elems.len() > 2 {
+                return Err(format!("edge {id} touches {} elements", e.elems.len()));
+            }
+            if e.elems.len() == 1 && e.tag.is_none() {
+                return Err(format!("boundary edge {id} untagged"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total mesh area.
+    pub fn total_area(&self) -> f64 {
+        (0..self.nelems()).map(|e| self.elem_area(e)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square_two_tris() -> Mesh2d {
+        let verts = vec![[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]];
+        let elems = vec![
+            Elem2d { kind: ElemKind::Tri, verts: vec![0, 1, 2] },
+            Elem2d { kind: ElemKind::Tri, verts: vec![0, 2, 3] },
+        ];
+        Mesh2d::new(verts, elems, |_| BoundaryTag::Wall)
+    }
+
+    #[test]
+    fn edge_connectivity() {
+        let m = unit_square_two_tris();
+        assert_eq!(m.edges.len(), 5);
+        assert_eq!(m.boundary_edges().len(), 4);
+        // Diagonal shared by both elements.
+        let diag = m.edges.iter().find(|e| e.v == [0, 2]).unwrap();
+        assert_eq!(diag.elems.len(), 2);
+        assert!(diag.tag.is_none());
+    }
+
+    #[test]
+    fn areas_and_validation() {
+        let m = unit_square_two_tris();
+        assert!((m.elem_area(0) - 0.5).abs() < 1e-15);
+        assert!((m.total_area() - 1.0).abs() < 1e-15);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn dual_graph_of_two_tris() {
+        let m = unit_square_two_tris();
+        assert_eq!(m.dual_edges(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn orientation_flags_consistent() {
+        let m = unit_square_two_tris();
+        // The shared edge appears once per element with opposite senses.
+        let diag_id = m.edges.iter().position(|e| e.v == [0, 2]).unwrap();
+        let mut senses = Vec::new();
+        for ee in &m.elem_edges {
+            for &(id, fwd) in ee {
+                if id == diag_id {
+                    senses.push(fwd);
+                }
+            }
+        }
+        assert_eq!(senses.len(), 2);
+        assert_ne!(senses[0], senses[1]);
+    }
+
+    #[test]
+    fn negative_area_detected() {
+        let verts = vec![[0.0, 0.0], [1.0, 0.0], [1.0, 1.0]];
+        // Clockwise triangle.
+        let elems = vec![Elem2d { kind: ElemKind::Tri, verts: vec![0, 2, 1] }];
+        let m = Mesh2d::new(verts, elems, |_| BoundaryTag::Wall);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_vertex_panics() {
+        Mesh2d::new(
+            vec![[0.0, 0.0], [1.0, 0.0]],
+            vec![Elem2d { kind: ElemKind::Tri, verts: vec![0, 1, 5] }],
+            |_| BoundaryTag::Wall,
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! 3-D hexahedral meshes with face connectivity (NekTar-ALE substrate).
+
+use crate::elem::{BoundaryTag, ElemKind};
+use std::collections::HashMap;
+
+/// A hexahedral element: 8 vertices in the standard ordering (bottom quad
+/// CCW viewed from above, then top quad).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Elem3d {
+    /// Shape (always `Hex` for now).
+    pub kind: ElemKind,
+    /// Vertex ids: `[v000, v100, v110, v010, v001, v101, v111, v011]`.
+    pub verts: Vec<usize>,
+}
+
+/// Local faces of a hex in (vertex index quadruple) form.
+const HEX_FACES: [[usize; 4]; 6] = [
+    [0, 1, 2, 3], // bottom (z-)
+    [4, 5, 6, 7], // top (z+)
+    [0, 1, 5, 4], // front (y-)
+    [3, 2, 6, 7], // back (y+)
+    [0, 3, 7, 4], // left (x-)
+    [1, 2, 6, 5], // right (x+)
+];
+
+/// A unique quadrilateral face.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Face {
+    /// Sorted vertex ids (canonical key).
+    pub v: [usize; 4],
+    /// Elements sharing the face (1 = boundary, 2 = interior).
+    pub elems: Vec<usize>,
+    /// Boundary tag for boundary faces.
+    pub tag: Option<BoundaryTag>,
+}
+
+/// A 3-D hexahedral mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh3d {
+    /// Vertex coordinates.
+    pub verts: Vec<[f64; 3]>,
+    /// Elements.
+    pub elems: Vec<Elem3d>,
+    /// Unique faces.
+    pub faces: Vec<Face>,
+    /// For each element, its 6 face ids in `HEX_FACES` order.
+    pub elem_faces: Vec<[usize; 6]>,
+}
+
+impl Mesh3d {
+    /// Builds face connectivity; boundary faces tagged via
+    /// `tagger(centroid)`.
+    pub fn new(
+        verts: Vec<[f64; 3]>,
+        elems: Vec<Elem3d>,
+        tagger: impl Fn([f64; 3]) -> BoundaryTag,
+    ) -> Mesh3d {
+        let mut face_ids: HashMap<[usize; 4], usize> = HashMap::new();
+        let mut faces: Vec<Face> = Vec::new();
+        let mut elem_faces = Vec::with_capacity(elems.len());
+        for (ei, el) in elems.iter().enumerate() {
+            assert_eq!(el.verts.len(), 8, "element {ei}: hex needs 8 vertices");
+            let mut ids = [0usize; 6];
+            for (fi, local) in HEX_FACES.iter().enumerate() {
+                let mut key = [
+                    el.verts[local[0]],
+                    el.verts[local[1]],
+                    el.verts[local[2]],
+                    el.verts[local[3]],
+                ];
+                key.sort_unstable();
+                let id = *face_ids.entry(key).or_insert_with(|| {
+                    faces.push(Face { v: key, elems: Vec::new(), tag: None });
+                    faces.len() - 1
+                });
+                faces[id].elems.push(ei);
+                assert!(faces[id].elems.len() <= 2, "face shared by >2 elements");
+                ids[fi] = id;
+            }
+            elem_faces.push(ids);
+        }
+        for f in &mut faces {
+            if f.elems.len() == 1 {
+                let c = f.v.iter().fold([0.0; 3], |mut acc, &v| {
+                    for d in 0..3 {
+                        acc[d] += verts[v][d] / 4.0;
+                    }
+                    acc
+                });
+                f.tag = Some(tagger(c));
+            }
+        }
+        Mesh3d { verts, elems, faces, elem_faces }
+    }
+
+    /// Number of elements.
+    pub fn nelems(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Number of vertices.
+    pub fn nverts(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Element dual graph edge list (face adjacency) for partitioning.
+    pub fn dual_edges(&self) -> Vec<(usize, usize)> {
+        self.faces
+            .iter()
+            .filter(|f| f.elems.len() == 2)
+            .map(|f| (f.elems[0], f.elems[1]))
+            .collect()
+    }
+
+    /// Volume of a (possibly skewed) hex by splitting into 6 tetrahedra.
+    pub fn elem_volume(&self, ei: usize) -> f64 {
+        let v = &self.elems[ei].verts;
+        let p = |i: usize| self.verts[v[i]];
+        // Tetrahedral decomposition anchored at vertex 0.
+        const TETS: [[usize; 4]; 6] = [
+            [0, 1, 2, 6],
+            [0, 2, 3, 6],
+            [0, 3, 7, 6],
+            [0, 7, 4, 6],
+            [0, 4, 5, 6],
+            [0, 5, 1, 6],
+        ];
+        TETS.iter()
+            .map(|t| {
+                let a = p(t[0]);
+                let b = p(t[1]);
+                let c = p(t[2]);
+                let d = p(t[3]);
+                let ab = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+                let ac = [c[0] - a[0], c[1] - a[1], c[2] - a[2]];
+                let ad = [d[0] - a[0], d[1] - a[1], d[2] - a[2]];
+                let cross = [
+                    ac[1] * ad[2] - ac[2] * ad[1],
+                    ac[2] * ad[0] - ac[0] * ad[2],
+                    ac[0] * ad[1] - ac[1] * ad[0],
+                ];
+                (ab[0] * cross[0] + ab[1] * cross[1] + ab[2] * cross[2]) / 6.0
+            })
+            .sum()
+    }
+
+    /// Total volume.
+    pub fn total_volume(&self) -> f64 {
+        (0..self.nelems()).map(|e| self.elem_volume(e)).sum()
+    }
+
+    /// Validates volumes positive, faces consistent and boundary tagged.
+    pub fn validate(&self) -> Result<(), String> {
+        for ei in 0..self.nelems() {
+            let v = self.elem_volume(ei);
+            if v <= 0.0 {
+                return Err(format!("element {ei} volume {v}"));
+            }
+        }
+        for (id, f) in self.faces.iter().enumerate() {
+            if f.elems.is_empty() || f.elems.len() > 2 {
+                return Err(format!("face {id} touches {} elements", f.elems.len()));
+            }
+            if f.elems.len() == 1 && f.tag.is_none() {
+                return Err(format!("boundary face {id} untagged"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gen3d::box_hexes;
+
+    #[test]
+    fn single_hex_connectivity() {
+        let m = box_hexes(0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 1, 1, 1);
+        assert_eq!(m.nelems(), 1);
+        assert_eq!(m.faces.len(), 6);
+        assert_eq!(m.dual_edges().len(), 0);
+        assert!((m.elem_volume(0) - 1.0).abs() < 1e-14);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn two_hexes_share_one_face() {
+        let m = box_hexes(0.0, 2.0, 0.0, 1.0, 0.0, 1.0, 2, 1, 1);
+        assert_eq!(m.nelems(), 2);
+        assert_eq!(m.faces.len(), 11);
+        assert_eq!(m.dual_edges(), vec![(0, 1)]);
+        assert!((m.total_volume() - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn grid_dual_graph_size() {
+        let m = box_hexes(0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 3, 3, 3);
+        assert_eq!(m.nelems(), 27);
+        // Interior faces: 3 directions × 2 planes × 9 = 54.
+        assert_eq!(m.dual_edges().len(), 54);
+        m.validate().unwrap();
+    }
+}

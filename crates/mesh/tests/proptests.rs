@@ -1,0 +1,63 @@
+//! Property-based tests for nkt-mesh: generator invariants over random
+//! resolutions.
+
+use nkt_mesh::{bluff_body_mesh, box_hexes, rect_quads, rect_tris, wing_box_mesh};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rect_quads_invariants(nx in 1usize..12, ny in 1usize..12,
+                             w in 0.5f64..10.0, h in 0.5f64..10.0) {
+        let m = rect_quads(0.0, w, 0.0, h, nx, ny);
+        m.validate().unwrap();
+        prop_assert_eq!(m.nelems(), nx * ny);
+        prop_assert!((m.total_area() - w * h).abs() < 1e-9 * w * h);
+        // Euler characteristic of a disk: V - E + F = 1.
+        let v = m.nverts() as i64;
+        let e = m.edges.len() as i64;
+        let f = m.nelems() as i64;
+        prop_assert_eq!(v - e + f, 1);
+    }
+
+    #[test]
+    fn rect_tris_invariants(nx in 1usize..10, ny in 1usize..10) {
+        let m = rect_tris(0.0, 1.0, 0.0, 1.0, nx, ny);
+        m.validate().unwrap();
+        prop_assert_eq!(m.nelems(), 2 * nx * ny);
+        prop_assert!((m.total_area() - 1.0).abs() < 1e-10);
+        let v = m.nverts() as i64;
+        let e = m.edges.len() as i64;
+        let f = m.nelems() as i64;
+        prop_assert_eq!(v - e + f, 1);
+    }
+
+    #[test]
+    fn box_hexes_invariants(nx in 1usize..6, ny in 1usize..6, nz in 1usize..6) {
+        let m = box_hexes(0.0, 2.0, 0.0, 1.0, 0.0, 3.0, nx, ny, nz);
+        m.validate().unwrap();
+        prop_assert_eq!(m.nelems(), nx * ny * nz);
+        prop_assert!((m.total_volume() - 6.0).abs() < 1e-9);
+        // Face count: interior shared once + boundary.
+        let boundary = m.faces.iter().filter(|f| f.elems.len() == 1).count();
+        prop_assert_eq!(boundary, 2 * (nx * ny + ny * nz + nx * nz));
+    }
+
+    #[test]
+    fn bluff_body_scales(refine in 1usize..4) {
+        let m = bluff_body_mesh(refine);
+        m.validate().unwrap();
+        // Area: 40x10 rectangle minus the unit body.
+        prop_assert!((m.total_area() - 399.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wing_mesh_scales(refine in 1usize..3) {
+        let m = wing_box_mesh(refine);
+        m.validate().unwrap();
+        // The wing hole removes volume from the 250-unit box.
+        prop_assert!(m.total_volume() < 250.0);
+        prop_assert!(m.total_volume() > 200.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Collective operations over the point-to-point layer.
+//!
+//! `MPI_Alltoall` gets three algorithms because it is the operation the
+//! paper identifies as the application bottleneck ("MPI_Alltoall is the
+//! most communication intensive and expensive, straining the networks to
+//! their limit"); the ablation bench compares them.
+
+use crate::comm::{Comm, Tag};
+
+/// Tags reserved for collectives (top bits set, out of user range).
+const TAG_BARRIER: Tag = 1 << 62;
+const TAG_REDUCE: Tag = (1 << 62) + (1 << 20);
+const TAG_BCAST: Tag = (1 << 62) + (2 << 20);
+const TAG_GATHER: Tag = (1 << 62) + (3 << 20);
+const TAG_A2A: Tag = (1 << 62) + (4 << 20);
+
+/// Reduction operator for [`Comm::allreduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(self, acc: &mut [f64], other: &[f64]) {
+        for (a, b) in acc.iter_mut().zip(other) {
+            *a = match self {
+                ReduceOp::Sum => *a + b,
+                ReduceOp::Min => a.min(*b),
+                ReduceOp::Max => a.max(*b),
+            };
+        }
+    }
+}
+
+/// `MPI_Alltoall` algorithm selector (the ablation axis of
+/// `bench/benches/alltoall_algos.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlltoallAlgo {
+    /// XOR pairwise exchange (power-of-two rank counts; falls back to ring
+    /// otherwise). One disjoint-pairs round per step — bandwidth-optimal.
+    Pairwise,
+    /// Ring: step s sends to rank+s, receives from rank−s. Works for any
+    /// P; each round is a full permutation.
+    Ring,
+    /// Bruck's algorithm: ⌈log₂P⌉ rounds of aggregated blocks — fewer,
+    /// larger messages; wins in the latency-bound regime.
+    Bruck,
+}
+
+impl Comm {
+    /// Synchronizes all ranks (dissemination barrier, ⌈log₂P⌉ rounds).
+    /// On return every rank's clock is ≥ every other rank's clock at
+    /// entry.
+    pub fn barrier(&mut self) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let mut k = 0u32;
+        let mut dist = 1usize;
+        while dist < p {
+            let dest = (self.rank() + dist) % p;
+            let src = (self.rank() + p - dist % p) % p;
+            let tag = TAG_BARRIER + k as Tag;
+            self.send(dest, tag, &[]);
+            self.recv(Some(src), Some(tag));
+            dist <<= 1;
+            k += 1;
+        }
+    }
+
+    /// Elementwise allreduce: after the call every rank holds the
+    /// reduction of all ranks' `data`. Binomial reduce-to-0 then binomial
+    /// broadcast.
+    pub fn allreduce(&mut self, data: &mut [f64], op: ReduceOp) {
+        let root = 0;
+        self.reduce_to(root, data, op);
+        self.bcast(root, data);
+    }
+
+    /// Reduces into `data` on `root` (other ranks' buffers are left with
+    /// partial reductions, as in MPI_Reduce).
+    pub fn reduce_to(&mut self, root: usize, data: &mut [f64], op: ReduceOp) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        // Binomial tree rooted at `root`: operate on relative ranks.
+        let rel = (self.rank() + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask != 0 {
+                // Send partial to the parent (this bit cleared) and stop.
+                let parent = ((rel & !mask) + root) % p;
+                self.send(parent, TAG_REDUCE, data);
+                break;
+            } else if (rel | mask) < p {
+                let child = ((rel | mask) + root) % p;
+                let msg = self.recv(Some(child), Some(TAG_REDUCE));
+                op.apply(data, &msg.data);
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Broadcasts `data` from `root` to all ranks (binomial tree).
+    pub fn bcast(&mut self, root: usize, data: &mut [f64]) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let rel = (self.rank() + p - root) % p;
+        // Find the highest power-of-two ≤ p.
+        let mut top = 1usize;
+        while top < p {
+            top <<= 1;
+        }
+        // Receive once from the parent (unless root), then forward down.
+        if rel != 0 {
+            let parent_rel = rel & (rel - 1); // clear lowest set bit
+            let parent = (parent_rel + root) % p;
+            let msg = self.recv(Some(parent), Some(TAG_BCAST));
+            data.copy_from_slice(&msg.data);
+        }
+        // Children: rel + bit for bits below the lowest set bit of rel.
+        let low = if rel == 0 { top } else { rel & rel.wrapping_neg() };
+        let mut bit = low >> 1;
+        while bit > 0 {
+            let child_rel = rel | bit;
+            if child_rel < p && child_rel != rel {
+                let child = (child_rel + root) % p;
+                self.send(child, TAG_BCAST, data);
+            }
+            bit >>= 1;
+        }
+    }
+
+    /// Gathers each rank's `data` on `root`; returns `Some(rows)` on root
+    /// (rows in rank order), `None` elsewhere.
+    pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        if self.rank() == root {
+            let mut rows: Vec<Vec<f64>> = vec![Vec::new(); self.size()];
+            rows[root] = data.to_vec();
+            for _ in 0..self.size() - 1 {
+                let msg = self.recv(None, Some(TAG_GATHER));
+                rows[msg.src] = msg.data;
+            }
+            Some(rows)
+        } else {
+            self.send(root, TAG_GATHER, data);
+            None
+        }
+    }
+
+    /// `MPI_Alltoall` with equal block size: `send` holds `size()` blocks
+    /// of `block` f64s (block j goes to rank j); `recv` receives block i
+    /// from rank i. Uses [`AlltoallAlgo::Pairwise`].
+    pub fn alltoall(&mut self, send: &[f64], block: usize, recv: &mut [f64]) {
+        self.alltoall_with(AlltoallAlgo::Pairwise, send, block, recv);
+    }
+
+    /// `MPI_Alltoall` with an explicit algorithm.
+    ///
+    /// # Panics
+    /// Panics if the buffers are shorter than `size() * block`.
+    pub fn alltoall_with(
+        &mut self,
+        algo: AlltoallAlgo,
+        send: &[f64],
+        block: usize,
+        recv: &mut [f64],
+    ) {
+        let p = self.size();
+        assert!(send.len() >= p * block, "alltoall: send buffer too short");
+        assert!(recv.len() >= p * block, "alltoall: recv buffer too short");
+        let r = self.rank();
+        // Own block never crosses the network.
+        recv[r * block..(r + 1) * block].copy_from_slice(&send[r * block..(r + 1) * block]);
+        if p == 1 {
+            return;
+        }
+        match algo {
+            AlltoallAlgo::Pairwise if p.is_power_of_two() => {
+                for step in 1..p {
+                    let partner = r ^ step;
+                    // Disjoint pairs this round: (i, i^step) for i < i^step.
+                    let pairs: Vec<(usize, usize)> =
+                        (0..p).filter(|&i| i < i ^ step).map(|i| (i, i ^ step)).collect();
+                    self.apply_round_contention(&pairs, 8 * block);
+                    let tag = TAG_A2A + step as Tag;
+                    let got = self.sendrecv(
+                        partner,
+                        tag,
+                        &send[partner * block..(partner + 1) * block],
+                        partner,
+                        tag,
+                    );
+                    recv[partner * block..(partner + 1) * block].copy_from_slice(&got);
+                    self.clear_contention();
+                }
+            }
+            AlltoallAlgo::Pairwise | AlltoallAlgo::Ring => {
+                for step in 1..p {
+                    let dest = (r + step) % p;
+                    let src = (r + p - step) % p;
+                    let pairs: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + step) % p)).collect();
+                    self.apply_round_contention(&pairs, 8 * block);
+                    let tag = TAG_A2A + step as Tag;
+                    self.send(dest, tag, &send[dest * block..(dest + 1) * block]);
+                    let msg = self.recv(Some(src), Some(tag));
+                    recv[src * block..(src + 1) * block].copy_from_slice(&msg.data);
+                    self.clear_contention();
+                }
+            }
+            AlltoallAlgo::Bruck => self.alltoall_bruck(send, block, recv),
+        }
+    }
+
+    /// Bruck's log-round alltoall.
+    fn alltoall_bruck(&mut self, send: &[f64], block: usize, recv: &mut [f64]) {
+        let p = self.size();
+        let r = self.rank();
+        // Phase 1: local rotation — tmp[i] = send[(r + i) mod p].
+        let mut tmp = vec![0.0f64; p * block];
+        for i in 0..p {
+            let srcb = (r + i) % p;
+            tmp[i * block..(i + 1) * block]
+                .copy_from_slice(&send[srcb * block..(srcb + 1) * block]);
+        }
+        // Phase 2: log rounds. In round k, send blocks whose index has bit
+        // k set to rank + 2^k (wrapping), receive from rank − 2^k.
+        let mut k = 0u32;
+        while (1usize << k) < p {
+            let dist = 1usize << k;
+            let dest = (r + dist) % p;
+            let src = (r + p - dist) % p;
+            let idxs: Vec<usize> = (0..p).filter(|i| i & dist != 0).collect();
+            let mut payload = Vec::with_capacity(idxs.len() * block);
+            for &i in &idxs {
+                payload.extend_from_slice(&tmp[i * block..(i + 1) * block]);
+            }
+            let pairs: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + dist) % p)).collect();
+            self.apply_round_contention(&pairs, 8 * payload.len());
+            let tag = TAG_A2A + (1 << 16) + k as Tag;
+            self.send(dest, tag, &payload);
+            let msg = self.recv(Some(src), Some(tag));
+            self.clear_contention();
+            for (j, &i) in idxs.iter().enumerate() {
+                tmp[i * block..(i + 1) * block]
+                    .copy_from_slice(&msg.data[j * block..(j + 1) * block]);
+            }
+            k += 1;
+        }
+        // Phase 3: inverse rotation — recv[(r - i) mod p] = tmp[i].
+        for i in 0..p {
+            let dstb = (r + p - i) % p;
+            recv[dstb * block..(dstb + 1) * block].copy_from_slice(&tmp[i * block..(i + 1) * block]);
+        }
+    }
+
+    /// Derates per-message bandwidth so the per-pair charge reproduces the
+    /// aggregate round time (bisection cap / shared-medium serialization).
+    fn apply_round_contention(&mut self, pairs: &[(usize, usize)], bytes: usize) {
+        if pairs.is_empty() || bytes == 0 {
+            self.clear_contention();
+            return;
+        }
+        let round = self.network().round_time(pairs, bytes);
+        let single = pairs
+            .iter()
+            .map(|&(a, b)| self.network().channel_between(a, b).time(bytes))
+            .fold(0.0f64, f64::max);
+        if single > 0.0 {
+            self.set_contention(round / single);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Collective behaviour is tested through the world harness in
+    // `world.rs` tests and the crate-level integration tests, where real
+    // rank threads exist.
+}

@@ -1,0 +1,188 @@
+//! Per-rank communicator: point-to-point messaging with virtual-time
+//! accounting.
+
+use crossbeam::channel::{Receiver, Sender};
+use nkt_net::ClusterNetwork;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Message tag type (like MPI's integer tags).
+pub type Tag = u64;
+
+/// An in-flight message: real payload plus its virtual arrival time.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// User tag.
+    pub tag: Tag,
+    /// Payload (f64s — the solver's currency; byte size is `8 × len`).
+    pub data: Vec<f64>,
+    /// Virtual time at which the message is fully delivered at the
+    /// receiver, per the network model.
+    pub arrival: f64,
+}
+
+/// The per-rank communicator handle.
+///
+/// Created by [`crate::run`]; one per rank thread. All timing is virtual:
+/// [`Comm::wtime`] only moves when messages are charged or
+/// [`Comm::advance`] is called.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    net: Arc<ClusterNetwork>,
+    txs: Vec<Sender<Message>>,
+    rx: Receiver<Message>,
+    /// Unmatched messages already pulled off the channel.
+    pending: VecDeque<Message>,
+    /// Virtual wall clock, seconds.
+    clock: f64,
+    /// Virtual CPU (busy) time, seconds.
+    busy: f64,
+    /// Bandwidth derating applied to sends while inside a collective whose
+    /// round uses more aggregate bandwidth than the fabric has (set by the
+    /// collective implementations).
+    pub(crate) contention: f64,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        net: Arc<ClusterNetwork>,
+        txs: Vec<Sender<Message>>,
+        rx: Receiver<Message>,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            net,
+            txs,
+            rx,
+            pending: VecDeque::new(),
+            clock: 0.0,
+            busy: 0.0,
+            contention: 1.0,
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The network model this world runs on.
+    pub fn network(&self) -> &ClusterNetwork {
+        &self.net
+    }
+
+    /// Virtual wall-clock time in seconds (the `MPI_Wtime` of the paper's
+    /// measurements).
+    pub fn wtime(&self) -> f64 {
+        self.clock
+    }
+
+    /// Virtual CPU time in seconds (the paper's `clock()` measurements).
+    /// `wtime() - busy()` is idle time "associated with network
+    /// inefficiency".
+    pub fn busy(&self) -> f64 {
+        self.busy
+    }
+
+    /// Charges `seconds` of local computation to both ledgers.
+    pub fn advance(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "advance: negative time");
+        self.clock += seconds;
+        self.busy += seconds;
+    }
+
+    /// Transfer time for `len` f64s to `dest` under the current contention
+    /// setting.
+    fn charge(&self, dest: usize, len: usize) -> (f64, f64) {
+        let bytes = 8 * len;
+        let ch = self.net.channel_between(self.rank, dest);
+        let wire = ch.time(bytes) * self.contention;
+        let overhead = ch.overhead_us * 1e-6;
+        (wire, overhead)
+    }
+
+    /// Sends `data` to `dest` with `tag`. Non-blocking eager semantics:
+    /// the payload is buffered at the destination; the sender is charged
+    /// its CPU overhead only.
+    ///
+    /// # Panics
+    /// Panics if `dest` is out of range or the destination has hung up.
+    pub fn send(&mut self, dest: usize, tag: Tag, data: &[f64]) {
+        assert!(dest < self.size, "send: bad destination {dest}");
+        let (wire, overhead) = self.charge(dest, data.len());
+        // Sender CPU pays the protocol overhead; the wire time determines
+        // arrival at the destination.
+        self.clock += overhead;
+        self.busy += overhead;
+        let msg = Message { src: self.rank, tag, data: data.to_vec(), arrival: self.clock + wire };
+        self.txs[dest].send(msg).expect("send: destination rank terminated");
+    }
+
+    /// Receives a message matching `src`/`tag` (None = wildcard). Blocks
+    /// the thread until a match arrives; advances the virtual clock to the
+    /// message's arrival time if that is later than now.
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Message {
+        // First scan messages already buffered.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| src.is_none_or(|s| s == m.src) && tag.is_none_or(|t| t == m.tag))
+        {
+            let msg = self.pending.remove(pos).expect("position came from iter");
+            self.absorb_arrival(&msg);
+            return msg;
+        }
+        loop {
+            let msg = self.rx.recv().expect("recv: world torn down while waiting");
+            let matches =
+                src.is_none_or(|s| s == msg.src) && tag.is_none_or(|t| t == msg.tag);
+            if matches {
+                self.absorb_arrival(&msg);
+                return msg;
+            }
+            self.pending.push_back(msg);
+        }
+    }
+
+    fn absorb_arrival(&mut self, msg: &Message) {
+        // Receiver-side protocol overhead is CPU work; waiting is not.
+        let ch = self.net.channel_between(self.rank, msg.src);
+        let overhead = ch.overhead_us * 1e-6;
+        self.clock = self.clock.max(msg.arrival) + overhead;
+        self.busy += overhead;
+    }
+
+    /// Combined send + receive (deadlock-free under eager semantics).
+    pub fn sendrecv(
+        &mut self,
+        dest: usize,
+        send_tag: Tag,
+        data: &[f64],
+        src: usize,
+        recv_tag: Tag,
+    ) -> Vec<f64> {
+        self.send(dest, send_tag, data);
+        self.recv(Some(src), Some(recv_tag)).data
+    }
+
+    /// Sets the collective contention factor (≥ 1 slows transfers).
+    pub(crate) fn set_contention(&mut self, c: f64) {
+        self.contention = c.max(1.0);
+    }
+
+    /// Resets contention to the point-to-point default.
+    pub(crate) fn clear_contention(&mut self) {
+        self.contention = 1.0;
+    }
+}

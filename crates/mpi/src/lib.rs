@@ -1,0 +1,30 @@
+//! # nkt-mpi — an in-process MPI-like runtime with virtual time
+//!
+//! The paper's parallel benchmarks (Figure 8, Tables 2–3) ran real MPI on
+//! 1999 networks. Here, ranks are **threads in one process** exchanging
+//! real data over channels, while *time* is virtual: every message is
+//! charged through an `nkt-net` [`ClusterNetwork`](nkt_net::ClusterNetwork)
+//! model, and every local computation is charged explicitly via
+//! [`Comm::advance`]. The parallel algorithms therefore execute for real
+//! (testable for correctness), and the clocks reproduce the 1999 machines'
+//! timing structure (see DESIGN.md §2).
+//!
+//! Two ledgers per rank mirror the paper's measurement methodology
+//! ("CPU times are calculated using the clock command, while wall-clock
+//! times are calculated using MPI_Wtime. The difference ... indicates idle
+//! CPU time, which is associated with network inefficiency"):
+//!
+//! * [`Comm::busy`] — CPU ledger: compute charges + protocol overheads;
+//! * [`Comm::wtime`] — wall clock: busy time **plus** waiting on messages.
+//!
+//! Collectives: barrier (dissemination), broadcast (binomial tree),
+//! allreduce (recursive doubling + fallback), gather, and three
+//! `MPI_Alltoall` algorithms ([`AlltoallAlgo`]) for the ablation bench.
+
+pub mod collectives;
+pub mod comm;
+pub mod world;
+
+pub use collectives::{AlltoallAlgo, ReduceOp};
+pub use comm::{Comm, Message, Tag};
+pub use world::run;

@@ -1,0 +1,284 @@
+//! World harness: spawns one thread per rank and runs a closure on each.
+
+use crate::comm::{Comm, Message};
+use crossbeam::channel::unbounded;
+use nkt_net::ClusterNetwork;
+use std::sync::Arc;
+
+/// Runs `f` on `p` rank threads over the given network model and returns
+/// each rank's result in rank order.
+///
+/// Data exchange is real (crossbeam channels); time is virtual (see
+/// [`Comm`]). The closure gets a mutable [`Comm`] bound to its rank.
+///
+/// # Panics
+/// Propagates a panic from any rank thread.
+pub fn run<R, F>(p: usize, net: ClusterNetwork, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    assert!(p >= 1, "run: need at least one rank");
+    let net = Arc::new(net);
+    let mut txs = Vec::with_capacity(p);
+    let mut rxs = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<Message>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, rx) in rxs.into_iter().enumerate() {
+            let txs = txs.clone();
+            let net = Arc::clone(&net);
+            handles.push(scope.spawn(move || {
+                let mut comm = Comm::new(rank, p, net, txs, rx);
+                f(&mut comm)
+            }));
+        }
+        // Drop the original senders: when a rank thread panics and its
+        // Comm (holding the remaining sender clones) unwinds, peers
+        // blocked in recv see the channel close and unwind too, instead
+        // of deadlocking the whole world.
+        drop(txs);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{AlltoallAlgo, ReduceOp};
+    use nkt_net::{cluster, NetId};
+
+    fn testnet() -> ClusterNetwork {
+        cluster(NetId::T3e)
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run(1, testnet(), |c| {
+            c.barrier();
+            let mut v = vec![3.0];
+            c.allreduce(&mut v, ReduceOp::Sum);
+            (c.rank(), v[0])
+        });
+        assert_eq!(out, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn ring_pass_delivers_in_order() {
+        let p = 5;
+        let out = run(p, testnet(), |c| {
+            let r = c.rank();
+            let next = (r + 1) % p;
+            let prev = (r + p - 1) % p;
+            c.send(next, 7, &[r as f64]);
+            let m = c.recv(Some(prev), Some(7));
+            m.data[0] as usize
+        });
+        for (r, &got) in out.iter().enumerate() {
+            assert_eq!(got, (r + p - 1) % p);
+        }
+    }
+
+    #[test]
+    fn wildcard_recv_matches_any_source() {
+        let out = run(3, testnet(), |c| {
+            if c.rank() == 0 {
+                let a = c.recv(None, Some(1));
+                let b = c.recv(None, Some(1));
+                let mut srcs = vec![a.src, b.src];
+                srcs.sort_unstable();
+                srcs
+            } else {
+                c.send(0, 1, &[c.rank() as f64]);
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn allreduce_sum_min_max() {
+        let p = 7; // non-power-of-two exercises the general tree
+        let out = run(p, testnet(), |c| {
+            let r = c.rank() as f64;
+            let mut s = vec![r, -r];
+            c.allreduce(&mut s, ReduceOp::Sum);
+            let mut mn = vec![r];
+            c.allreduce(&mut mn, ReduceOp::Min);
+            let mut mx = vec![r];
+            c.allreduce(&mut mx, ReduceOp::Max);
+            (s, mn[0], mx[0])
+        });
+        let total: f64 = (0..p).map(|r| r as f64).sum();
+        for (s, mn, mx) in out {
+            assert_eq!(s, vec![total, -total]);
+            assert_eq!(mn, 0.0);
+            assert_eq!(mx, (p - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = run(6, testnet(), |c| {
+            let mut v = if c.rank() == 2 { vec![42.0, 43.0] } else { vec![0.0, 0.0] };
+            c.bcast(2, &mut v);
+            v
+        });
+        for v in out {
+            assert_eq!(v, vec![42.0, 43.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run(4, testnet(), |c| c.gather(1, &[c.rank() as f64 * 10.0]));
+        for (r, g) in out.iter().enumerate() {
+            if r == 1 {
+                let rows = g.as_ref().unwrap();
+                for (i, row) in rows.iter().enumerate() {
+                    assert_eq!(row, &vec![i as f64 * 10.0]);
+                }
+            } else {
+                assert!(g.is_none());
+            }
+        }
+    }
+
+    fn check_alltoall(p: usize, block: usize, algo: AlltoallAlgo) {
+        let out = run(p, testnet(), move |c| {
+            let r = c.rank();
+            // send[j*block + k] encodes (sender, dest, k).
+            let send: Vec<f64> = (0..p * block)
+                .map(|i| (r * 1000 + (i / block) * 100 + i % block) as f64)
+                .collect();
+            let mut recv = vec![0.0; p * block];
+            c.alltoall_with(algo, &send, block, &mut recv);
+            recv
+        });
+        for (r, recv) in out.iter().enumerate() {
+            for src in 0..p {
+                for k in 0..block {
+                    let expect = (src * 1000 + r * 100 + k) as f64;
+                    assert_eq!(
+                        recv[src * block + k], expect,
+                        "algo {algo:?} p={p} rank {r} from {src} elem {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_pairwise_pow2() {
+        check_alltoall(8, 3, AlltoallAlgo::Pairwise);
+    }
+
+    #[test]
+    fn alltoall_pairwise_non_pow2_falls_back() {
+        check_alltoall(6, 2, AlltoallAlgo::Pairwise);
+    }
+
+    #[test]
+    fn alltoall_ring() {
+        check_alltoall(5, 4, AlltoallAlgo::Ring);
+        check_alltoall(8, 1, AlltoallAlgo::Ring);
+    }
+
+    #[test]
+    fn alltoall_bruck() {
+        check_alltoall(4, 2, AlltoallAlgo::Bruck);
+        check_alltoall(7, 3, AlltoallAlgo::Bruck);
+        check_alltoall(8, 5, AlltoallAlgo::Bruck);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let out = run(4, testnet(), |c| {
+            // Rank 2 does a lot of local work before the barrier.
+            if c.rank() == 2 {
+                c.advance(1.0);
+            }
+            c.barrier();
+            c.wtime()
+        });
+        for &t in &out {
+            assert!(t >= 1.0, "clock {t} not dragged past the busy rank");
+        }
+    }
+
+    #[test]
+    fn virtual_time_deterministic_across_runs() {
+        let run_once = || {
+            run(4, testnet(), |c| {
+                let send: Vec<f64> = vec![1.0; 4 * 64];
+                let mut recv = vec![0.0; 4 * 64];
+                c.alltoall(&send, 64, &mut recv);
+                c.barrier();
+                c.wtime()
+            })
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ethernet_slower_than_myrinet_for_alltoall() {
+        let time_on = |net: ClusterNetwork| {
+            let out = run(8, net, |c| {
+                let block = 8192; // 64 KB per pair
+                let send = vec![1.0; 8 * block];
+                let mut recv = vec![0.0; 8 * block];
+                c.alltoall(&send, block, &mut recv);
+                c.barrier();
+                c.wtime()
+            });
+            out.into_iter().fold(0.0f64, f64::max)
+        };
+        let eth = time_on(cluster(NetId::RoadRunnerEth));
+        let myr = time_on(cluster(NetId::RoadRunnerMyr));
+        assert!(
+            eth > 5.0 * myr,
+            "ethernet {eth} should be much slower than myrinet {myr}"
+        );
+    }
+
+    #[test]
+    fn busy_less_than_wall_when_waiting() {
+        let out = run(2, testnet(), |c| {
+            if c.rank() == 0 {
+                c.advance(0.5);
+                c.send(1, 3, &[1.0]);
+            } else {
+                c.recv(Some(0), Some(3));
+            }
+            (c.busy(), c.wtime())
+        });
+        let (busy1, wall1) = out[1];
+        assert!(busy1 < wall1, "rank 1 waited: busy {busy1} wall {wall1}");
+        assert!(wall1 >= 0.5);
+    }
+
+    #[test]
+    fn send_charges_sender_overhead_only() {
+        let out = run(2, testnet(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &vec![0.0; 100_000]);
+                c.wtime()
+            } else {
+                c.recv(Some(0), Some(1));
+                c.wtime()
+            }
+        });
+        // Sender returns long before the (800 KB) message lands.
+        assert!(out[0] < out[1], "sender {} receiver {}", out[0], out[1]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the simulated MPI runtime: collective
+//! semantics over random rank counts, payloads and algorithms.
+
+use nkt_mpi::{run, AlltoallAlgo, ReduceOp};
+use nkt_net::{cluster, NetId};
+use proptest::prelude::*;
+
+fn net() -> nkt_net::ClusterNetwork {
+    cluster(NetId::T3e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Alltoall is a permutation: every (src, dst, slot) triple arrives
+    /// exactly where MPI says, for every algorithm and any P/block combo.
+    #[test]
+    fn alltoall_semantics(p in 1usize..9, block in 1usize..7, algo_i in 0usize..3) {
+        let algo = [AlltoallAlgo::Pairwise, AlltoallAlgo::Ring, AlltoallAlgo::Bruck][algo_i];
+        let out = run(p, net(), move |c| {
+            let r = c.rank();
+            let send: Vec<f64> = (0..p * block)
+                .map(|i| (r * 10000 + i) as f64)
+                .collect();
+            let mut recv = vec![-1.0; p * block];
+            c.alltoall_with(algo, &send, block, &mut recv);
+            recv
+        });
+        for (dst, recv) in out.iter().enumerate() {
+            for src in 0..p {
+                for s in 0..block {
+                    let expect = (src * 10000 + dst * block + s) as f64;
+                    prop_assert_eq!(recv[src * block + s], expect);
+                }
+            }
+        }
+    }
+
+    /// Allreduce agrees with a serial reduction for every operator.
+    #[test]
+    fn allreduce_semantics(p in 1usize..10, len in 1usize..6, op_i in 0usize..3, seed in 0u64..100) {
+        let op = [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max][op_i];
+        let value = move |r: usize, i: usize| {
+            (((r as u64 * 31 + i as u64 * 7 + seed) % 100) as f64) - 50.0
+        };
+        let out = run(p, net(), move |c| {
+            let mut v: Vec<f64> = (0..len).map(|i| value(c.rank(), i)).collect();
+            c.allreduce(&mut v, op);
+            v
+        });
+        for i in 0..len {
+            let column: Vec<f64> = (0..p).map(|r| value(r, i)).collect();
+            let expect = match op {
+                ReduceOp::Sum => column.iter().sum::<f64>(),
+                ReduceOp::Min => column.iter().copied().fold(f64::INFINITY, f64::min),
+                ReduceOp::Max => column.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            };
+            for r in 0..p {
+                prop_assert!((out[r][i] - expect).abs() < 1e-9, "rank {r} slot {i}");
+            }
+        }
+    }
+
+    /// Broadcast delivers the root's payload everywhere, any root/P.
+    #[test]
+    fn bcast_semantics(p in 1usize..10, root in 0usize..10, len in 1usize..5) {
+        let root = root % p;
+        let out = run(p, net(), move |c| {
+            let mut v = if c.rank() == root {
+                (0..len).map(|i| (i * 3 + 1) as f64).collect()
+            } else {
+                vec![0.0; len]
+            };
+            c.bcast(root, &mut v);
+            v
+        });
+        let expect: Vec<f64> = (0..len).map(|i| (i * 3 + 1) as f64).collect();
+        for v in out {
+            prop_assert_eq!(v, expect.clone());
+        }
+    }
+
+    /// Virtual clocks are non-negative, finite, and busy ≤ wall.
+    #[test]
+    fn time_ledgers_sane(p in 2usize..8, block in 1usize..64) {
+        let out = run(p, net(), move |c| {
+            let send = vec![1.0; p * block];
+            let mut recv = vec![0.0; p * block];
+            c.alltoall(&send, block, &mut recv);
+            c.barrier();
+            (c.busy(), c.wtime())
+        });
+        for &(busy, wall) in &out {
+            prop_assert!(busy.is_finite() && wall.is_finite());
+            prop_assert!(busy >= 0.0);
+            prop_assert!(wall >= busy - 1e-15, "wall {wall} < busy {busy}");
+        }
+    }
+}

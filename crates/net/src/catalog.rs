@@ -1,0 +1,280 @@
+//! The network configurations of the paper's Figures 7–8, calibrated
+//! against the measured curves.
+//!
+//! Figure 7 plots 12 configurations (NetPIPE ping-pong); Figure 8 plots 9
+//! (MPI_Alltoall at P = 4 and 8). Latency floors and bandwidth ceilings
+//! below are set from the paper's plots and the cited hardware peaks
+//! (Myrinet ~160 MB/s hardware, MX adapter 150 MB/s, TB2 40 MB/s, AP-Net
+//! 200 MB/s, Fast Ethernet 12.5 MB/s).
+
+use crate::channel::{Channel, ClusterNetwork};
+
+/// Identifiers for the network configurations in Figures 7–8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetId {
+    /// Fujitsu AP3000 AP-Net.
+    Ap3000,
+    /// IBM SP, Thin2 nodes, TB2 adapter (40 MB/s peak).
+    Sp2Thin2,
+    /// IBM SP, Silver nodes, MX adapter (150 MB/s peak).
+    Sp2Silver,
+    /// Muses 4-PC cluster, MPICH over point-to-point Fast Ethernet.
+    MusesMpich,
+    /// Muses with LAM (tuned TCP — lower latency than MPICH).
+    MusesLam,
+    /// SGI Onyx2 shared memory.
+    Onyx2,
+    /// RoadRunner over Fast Ethernet.
+    RoadRunnerEth,
+    /// RoadRunner over Myrinet with MPICH-GM.
+    RoadRunnerMyr,
+    /// Cray T3E-900 torus.
+    T3e,
+    /// SGI Origin 2000 at NCSA (ccNUMA fabric).
+    Ncsa,
+    /// Hitachi SR8000 crossbar (§3.2: ≥450 MB/s Alltoall at 6.4 MB).
+    Hitachi,
+}
+
+impl NetId {
+    /// Paper display name.
+    pub fn name(self) -> &'static str {
+        cluster(self).name
+    }
+}
+
+/// Builds the calibrated cluster network for `id`.
+pub fn cluster(id: NetId) -> ClusterNetwork {
+    match id {
+        NetId::Ap3000 => ClusterNetwork {
+            name: "AP3000",
+            intra: Channel { latency_us: 60.0, bandwidth_mbs: 65.0, overhead_us: 8.0, eager_bytes: 16 * 1024 },
+            inter: Channel { latency_us: 60.0, bandwidth_mbs: 65.0, overhead_us: 8.0, eager_bytes: 16 * 1024 },
+            cpus_per_node: 1,
+            bisection_mbs: f64::INFINITY,
+            shared_medium: false,
+        },
+        NetId::Sp2Thin2 => ClusterNetwork {
+            name: "SP2-Thin2",
+            intra: Channel { latency_us: 50.0, bandwidth_mbs: 30.0, overhead_us: 10.0, eager_bytes: 4 * 1024 },
+            inter: Channel { latency_us: 50.0, bandwidth_mbs: 30.0, overhead_us: 10.0, eager_bytes: 4 * 1024 },
+            cpus_per_node: 1,
+            bisection_mbs: f64::INFINITY,
+            shared_medium: false,
+        },
+        NetId::Sp2Silver => ClusterNetwork {
+            name: "SP2-Silver",
+            // 4-way SMP nodes: intranode shared memory beats the switch.
+            intra: Channel { latency_us: 18.0, bandwidth_mbs: 90.0, overhead_us: 4.0, eager_bytes: 16 * 1024 },
+            inter: Channel { latency_us: 29.0, bandwidth_mbs: 80.0, overhead_us: 5.0, eager_bytes: 16 * 1024 },
+            cpus_per_node: 4,
+            bisection_mbs: f64::INFINITY,
+            shared_medium: false,
+        },
+        NetId::MusesMpich => ClusterNetwork {
+            name: "Muses, MPICH",
+            intra: Channel { latency_us: 110.0, bandwidth_mbs: 10.8, overhead_us: 25.0, eager_bytes: 16 * 1024 },
+            inter: Channel { latency_us: 110.0, bandwidth_mbs: 10.8, overhead_us: 25.0, eager_bytes: 16 * 1024 },
+            cpus_per_node: 1,
+            // Point-to-point quad-card topology: each pair has its own
+            // dedicated link — no shared segment, no switch.
+            bisection_mbs: f64::INFINITY,
+            shared_medium: false,
+        },
+        NetId::MusesLam => ClusterNetwork {
+            name: "Muses, LAM",
+            // "a one-line change in the LAM low level TCP code" + 2.2
+            // kernel tuning brought latency down.
+            intra: Channel { latency_us: 65.0, bandwidth_mbs: 11.2, overhead_us: 18.0, eager_bytes: 16 * 1024 },
+            inter: Channel { latency_us: 65.0, bandwidth_mbs: 11.2, overhead_us: 18.0, eager_bytes: 16 * 1024 },
+            cpus_per_node: 1,
+            bisection_mbs: f64::INFINITY,
+            shared_medium: false,
+        },
+        NetId::Onyx2 => ClusterNetwork {
+            name: "Onyx 2",
+            intra: Channel { latency_us: 15.0, bandwidth_mbs: 100.0, overhead_us: 3.0, eager_bytes: 64 * 1024 },
+            inter: Channel { latency_us: 15.0, bandwidth_mbs: 100.0, overhead_us: 3.0, eager_bytes: 64 * 1024 },
+            cpus_per_node: 8,
+            bisection_mbs: 400.0,
+            shared_medium: false,
+        },
+        NetId::RoadRunnerEth => ClusterNetwork {
+            name: "RoadRunner eth.",
+            // Intranode TCP loopback on the dual-CPU nodes: lower latency,
+            // higher bandwidth than the wire ("inter and intra-node
+            // communications distinctly different").
+            intra: Channel { latency_us: 130.0, bandwidth_mbs: 28.0, overhead_us: 30.0, eager_bytes: 16 * 1024 },
+            inter: Channel { latency_us: 240.0, bandwidth_mbs: 8.5, overhead_us: 45.0, eager_bytes: 16 * 1024 },
+            cpus_per_node: 2,
+            // Switched fast ethernet with a modest backplane: collective
+            // traffic saturates it quickly.
+            bisection_mbs: 24.0,
+            shared_medium: false,
+        },
+        NetId::RoadRunnerMyr => ClusterNetwork {
+            name: "RoadRunner myr.",
+            intra: Channel { latency_us: 16.0, bandwidth_mbs: 45.0, overhead_us: 4.0, eager_bytes: 16 * 1024 },
+            // "comparable to the SP2-Silver nodes ... with respect to
+            // latency. The bandwidth recorded, though, is lower than most
+            // systems, apart from the SP2-Thin2."
+            inter: Channel { latency_us: 24.0, bandwidth_mbs: 38.0, overhead_us: 5.0, eager_bytes: 16 * 1024 },
+            cpus_per_node: 2,
+            bisection_mbs: 2000.0,
+            shared_medium: false,
+        },
+        NetId::T3e => ClusterNetwork {
+            name: "T3E",
+            intra: Channel { latency_us: 14.0, bandwidth_mbs: 160.0, overhead_us: 2.0, eager_bytes: 4 * 1024 },
+            inter: Channel { latency_us: 14.0, bandwidth_mbs: 160.0, overhead_us: 2.0, eager_bytes: 4 * 1024 },
+            cpus_per_node: 1,
+            // 3-D torus: effectively full bisection at these scales —
+            // "the T3E ... is 3 times higher than the rest" in Alltoall.
+            bisection_mbs: f64::INFINITY,
+            shared_medium: false,
+        },
+        NetId::Ncsa => ClusterNetwork {
+            name: "NCSA",
+            intra: Channel { latency_us: 16.0, bandwidth_mbs: 110.0, overhead_us: 3.0, eager_bytes: 64 * 1024 },
+            inter: Channel { latency_us: 16.0, bandwidth_mbs: 110.0, overhead_us: 3.0, eager_bytes: 64 * 1024 },
+            cpus_per_node: 2,
+            bisection_mbs: 700.0,
+            shared_medium: false,
+        },
+        NetId::Hitachi => ClusterNetwork {
+            name: "HITACHI",
+            intra: Channel { latency_us: 8.0, bandwidth_mbs: 900.0, overhead_us: 2.0, eager_bytes: 64 * 1024 },
+            inter: Channel { latency_us: 8.0, bandwidth_mbs: 900.0, overhead_us: 2.0, eager_bytes: 64 * 1024 },
+            cpus_per_node: 8,
+            bisection_mbs: f64::INFINITY,
+            shared_medium: false,
+        },
+    }
+}
+
+/// The 12 ping-pong configurations of Figure 7, in legend order.
+/// Each entry is (legend label, network, `true` when the *intranode*
+/// channel is the one being measured).
+pub fn fig7_configs() -> Vec<(&'static str, ClusterNetwork, bool)> {
+    vec![
+        ("AP3000", cluster(NetId::Ap3000), false),
+        ("SP2-Thin2", cluster(NetId::Sp2Thin2), false),
+        ("SP2-Silver, internode", cluster(NetId::Sp2Silver), false),
+        ("SP2-Silver, intranode", cluster(NetId::Sp2Silver), true),
+        ("Muses, MPICH", cluster(NetId::MusesMpich), false),
+        ("Muses, LAM", cluster(NetId::MusesLam), false),
+        ("Onyx 2", cluster(NetId::Onyx2), true),
+        ("R.Run, eth.-intranode", cluster(NetId::RoadRunnerEth), true),
+        ("R.Run, eth.-internode", cluster(NetId::RoadRunnerEth), false),
+        ("R.Run, myr.-intranode", cluster(NetId::RoadRunnerMyr), true),
+        ("R.Run, myr.-internode", cluster(NetId::RoadRunnerMyr), false),
+        ("T3E", cluster(NetId::T3e), false),
+    ]
+}
+
+/// The Alltoall configurations of Figure 8 (both panels), legend order.
+pub fn fig8_configs() -> Vec<(&'static str, ClusterNetwork)> {
+    vec![
+        ("AP3000", cluster(NetId::Ap3000)),
+        ("T3E", cluster(NetId::T3e)),
+        ("RoadRunner eth.", cluster(NetId::RoadRunnerEth)),
+        ("RoadRunner myr.", cluster(NetId::RoadRunnerMyr)),
+        ("SP2-Silver internode", cluster(NetId::Sp2Silver)),
+        ("SP2-Silver intranode", cluster(NetId::Sp2Silver)),
+        ("SP2-thin2", cluster(NetId::Sp2Thin2)),
+        ("NCSA", cluster(NetId::Ncsa)),
+        ("Muses", cluster(NetId::MusesLam)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [NetId; 11] = [
+        NetId::Ap3000,
+        NetId::Sp2Thin2,
+        NetId::Sp2Silver,
+        NetId::MusesMpich,
+        NetId::MusesLam,
+        NetId::Onyx2,
+        NetId::RoadRunnerEth,
+        NetId::RoadRunnerMyr,
+        NetId::T3e,
+        NetId::Ncsa,
+        NetId::Hitachi,
+    ];
+
+    #[test]
+    fn all_configs_build_sane() {
+        for id in ALL {
+            let c = cluster(id);
+            assert!(c.inter.latency_us > 0.0, "{}", c.name);
+            assert!(c.inter.bandwidth_mbs > 0.0);
+            assert!(c.cpus_per_node >= 1);
+        }
+    }
+
+    /// §3.3: "Ethernet-based networks have low bandwidth and high latency,
+    /// compared to the supercomputers available, while the bandwidth peak
+    /// is nearly half of most machines."
+    #[test]
+    fn ethernet_is_worst_class() {
+        let eth = cluster(NetId::RoadRunnerEth);
+        for id in [NetId::Sp2Silver, NetId::T3e, NetId::Ap3000, NetId::Sp2Thin2] {
+            let sc = cluster(id);
+            assert!(eth.inter.latency_us > sc.inter.latency_us, "{}", sc.name);
+            assert!(eth.inter.bandwidth_mbs < sc.inter.bandwidth_mbs, "{}", sc.name);
+        }
+    }
+
+    /// §3.2: Muses latency "low enough to be competitive with some of the
+    /// supercomputers" — lower than RoadRunner's ethernet, higher than
+    /// Myrinet.
+    #[test]
+    fn muses_latency_ordering() {
+        let lam = cluster(NetId::MusesLam).inter.latency_us;
+        assert!(lam < cluster(NetId::RoadRunnerEth).inter.latency_us);
+        assert!(lam > cluster(NetId::RoadRunnerMyr).inter.latency_us);
+    }
+
+    /// §3.2: Myrinet latency "comparable to the SP2-Silver nodes and
+    /// better than the AP3000 and SP2-Thin"; bandwidth "lower than most
+    /// systems, apart from the SP2-Thin2".
+    #[test]
+    fn myrinet_position() {
+        let myr = cluster(NetId::RoadRunnerMyr).inter;
+        assert!(myr.latency_us < cluster(NetId::Ap3000).inter.latency_us);
+        assert!(myr.latency_us < cluster(NetId::Sp2Thin2).inter.latency_us);
+        assert!((myr.latency_us - cluster(NetId::Sp2Silver).inter.latency_us).abs() < 10.0);
+        assert!(myr.bandwidth_mbs < cluster(NetId::Sp2Silver).inter.bandwidth_mbs);
+        assert!(myr.bandwidth_mbs > cluster(NetId::Sp2Thin2).inter.bandwidth_mbs);
+    }
+
+    /// Muses bandwidth "currently limited by the Fast Ethernet peak".
+    #[test]
+    fn muses_bandwidth_below_fast_ethernet_peak() {
+        for id in [NetId::MusesMpich, NetId::MusesLam] {
+            let bw = cluster(id).inter.bandwidth_mbs;
+            assert!(bw < 12.5 && bw > 8.0, "{bw}");
+        }
+    }
+
+    #[test]
+    fn fig7_has_twelve_series() {
+        assert_eq!(fig7_configs().len(), 12);
+    }
+
+    #[test]
+    fn fig8_has_nine_series() {
+        assert_eq!(fig8_configs().len(), 9);
+    }
+
+    #[test]
+    fn t3e_fastest_supercomputer_link() {
+        let t3e = cluster(NetId::T3e).inter.bandwidth_mbs;
+        for id in [NetId::Sp2Silver, NetId::Ap3000, NetId::Sp2Thin2, NetId::RoadRunnerMyr] {
+            assert!(t3e > cluster(id).inter.bandwidth_mbs);
+        }
+    }
+}

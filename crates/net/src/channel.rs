@@ -1,0 +1,203 @@
+//! Point-to-point channel model and whole-cluster network description.
+
+/// A single point-to-point channel (one direction).
+///
+/// Time for an m-byte message: `t(m) = overhead + latency + m/bandwidth`,
+/// plus a rendezvous round-trip (`2·latency`) when `m > eager_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Channel {
+    /// Wire + software latency, one way, microseconds.
+    pub latency_us: f64,
+    /// Asymptotic bandwidth, MB/s (10^6 bytes per second).
+    pub bandwidth_mbs: f64,
+    /// Per-message CPU overhead on the sending side, microseconds
+    /// (protocol stack; the part that does not overlap the wire).
+    pub overhead_us: f64,
+    /// Eager-protocol limit in bytes; larger messages pay a rendezvous
+    /// handshake of one extra round trip.
+    pub eager_bytes: usize,
+}
+
+impl Channel {
+    /// One-way delivery time in **seconds** for an `m`-byte message.
+    pub fn time(&self, bytes: usize) -> f64 {
+        let base = self.overhead_us + self.latency_us + bytes as f64 / self.bandwidth_mbs;
+        let rendezvous = if bytes > self.eager_bytes { 2.0 * self.latency_us } else { 0.0 };
+        (base + rendezvous) * 1e-6
+    }
+
+    /// Effective one-way bandwidth in MB/s as NetPIPE reports it
+    /// (message size over one-way time).
+    pub fn effective_bandwidth_mbs(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.time(bytes) / 1e6
+    }
+
+    /// Small-message one-way latency in microseconds (the Figure 7 left
+    /// panel quantity) for a given payload.
+    pub fn latency_for(&self, bytes: usize) -> f64 {
+        self.time(bytes) * 1e6
+    }
+}
+
+/// A cluster's communication fabric: intra-node and inter-node channels
+/// plus the aggregate constraints collectives see.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterNetwork {
+    /// Display name matching the paper's legends.
+    pub name: &'static str,
+    /// Channel between two ranks on the same node (shared memory or
+    /// loopback). For single-CPU-per-node systems equals `inter`.
+    pub intra: Channel,
+    /// Channel between ranks on different nodes.
+    pub inter: Channel,
+    /// Number of CPUs per node (ranks land on nodes round-robin).
+    pub cpus_per_node: usize,
+    /// Aggregate bisection bandwidth in MB/s that simultaneous transfers
+    /// share. `f64::INFINITY` for full-crossbar fabrics.
+    pub bisection_mbs: f64,
+    /// True for a shared medium (non-switched Ethernet segment): all
+    /// concurrent transfers serialize onto one collision domain.
+    pub shared_medium: bool,
+}
+
+impl ClusterNetwork {
+    /// The channel connecting two ranks, given default round-robin
+    /// placement of one rank per CPU.
+    pub fn channel_between(&self, rank_a: usize, rank_b: usize) -> &Channel {
+        if self.node_of(rank_a) == self.node_of(rank_b) {
+            &self.intra
+        } else {
+            &self.inter
+        }
+    }
+
+    /// Node index hosting `rank` (block placement: ranks fill a node
+    /// before spilling to the next, matching how MPI ranks were laid out
+    /// on the paper's dual-CPU RoadRunner nodes).
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.cpus_per_node.max(1)
+    }
+
+    /// Time for one communication *round* in which `pairs` disjoint
+    /// rank-pairs each exchange `bytes` bytes concurrently.
+    ///
+    /// Per-pair time comes from the pair's channel; concurrent inter-node
+    /// traffic is capped by the bisection bandwidth, and a shared medium
+    /// serializes everything.
+    pub fn round_time(&self, pairs: &[(usize, usize)], bytes: usize) -> f64 {
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        let mut max_pair = 0.0f64;
+        let mut inter_bytes = 0usize;
+        for &(a, b) in pairs {
+            let ch = self.channel_between(a, b);
+            max_pair = max_pair.max(ch.time(bytes));
+            if self.node_of(a) != self.node_of(b) {
+                inter_bytes += bytes;
+            }
+        }
+        if self.shared_medium {
+            // Every inter-node byte crosses the same collision domain, and
+            // half-duplex framing wastes slots under bidirectional load.
+            let serial = inter_bytes as f64 / (self.inter.bandwidth_mbs * 1e6);
+            let setup = self.inter.latency_us * 1e-6;
+            max_pair.max(serial + setup)
+        } else if self.bisection_mbs.is_finite() && inter_bytes > 0 {
+            let aggregate = inter_bytes as f64 / (self.bisection_mbs * 1e6);
+            max_pair.max(aggregate)
+        } else {
+            max_pair
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(lat: f64, bw: f64) -> Channel {
+        Channel { latency_us: lat, bandwidth_mbs: bw, overhead_us: 5.0, eager_bytes: 8192 }
+    }
+
+    fn net(shared: bool, bisection: f64) -> ClusterNetwork {
+        ClusterNetwork {
+            name: "test",
+            intra: ch(10.0, 100.0),
+            inter: ch(50.0, 10.0),
+            cpus_per_node: 2,
+            bisection_mbs: bisection,
+            shared_medium: shared,
+        }
+    }
+
+    #[test]
+    fn channel_time_components() {
+        let c = ch(50.0, 10.0);
+        // 1000 bytes: 5 + 50 + 100 us = 155 us (eager).
+        assert!((c.time(1000) - 155e-6).abs() < 1e-12);
+        // 100_000 bytes: rendezvous adds 100 us.
+        let t = c.time(100_000);
+        assert!((t - (5.0 + 50.0 + 10_000.0 + 100.0) * 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_asymptote() {
+        let c = ch(50.0, 10.0);
+        let small = c.effective_bandwidth_mbs(100);
+        let big = c.effective_bandwidth_mbs(100_000_000);
+        assert!(small < 2.0);
+        assert!(big > 9.5 && big <= 10.0, "{big}");
+    }
+
+    #[test]
+    fn zero_bytes_bandwidth_is_zero() {
+        assert_eq!(ch(1.0, 1.0).effective_bandwidth_mbs(0), 0.0);
+    }
+
+    #[test]
+    fn node_placement_block() {
+        let n = net(false, f64::INFINITY);
+        assert_eq!(n.node_of(0), 0);
+        assert_eq!(n.node_of(1), 0);
+        assert_eq!(n.node_of(2), 1);
+        assert!(std::ptr::eq(n.channel_between(0, 1), &n.intra));
+        assert!(std::ptr::eq(n.channel_between(1, 2), &n.inter));
+    }
+
+    #[test]
+    fn shared_medium_serializes_rounds() {
+        let shared = net(true, f64::INFINITY);
+        let switched = net(false, f64::INFINITY);
+        // Four inter-node pairs, 100 KB each.
+        let pairs = [(0usize, 2usize), (4, 6), (8, 10), (12, 14)];
+        let t_shared = shared.round_time(&pairs, 100_000);
+        let t_switched = switched.round_time(&pairs, 100_000);
+        assert!(t_shared > 3.0 * t_switched, "{t_shared} vs {t_switched}");
+    }
+
+    #[test]
+    fn bisection_caps_aggregate() {
+        let capped = net(false, 15.0); // 1.5x one link
+        let pairs = [(0usize, 2usize), (4, 6), (8, 10)];
+        let t = capped.round_time(&pairs, 1_000_000);
+        // 3 MB through 15 MB/s = 0.2 s; single-pair time = ~0.1 s.
+        assert!((t - 0.2).abs() < 0.01, "{t}");
+    }
+
+    #[test]
+    fn intranode_rounds_ignore_bisection() {
+        let capped = net(false, 0.001);
+        let pairs = [(0usize, 1usize)]; // same node
+        let t = capped.round_time(&pairs, 1_000_000);
+        assert!(t < 0.02, "{t}");
+    }
+
+    #[test]
+    fn empty_round_is_free() {
+        assert_eq!(net(false, 1.0).round_time(&[], 100), 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # nkt-net — network models for the paper's communication benchmarks
+//!
+//! Paper §3.2 measures three things we reproduce with analytic channel
+//! models (the 1999 networks — Fast Ethernet + MPICH/LAM, Myrinet/GM, SP
+//! switches, the T3E torus, AP-Net — do not exist here):
+//!
+//! * **NetPIPE ping-pong** (Figure 7): one-way latency and bandwidth as a
+//!   function of message size, for 12 machine/network configurations.
+//! * **Channel timing for the simulated MPI** (`nkt-mpi` charges virtual
+//!   time for every send through these models).
+//! * **Collective contention**: shared-medium (Ethernet) saturation and
+//!   bisection limits that make `MPI_Alltoall` the bottleneck the paper
+//!   identifies ("the bottle-neck is due to MPI_Alltoall").
+//!
+//! The model is a LogGP variant: `t(m) = o + L + m/B`, with an
+//! eager→rendezvous protocol switch adding a round-trip above a threshold,
+//! and a per-cluster bisection cap applied to concurrent traffic.
+
+pub mod catalog;
+pub mod channel;
+pub mod netpipe;
+
+pub use catalog::{cluster, fig7_configs, fig8_configs, NetId};
+pub use channel::{Channel, ClusterNetwork};
+pub use netpipe::{netpipe_for, netpipe_sweep, NetPipePoint};

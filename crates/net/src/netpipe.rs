@@ -1,0 +1,90 @@
+//! NetPIPE-style ping-pong sweep (paper §3.2: "Simple unidirectional
+//! (Ping-Pong) latency and bandwidth testing is performed with NetPIPE
+//! 2.3").
+
+use crate::channel::{Channel, ClusterNetwork};
+
+/// One measurement of the ping-pong sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetPipePoint {
+    /// Message size in bytes.
+    pub bytes: usize,
+    /// One-way latency in microseconds.
+    pub latency_us: f64,
+    /// Effective one-way bandwidth in MB/s.
+    pub bandwidth_mbs: f64,
+}
+
+/// Sweeps a channel over NetPIPE's roughly-exponential message-size
+/// schedule from `min_bytes` to `max_bytes` (perturbed sizes straddling
+/// powers of two, as NetPIPE does).
+pub fn netpipe_sweep(channel: &Channel, min_bytes: usize, max_bytes: usize) -> Vec<NetPipePoint> {
+    let mut points = Vec::new();
+    let mut size = min_bytes.max(1);
+    while size <= max_bytes {
+        for &s in &[size.saturating_sub(size / 8).max(1), size, size + size / 8] {
+            if s >= min_bytes && s <= max_bytes {
+                points.push(NetPipePoint {
+                    bytes: s,
+                    latency_us: channel.latency_for(s),
+                    bandwidth_mbs: channel.effective_bandwidth_mbs(s),
+                });
+            }
+        }
+        size *= 2;
+    }
+    points.dedup_by_key(|p| p.bytes);
+    points
+}
+
+/// Convenience: sweep the measured channel of a Figure-7 configuration
+/// (`intranode = true` picks the intra-node channel).
+pub fn netpipe_for(net: &ClusterNetwork, intranode: bool, max_bytes: usize) -> Vec<NetPipePoint> {
+    let ch = if intranode { &net.intra } else { &net.inter };
+    netpipe_sweep(ch, 1, max_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> Channel {
+        Channel { latency_us: 50.0, bandwidth_mbs: 10.0, overhead_us: 5.0, eager_bytes: 8192 }
+    }
+
+    #[test]
+    fn sweep_covers_range_monotonically() {
+        let pts = netpipe_sweep(&ch(), 1, 1 << 20);
+        assert!(pts.len() > 20);
+        for w in pts.windows(2) {
+            assert!(w[0].bytes <= w[1].bytes);
+        }
+        assert!(pts.first().unwrap().bytes <= 2);
+        assert!(pts.last().unwrap().bytes > 1 << 19);
+    }
+
+    #[test]
+    fn latency_floor_at_small_sizes() {
+        let pts = netpipe_sweep(&ch(), 1, 64);
+        for p in pts {
+            // overhead + latency = 55 us floor, plus ≤ 6.4us of wire time.
+            assert!(p.latency_us >= 55.0 && p.latency_us < 62.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_saturates_at_large_sizes() {
+        let pts = netpipe_sweep(&ch(), 1 << 24, 1 << 26);
+        for p in pts {
+            assert!(p.bandwidth_mbs > 9.9, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_increases_with_size() {
+        let pts = netpipe_sweep(&ch(), 1, 1 << 22);
+        let first = pts.first().unwrap().bandwidth_mbs;
+        let last = pts.last().unwrap().bandwidth_mbs;
+        assert!(last > 100.0 * first);
+    }
+}

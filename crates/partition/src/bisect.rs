@@ -1,0 +1,138 @@
+//! Initial bisection by greedy region growing (METIS's GGGP flavour).
+
+use crate::graph::Graph;
+
+/// Finds a pseudo-peripheral vertex: BFS twice from an arbitrary start,
+/// taking the farthest vertex each time.
+pub fn pseudo_peripheral(g: &Graph) -> usize {
+    if g.nvtx() == 0 {
+        return 0;
+    }
+    let far = |start: usize| -> usize {
+        let mut dist = vec![usize::MAX; g.nvtx()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[start] = 0;
+        queue.push_back(start);
+        let mut last = start;
+        while let Some(v) = queue.pop_front() {
+            last = v;
+            for &u in g.neighbors(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        last
+    };
+    far(far(0))
+}
+
+/// Greedy growing bisection: grow part 0 from a pseudo-peripheral seed,
+/// always absorbing the frontier vertex with the best (cut-gain, weight)
+/// priority, until part 0 holds ~half the total vertex weight.
+///
+/// Returns the part assignment (0/1 per vertex).
+pub fn grow_bisection(g: &Graph) -> Vec<u8> {
+    let n = g.nvtx();
+    let mut part = vec![1u8; n];
+    if n == 0 {
+        return part;
+    }
+    let target = (g.total_vwgt() + 1) / 2;
+    let seed = pseudo_peripheral(g);
+    let mut in0_weight = 0i64;
+    // gain[v] = (weight of v's edges into part 0) - (edges into part 1):
+    // moving high-gain vertices keeps the frontier tight.
+    let mut gain = vec![i64::MIN; n];
+    let mut frontier: Vec<usize> = Vec::new();
+    let absorb = |v: usize,
+                      part: &mut Vec<u8>,
+                      gain: &mut Vec<i64>,
+                      frontier: &mut Vec<usize>,
+                      in0_weight: &mut i64| {
+        part[v] = 0;
+        *in0_weight += g.vwgt[v];
+        for (u, w) in g.edges(v) {
+            if part[u] == 1 {
+                if gain[u] == i64::MIN {
+                    gain[u] = 0;
+                    frontier.push(u);
+                }
+                gain[u] += 2 * w;
+            }
+        }
+    };
+    absorb(seed, &mut part, &mut gain, &mut frontier, &mut in0_weight);
+    while in0_weight < target {
+        // Pick the frontier vertex with max gain (ties: lowest id for
+        // determinism); drop already-absorbed entries lazily.
+        frontier.retain(|&v| part[v] == 1);
+        let Some(&best) = frontier
+            .iter()
+            .max_by_key(|&&v| (gain[v], std::cmp::Reverse(v)))
+        else {
+            // Disconnected remainder: seed a new region at the smallest
+            // unassigned vertex.
+            match (0..n).find(|&v| part[v] == 1) {
+                Some(v) => {
+                    absorb(v, &mut part, &mut gain, &mut frontier, &mut in0_weight);
+                    continue;
+                }
+                None => break,
+            }
+        };
+        absorb(best, &mut part, &mut gain, &mut frontier, &mut in0_weight);
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{edge_cut, imbalance};
+
+    #[test]
+    fn pseudo_peripheral_on_path_is_an_end() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p = pseudo_peripheral(&g);
+        assert!(p == 0 || p == 4);
+    }
+
+    #[test]
+    fn bisection_balanced_on_grid() {
+        let g = Graph::grid2d(8, 8);
+        let part = grow_bisection(&g);
+        let c0 = part.iter().filter(|&&p| p == 0).count();
+        assert!((28..=36).contains(&c0), "unbalanced: {c0}/64");
+        assert!(imbalance(&g, &part, 2) < 1.15);
+    }
+
+    #[test]
+    fn bisection_cut_reasonable_on_grid() {
+        // Optimal cut of an 8x8 grid bisection is 8; greedy growing should
+        // stay within a small factor.
+        let g = Graph::grid2d(8, 8);
+        let part = grow_bisection(&g);
+        let cut = edge_cut(&g, &part);
+        assert!(cut <= 16, "cut {cut} too large");
+    }
+
+    #[test]
+    fn handles_disconnected_graph() {
+        // Two disjoint triangles.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let part = grow_bisection(&g);
+        let c0 = part.iter().filter(|&&p| p == 0).count();
+        assert_eq!(c0, 3);
+        // Perfect bisection along components: zero cut.
+        assert_eq!(edge_cut(&g, &part), 0);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = Graph::from_edges(1, &[]);
+        let part = grow_bisection(&g);
+        assert_eq!(part.len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Graph coarsening by heavy-edge matching (HEM), the first phase of the
+//! multilevel scheme.
+
+use crate::graph::Graph;
+
+/// Result of one coarsening level: the coarse graph and the fine→coarse
+/// vertex map.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The coarsened graph.
+    pub graph: Graph,
+    /// `cmap[v]` = coarse vertex containing fine vertex `v`.
+    pub cmap: Vec<usize>,
+}
+
+/// One level of heavy-edge matching: visit vertices in a
+/// degree-influenced deterministic order and match each unmatched vertex
+/// with its unmatched neighbour of heaviest connecting edge. Matched pairs
+/// (and leftover singletons) become coarse vertices; vertex weights add,
+/// parallel coarse edges merge with summed weights.
+pub fn coarsen_level(g: &Graph) -> CoarseLevel {
+    let n = g.nvtx();
+    let mut match_of: Vec<Option<usize>> = vec![None; n];
+    // Deterministic visit order: ascending degree so low-degree boundary
+    // vertices pick partners before hubs absorb everything.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| (g.degree(v), v));
+    for &v in &order {
+        if match_of[v].is_some() {
+            continue;
+        }
+        let mut best: Option<(usize, i64)> = None;
+        for (u, w) in g.edges(v) {
+            if match_of[u].is_none() && u != v {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((u, w)),
+                }
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                match_of[v] = Some(u);
+                match_of[u] = Some(v);
+            }
+            None => match_of[v] = Some(v), // singleton
+        }
+    }
+    // Number coarse vertices.
+    let mut cmap = vec![usize::MAX; n];
+    let mut nc = 0usize;
+    for v in 0..n {
+        if cmap[v] != usize::MAX {
+            continue;
+        }
+        let m = match_of[v].unwrap_or(v);
+        cmap[v] = nc;
+        cmap[m] = nc;
+        nc += 1;
+    }
+    // Build coarse edges and weights.
+    let mut vwgt = vec![0i64; nc];
+    for v in 0..n {
+        vwgt[cmap[v]] += g.vwgt[v];
+    }
+    let mut edges: Vec<(usize, usize, i64)> = Vec::with_capacity(g.adjncy.len() / 2);
+    for v in 0..n {
+        for (u, w) in g.edges(v) {
+            let (cv, cu) = (cmap[v], cmap[u]);
+            if cv < cu {
+                edges.push((cv, cu, w));
+            }
+        }
+    }
+    let mut graph = Graph::from_weighted_edges(nc, &edges);
+    graph.vwgt = vwgt;
+    CoarseLevel { graph, cmap }
+}
+
+/// Coarsens repeatedly until the graph has at most `target_nvtx` vertices
+/// or coarsening stops making progress. Returns the hierarchy (finest
+/// first); the input graph is level 0's fine graph and is not included.
+pub fn coarsen_to(g: &Graph, target_nvtx: usize) -> Vec<CoarseLevel> {
+    let mut levels = Vec::new();
+    let mut cur = g.clone();
+    while cur.nvtx() > target_nvtx {
+        let lvl = coarsen_level(&cur);
+        // Matching can stall on star graphs; stop if shrinkage is tiny.
+        if lvl.graph.nvtx() as f64 > 0.95 * cur.nvtx() as f64 {
+            break;
+        }
+        cur = lvl.graph.clone();
+        levels.push(lvl);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_halves_path_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let lvl = coarsen_level(&g);
+        assert_eq!(lvl.graph.nvtx(), 3);
+        lvl.graph.validate().unwrap();
+        // Total vertex weight is conserved.
+        assert_eq!(lvl.graph.total_vwgt(), 6);
+    }
+
+    #[test]
+    fn cmap_covers_all_vertices() {
+        let g = Graph::grid2d(5, 5);
+        let lvl = coarsen_level(&g);
+        assert_eq!(lvl.cmap.len(), 25);
+        for &c in &lvl.cmap {
+            assert!(c < lvl.graph.nvtx());
+        }
+    }
+
+    #[test]
+    fn heavy_edges_matched_first() {
+        // Triangle with one heavy edge: 0-1 weight 10, others weight 1.
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 10), (1, 2, 1), (2, 0, 1)]);
+        let lvl = coarsen_level(&g);
+        // 0 and 1 must share a coarse vertex.
+        assert_eq!(lvl.cmap[0], lvl.cmap[1]);
+        assert_ne!(lvl.cmap[0], lvl.cmap[2]);
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let g = Graph::grid2d(16, 16);
+        let levels = coarsen_to(&g, 32);
+        assert!(!levels.is_empty());
+        let final_n = levels.last().unwrap().graph.nvtx();
+        assert!(final_n <= 32 || final_n as f64 > 0.95 * 256.0);
+        // Weight conserved through all levels.
+        assert_eq!(levels.last().unwrap().graph.total_vwgt(), 256);
+    }
+
+    #[test]
+    fn coarse_edge_weights_accumulate() {
+        // Square: coarsening 4 vertices into 2 pairs leaves a double edge
+        // that must merge into weight 2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let lvl = coarsen_level(&g);
+        if lvl.graph.nvtx() == 2 {
+            let total_w: i64 = lvl.graph.adjwgt.iter().sum::<i64>() / 2;
+            assert_eq!(total_w, 2);
+        }
+    }
+
+    #[test]
+    fn singleton_graph_coarsens_to_itself() {
+        let g = Graph::from_edges(1, &[]);
+        let lvl = coarsen_level(&g);
+        assert_eq!(lvl.graph.nvtx(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Undirected weighted graph in CSR (compressed sparse row) form —
+//! METIS's native structure.
+
+/// An undirected graph with vertex and edge weights, stored CSR.
+///
+/// Invariants (checked by [`Graph::validate`]): adjacency is symmetric,
+/// no self loops, `xadj` is monotone with `xadj[0] == 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// Row pointers: neighbours of v are `adjncy[xadj[v]..xadj[v+1]]`.
+    pub xadj: Vec<usize>,
+    /// Concatenated adjacency lists.
+    pub adjncy: Vec<usize>,
+    /// Vertex weights (element work in the ALE decomposition).
+    pub vwgt: Vec<i64>,
+    /// Edge weights, parallel to `adjncy` (shared-face dof counts).
+    pub adjwgt: Vec<i64>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn nvtx(&self) -> usize {
+        self.xadj.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges.
+    pub fn nedges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbour slice of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// (neighbour, edge-weight) pairs of `v`.
+    pub fn edges(&self, v: usize) -> impl Iterator<Item = (usize, i64)> + '_ {
+        let lo = self.xadj[v];
+        let hi = self.xadj[v + 1];
+        self.adjncy[lo..hi].iter().copied().zip(self.adjwgt[lo..hi].iter().copied())
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwgt(&self) -> i64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Builds from an undirected edge list with unit weights.
+    /// Duplicate edges are merged (weights summed); self loops dropped.
+    pub fn from_edges(nvtx: usize, edges: &[(usize, usize)]) -> Graph {
+        Self::from_weighted_edges(nvtx, &edges.iter().map(|&(a, b)| (a, b, 1)).collect::<Vec<_>>())
+    }
+
+    /// Builds from a weighted undirected edge list; unit vertex weights.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn from_weighted_edges(nvtx: usize, edges: &[(usize, usize, i64)]) -> Graph {
+        use std::collections::BTreeMap;
+        let mut adj: Vec<BTreeMap<usize, i64>> = vec![BTreeMap::new(); nvtx];
+        for &(a, b, w) in edges {
+            assert!(a < nvtx && b < nvtx, "edge ({a},{b}) out of range");
+            if a == b {
+                continue;
+            }
+            *adj[a].entry(b).or_insert(0) += w;
+            *adj[b].entry(a).or_insert(0) += w;
+        }
+        let mut xadj = Vec::with_capacity(nvtx + 1);
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        xadj.push(0);
+        for row in &adj {
+            for (&n, &w) in row {
+                adjncy.push(n);
+                adjwgt.push(w);
+            }
+            xadj.push(adjncy.len());
+        }
+        Graph { xadj, adjncy, vwgt: vec![1; nvtx], adjwgt }
+    }
+
+    /// Builds a 2-D structured grid graph (nx × ny, 4-neighbour) — a
+    /// standard partitioner test case with known optimal cuts.
+    pub fn grid2d(nx: usize, ny: usize) -> Graph {
+        let id = |i: usize, j: usize| i + j * nx;
+        let mut edges = Vec::new();
+        for j in 0..ny {
+            for i in 0..nx {
+                if i + 1 < nx {
+                    edges.push((id(i, j), id(i + 1, j)));
+                }
+                if j + 1 < ny {
+                    edges.push((id(i, j), id(i, j + 1)));
+                }
+            }
+        }
+        Graph::from_edges(nx * ny, &edges)
+    }
+
+    /// Checks structural invariants; returns a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.nvtx();
+        if self.xadj.is_empty() || self.xadj[0] != 0 {
+            return Err("xadj must start with 0".into());
+        }
+        if self.vwgt.len() != n {
+            return Err("vwgt length mismatch".into());
+        }
+        if self.adjwgt.len() != self.adjncy.len() {
+            return Err("adjwgt length mismatch".into());
+        }
+        for v in 0..n {
+            if self.xadj[v] > self.xadj[v + 1] {
+                return Err(format!("xadj not monotone at {v}"));
+            }
+            for (u, w) in self.edges(v) {
+                if u >= n {
+                    return Err(format!("neighbour {u} out of range"));
+                }
+                if u == v {
+                    return Err(format!("self loop at {v}"));
+                }
+                // Symmetry: v must appear in u's list with equal weight.
+                let back = self.edges(u).find(|&(x, _)| x == v);
+                match back {
+                    Some((_, wb)) if wb == w => {}
+                    Some(_) => return Err(format!("asymmetric weight on ({v},{u})")),
+                    None => return Err(format!("missing reverse edge ({u},{v})")),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_symmetric_csr() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.nvtx(), 4);
+        assert_eq!(g.nedges(), 4);
+        g.validate().unwrap();
+        assert_eq!(g.neighbors(0), &[1, 3]);
+    }
+
+    #[test]
+    fn duplicate_edges_merge_weights() {
+        let g = Graph::from_weighted_edges(2, &[(0, 1, 2), (1, 0, 3)]);
+        assert_eq!(g.nedges(), 1);
+        assert_eq!(g.edges(0).next(), Some((1, 5)));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1)]);
+        assert_eq!(g.nedges(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn grid_graph_shape() {
+        let g = Graph::grid2d(4, 3);
+        assert_eq!(g.nvtx(), 12);
+        // Edges: 3*3 horizontal + 4*2 vertical = 17.
+        assert_eq!(g.nedges(), 17);
+        g.validate().unwrap();
+        // Corner has degree 2, interior degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        g.adjwgt[0] = 9; // 0->1 weight differs from 1->0
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.nvtx(), 0);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,201 @@
+//! k-way partitioning by multilevel recursive bisection.
+
+use crate::bisect::grow_bisection;
+use crate::coarsen::coarsen_to;
+use crate::graph::Graph;
+use crate::refine::{project, refine_bisection};
+
+/// Options controlling the multilevel scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionOptions {
+    /// Coarsen until at most this many vertices remain before bisecting.
+    pub coarsen_target: usize,
+    /// Allowed imbalance ratio per bisection (1.0 = perfect).
+    pub max_imbalance: f64,
+    /// FM refinement passes per uncoarsening level.
+    pub refine_passes: usize,
+    /// Skip refinement entirely (the `partition_quality` ablation).
+    pub skip_refinement: bool,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            coarsen_target: 64,
+            max_imbalance: 1.05,
+            refine_passes: 8,
+            skip_refinement: false,
+        }
+    }
+}
+
+/// Multilevel bisection of `g`: coarsen → grow bisection → project back
+/// with FM refinement at each level.
+pub fn multilevel_bisection(g: &Graph, opts: &PartitionOptions) -> Vec<u8> {
+    let levels = coarsen_to(g, opts.coarsen_target);
+    let coarsest = levels.last().map(|l| &l.graph).unwrap_or(g);
+    let mut part = grow_bisection(coarsest);
+    if !opts.skip_refinement {
+        refine_bisection(coarsest, &mut part, opts.max_imbalance, opts.refine_passes);
+    }
+    // Walk back up the hierarchy.
+    for lvl in levels.iter().rev() {
+        part = project(&lvl.cmap, &part);
+        // The graph one level finer: either the previous level's graph or
+        // the original. We refine on the graph that `part` now indexes.
+        // (Handled by the caller loop structure below.)
+        let fine: &Graph = {
+            // find the graph this projection landed on
+            // levels: [l0 (fine->c1), l1 (c1->c2), ...]; projecting through
+            // lvl k yields a partition of lvl k's *fine* graph, which is
+            // levels[k-1].graph or the original g for k == 0.
+            let idx = levels.iter().position(|l| std::ptr::eq(l, lvl)).expect("level in list");
+            if idx == 0 {
+                g
+            } else {
+                &levels[idx - 1].graph
+            }
+        };
+        if !opts.skip_refinement {
+            refine_bisection(fine, &mut part, opts.max_imbalance, opts.refine_passes);
+        }
+    }
+    part
+}
+
+/// Partitions `g` into `k` parts by recursive multilevel bisection.
+/// Returns a part id in `0..k` per vertex.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > 255`.
+pub fn partition_kway(g: &Graph, k: usize, opts: &PartitionOptions) -> Vec<u8> {
+    assert!((1..=255).contains(&k), "partition_kway: k must be in 1..=255");
+    let mut part = vec![0u8; g.nvtx()];
+    recurse(g, &(0..g.nvtx()).collect::<Vec<_>>(), k, 0, opts, &mut part);
+    part
+}
+
+fn recurse(
+    g: &Graph,
+    vertices: &[usize],
+    k: usize,
+    base: u8,
+    opts: &PartitionOptions,
+    out: &mut [u8],
+) {
+    if k == 1 || vertices.len() <= 1 {
+        for &v in vertices {
+            out[v] = base;
+        }
+        return;
+    }
+    // Build the induced subgraph on `vertices`.
+    let mut index_of = std::collections::HashMap::with_capacity(vertices.len());
+    for (i, &v) in vertices.iter().enumerate() {
+        index_of.insert(v, i);
+    }
+    let mut edges = Vec::new();
+    for (i, &v) in vertices.iter().enumerate() {
+        for (u, w) in g.edges(v) {
+            if let Some(&j) = index_of.get(&u) {
+                if i < j {
+                    edges.push((i, j, w));
+                }
+            }
+        }
+    }
+    let mut sub = Graph::from_weighted_edges(vertices.len(), &edges);
+    for (i, &v) in vertices.iter().enumerate() {
+        sub.vwgt[i] = g.vwgt[v];
+    }
+    let half = multilevel_bisection(&sub, opts);
+    // For odd k, split k into (k+1)/2 and k/2; weights follow vertex count,
+    // close enough for the equal-weight meshes we partition.
+    let k0 = k.div_ceil(2);
+    let k1 = k / 2;
+    let side0: Vec<usize> =
+        vertices.iter().enumerate().filter(|&(i, _)| half[i] == 0).map(|(_, &v)| v).collect();
+    let side1: Vec<usize> =
+        vertices.iter().enumerate().filter(|&(i, _)| half[i] == 1).map(|(_, &v)| v).collect();
+    recurse(g, &side0, k0, base, opts, out);
+    recurse(g, &side1, k1, base + k0 as u8, opts, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{edge_cut, imbalance, part_weights};
+
+    #[test]
+    fn two_way_grid() {
+        let g = Graph::grid2d(10, 10);
+        let part = partition_kway(&g, 2, &PartitionOptions::default());
+        assert!(imbalance(&g, &part, 2) < 1.15);
+        let cut = edge_cut(&g, &part);
+        assert!(cut <= 16, "cut {cut}"); // optimal is 10
+    }
+
+    #[test]
+    fn four_way_grid_uses_all_parts() {
+        let g = Graph::grid2d(12, 12);
+        let part = partition_kway(&g, 4, &PartitionOptions::default());
+        let w = part_weights(&g, &part, 4);
+        for (p, &wp) in w.iter().enumerate() {
+            assert!(wp > 0, "part {p} empty");
+        }
+        assert!(imbalance(&g, &part, 4) < 1.3, "{:?}", w);
+    }
+
+    #[test]
+    fn odd_k_partitions() {
+        let g = Graph::grid2d(9, 9);
+        let part = partition_kway(&g, 3, &PartitionOptions::default());
+        let w = part_weights(&g, &part, 3);
+        assert_eq!(w.iter().sum::<i64>(), 81);
+        for &wp in &w {
+            assert!(wp > 0);
+        }
+        assert!(*part.iter().max().unwrap() < 3);
+    }
+
+    #[test]
+    fn k_equals_one_is_trivial() {
+        let g = Graph::grid2d(4, 4);
+        let part = partition_kway(&g, 1, &PartitionOptions::default());
+        assert!(part.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn k_equals_nvtx_gives_singletons() {
+        let g = Graph::grid2d(2, 2);
+        let part = partition_kway(&g, 4, &PartitionOptions::default());
+        let mut sorted = part.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn refinement_improves_or_matches_cut() {
+        let g = Graph::grid2d(16, 16);
+        let with = partition_kway(&g, 8, &PartitionOptions::default());
+        let without = partition_kway(
+            &g,
+            8,
+            &PartitionOptions { skip_refinement: true, ..Default::default() },
+        );
+        assert!(
+            edge_cut(&g, &with) <= edge_cut(&g, &without),
+            "refined {} vs unrefined {}",
+            edge_cut(&g, &with),
+            edge_cut(&g, &without)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = Graph::grid2d(10, 8);
+        let a = partition_kway(&g, 4, &PartitionOptions::default());
+        let b = partition_kway(&g, 4, &PartitionOptions::default());
+        assert_eq!(a, b);
+    }
+}

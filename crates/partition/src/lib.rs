@@ -1,0 +1,28 @@
+//! # nkt-partition — multilevel graph partitioning (METIS substitute)
+//!
+//! NekTar-ALE's "intrinsic element based domain decomposition" uses "a
+//! multi-level graph decomposition method (METIS)" (paper §4). This crate
+//! re-implements that algorithm family:
+//!
+//! 1. **Coarsening** — heavy-edge matching collapses the graph level by
+//!    level ([`coarsen`]).
+//! 2. **Initial bisection** — greedy region growing from a
+//!    pseudo-peripheral vertex ([`bisect`]).
+//! 3. **Refinement** — boundary Kernighan-Lin/Fiduccia-Mattheyses passes
+//!    applied while un-coarsening ([`refine`]).
+//! 4. **k-way** — recursive bisection ([`kway::partition_kway`]).
+//!
+//! Quality metrics ([`metrics`]) drive the ablation bench
+//! `partition_quality`: edge-cut determines how much halo data the ALE
+//! gather-scatter exchanges.
+
+pub mod bisect;
+pub mod coarsen;
+pub mod graph;
+pub mod kway;
+pub mod metrics;
+pub mod refine;
+
+pub use graph::Graph;
+pub use kway::{partition_kway, PartitionOptions};
+pub use metrics::{edge_cut, imbalance};

@@ -1,0 +1,89 @@
+//! Partition quality metrics.
+
+use crate::graph::Graph;
+
+/// Total weight of edges whose endpoints lie in different parts.
+pub fn edge_cut(g: &Graph, part: &[u8]) -> i64 {
+    let mut cut = 0;
+    for v in 0..g.nvtx() {
+        for (u, w) in g.edges(v) {
+            if v < u && part[v] != part[u] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// Load imbalance: (heaviest part weight) / (ideal equal share) for a
+/// `k`-way partition. 1.0 is perfect.
+pub fn imbalance(g: &Graph, part: &[u8], k: usize) -> f64 {
+    assert!(k >= 1);
+    let mut w = vec![0i64; k];
+    for v in 0..g.nvtx() {
+        w[part[v] as usize] += g.vwgt[v];
+    }
+    let total: i64 = w.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let ideal = total as f64 / k as f64;
+    w.iter().copied().max().unwrap_or(0) as f64 / ideal
+}
+
+/// Per-part total vertex weights.
+pub fn part_weights(g: &Graph, part: &[u8], k: usize) -> Vec<i64> {
+    let mut w = vec![0i64; k];
+    for v in 0..g.nvtx() {
+        w[part[v] as usize] += g.vwgt[v];
+    }
+    w
+}
+
+/// Number of vertices with at least one neighbour in another part (the
+/// halo size the ALE gather-scatter must exchange).
+pub fn boundary_vertices(g: &Graph, part: &[u8]) -> usize {
+    (0..g.nvtx())
+        .filter(|&v| g.edges(v).any(|(u, _)| part[u] != part[v]))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_counts_weighted_cross_edges() {
+        let g = Graph::from_weighted_edges(4, &[(0, 1, 3), (1, 2, 5), (2, 3, 7)]);
+        let part = vec![0u8, 0, 1, 1];
+        assert_eq!(edge_cut(&g, &part), 5);
+    }
+
+    #[test]
+    fn zero_cut_when_single_part() {
+        let g = Graph::grid2d(3, 3);
+        assert_eq!(edge_cut(&g, &[0u8; 9]), 0);
+    }
+
+    #[test]
+    fn imbalance_perfect_and_skewed() {
+        let g = Graph::grid2d(2, 2);
+        assert!((imbalance(&g, &[0, 0, 1, 1], 2) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&g, &[0, 0, 0, 1], 2) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_count() {
+        let g = Graph::grid2d(4, 1); // path of 4
+        let part = vec![0u8, 0, 1, 1];
+        assert_eq!(boundary_vertices(&g, &part), 2);
+    }
+
+    #[test]
+    fn part_weights_sum_to_total() {
+        let g = Graph::grid2d(5, 3);
+        let part: Vec<u8> = (0..15).map(|v| (v % 3) as u8).collect();
+        let w = part_weights(&g, &part, 3);
+        assert_eq!(w.iter().sum::<i64>(), 15);
+    }
+}

@@ -1,0 +1,128 @@
+//! Boundary Kernighan-Lin / Fiduccia-Mattheyses refinement of a
+//! bisection: greedy single-vertex moves with balance constraint, in
+//! passes that stop when no improving (or balance-restoring) move exists.
+
+use crate::graph::Graph;
+use crate::metrics::edge_cut;
+
+/// Gain of moving `v` to the other side: (external edge weight) −
+/// (internal edge weight). Positive gain reduces the cut.
+fn move_gain(g: &Graph, part: &[u8], v: usize) -> i64 {
+    let mut ext = 0;
+    let mut int = 0;
+    for (u, w) in g.edges(v) {
+        if part[u] == part[v] {
+            int += w;
+        } else {
+            ext += w;
+        }
+    }
+    ext - int
+}
+
+/// One FM-style pass over boundary vertices. Moves are accepted when they
+/// improve the cut without pushing imbalance past `max_imb` (ratio of the
+/// heavier side to the ideal half). Returns the number of moves made.
+pub fn fm_pass(g: &Graph, part: &mut [u8], max_imb: f64) -> usize {
+    let n = g.nvtx();
+    let total = g.total_vwgt();
+    let ideal = total as f64 / 2.0;
+    let mut side_w = [0i64; 2];
+    for v in 0..n {
+        side_w[part[v] as usize] += g.vwgt[v];
+    }
+    let mut moves = 0;
+    // Collect boundary vertices and process in deterministic gain order.
+    let mut boundary: Vec<usize> = (0..n)
+        .filter(|&v| g.edges(v).any(|(u, _)| part[u] != part[v]))
+        .collect();
+    boundary.sort_by_key(|&v| (std::cmp::Reverse(move_gain(g, part, v)), v));
+    for v in boundary {
+        let gain = move_gain(g, part, v);
+        if gain <= 0 {
+            continue;
+        }
+        let from = part[v] as usize;
+        let to = 1 - from;
+        let new_heavier = (side_w[to] + g.vwgt[v]).max(side_w[from] - g.vwgt[v]) as f64;
+        if new_heavier / ideal > max_imb {
+            continue;
+        }
+        part[v] = to as u8;
+        side_w[from] -= g.vwgt[v];
+        side_w[to] += g.vwgt[v];
+        moves += 1;
+    }
+    moves
+}
+
+/// Runs FM passes until a pass makes no move or `max_passes` is reached.
+/// Returns the final edge cut.
+pub fn refine_bisection(g: &Graph, part: &mut [u8], max_imb: f64, max_passes: usize) -> i64 {
+    for _ in 0..max_passes {
+        if fm_pass(g, part, max_imb) == 0 {
+            break;
+        }
+    }
+    edge_cut(g, part)
+}
+
+/// Projects a coarse partition back to the fine graph through a
+/// coarsening map (`cmap[v]` = coarse vertex of fine `v`).
+pub fn project(cmap: &[usize], coarse_part: &[u8]) -> Vec<u8> {
+    cmap.iter().map(|&c| coarse_part[c]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_signs() {
+        // Path 0-1-2 with part = [0,1,1]: moving 1 to part 0 has gain
+        // ext(edge to 0, w=1) - int(edge to 2, w=1) = 0.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let part = vec![0u8, 1, 1];
+        assert_eq!(move_gain(&g, &part, 1), 0);
+        // Vertex 0 is fully external: gain 1.
+        assert_eq!(move_gain(&g, &part, 0), 1);
+    }
+
+    #[test]
+    fn refinement_fixes_bad_bisection() {
+        // 8x8 grid with a deliberately jagged split.
+        let g = Graph::grid2d(8, 8);
+        let mut part: Vec<u8> = (0..64).map(|v| ((v + v / 8) % 2) as u8).collect(); // checkerboard!
+        let before = edge_cut(&g, &part);
+        let after = refine_bisection(&g, &mut part, 1.2, 20);
+        assert!(after < before, "refinement failed: {before} -> {after}");
+    }
+
+    #[test]
+    fn refinement_respects_balance() {
+        let g = Graph::grid2d(6, 6);
+        let mut part: Vec<u8> = (0..36).map(|v| if v < 18 { 0 } else { 1 }).collect();
+        refine_bisection(&g, &mut part, 1.1, 10);
+        let w0 = part.iter().filter(|&&p| p == 0).count() as f64;
+        let w1 = 36.0 - w0;
+        assert!(w0.max(w1) / 18.0 <= 1.1 + 1e-9);
+    }
+
+    #[test]
+    fn optimal_bisection_untouched() {
+        // Straight split of a grid is optimal: no move should fire.
+        let g = Graph::grid2d(4, 4);
+        let mut part: Vec<u8> = (0..16).map(|v| if v % 4 < 2 { 0 } else { 1 }).collect();
+        let before = edge_cut(&g, &part);
+        let moves = fm_pass(&g, &mut part, 1.2);
+        assert_eq!(moves, 0);
+        assert_eq!(edge_cut(&g, &part), before);
+    }
+
+    #[test]
+    fn project_maps_through() {
+        let cmap = vec![0, 0, 1, 1, 2];
+        let coarse = vec![1u8, 0, 1];
+        assert_eq!(project(&cmap, &coarse), vec![1, 1, 0, 0, 1]);
+    }
+}

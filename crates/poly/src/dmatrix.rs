@@ -1,0 +1,128 @@
+//! Collocation differentiation matrices.
+//!
+//! D maps nodal values to nodal derivative values: (Df)_i ≈ f'(z_i),
+//! exactly when f is a polynomial of degree < Q. Built from barycentric
+//! weights, valid for any distinct point set; convenience constructors are
+//! provided for the Gauss-Jacobi and Gauss-Lobatto-Jacobi points the
+//! spectral/hp method uses.
+
+use crate::interp::barycentric_weights;
+use crate::quadrature::{zwgj, zwglj};
+
+/// Differentiation matrix for an arbitrary set of distinct points,
+/// row-major: `d[i][j] = dl_j/dx (z_i)` for Lagrange cardinals l_j.
+pub fn diff_matrix(z: &[f64]) -> Vec<Vec<f64>> {
+    let n = z.len();
+    let w = barycentric_weights(z);
+    let mut d = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        let mut diag = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v = (w[j] / w[i]) / (z[i] - z[j]);
+                d[i][j] = v;
+                diag -= v;
+            }
+        }
+        // Row-sum trick: derivative of the constant function is zero,
+        // which pins the diagonal and cancels rounding in the off-diagonals.
+        d[i][i] = diag;
+    }
+    d
+}
+
+/// Differentiation matrix at the Q Gauss-Jacobi points of weight (α, β).
+pub fn diff_matrix_gj(q: usize, alpha: f64, beta: f64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let rule = zwgj(q, alpha, beta);
+    let d = diff_matrix(&rule.z);
+    (rule.z, d)
+}
+
+/// Differentiation matrix at the Q Gauss-Lobatto-Jacobi points.
+pub fn diff_matrix_glj(q: usize, alpha: f64, beta: f64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let rule = zwglj(q, alpha, beta);
+    let d = diff_matrix(&rule.z);
+    (rule.z, d)
+}
+
+/// Applies a differentiation matrix: `out_i = Σ_j d[i][j] f_j`.
+pub fn apply(d: &[Vec<f64>], f: &[f64], out: &mut [f64]) {
+    for (i, row) in d.iter().enumerate() {
+        out[i] = row.iter().zip(f).map(|(a, b)| a * b).sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_zero() {
+        let (_, d) = diff_matrix_glj(7, 0.0, 0.0);
+        for row in &d {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn differentiates_polynomials_exactly() {
+        let q = 6;
+        let (z, d) = diff_matrix_glj(q, 0.0, 0.0);
+        // degree q-1 = 5 polynomial and its exact derivative.
+        let p = |x: f64| x.powi(5) - 2.0 * x.powi(3) + x;
+        let dp = |x: f64| 5.0 * x.powi(4) - 6.0 * x * x + 1.0;
+        let f: Vec<f64> = z.iter().map(|&x| p(x)).collect();
+        let mut out = vec![0.0; q];
+        apply(&d, &f, &mut out);
+        for i in 0..q {
+            assert!((out[i] - dp(z[i])).abs() < 1e-10, "i={i}");
+        }
+    }
+
+    #[test]
+    fn gauss_points_variant_differentiates() {
+        let q = 5;
+        let (z, d) = diff_matrix_gj(q, 0.0, 0.0);
+        let f: Vec<f64> = z.iter().map(|&x| x * x).collect();
+        let mut out = vec![0.0; q];
+        apply(&d, &f, &mut out);
+        for i in 0..q {
+            assert!((out[i] - 2.0 * z[i]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn spectral_convergence_on_smooth_function() {
+        // Max pointwise derivative error of sin(2x) should fall rapidly.
+        let mut last = f64::MAX;
+        for q in [4, 6, 8, 10, 12] {
+            let (z, d) = diff_matrix_glj(q, 0.0, 0.0);
+            let f: Vec<f64> = z.iter().map(|&x| (2.0 * x).sin()).collect();
+            let mut out = vec![0.0; q];
+            apply(&d, &f, &mut out);
+            let err = z
+                .iter()
+                .zip(&out)
+                .map(|(&x, &dv)| (dv - 2.0 * (2.0 * x).cos()).abs())
+                .fold(0.0f64, f64::max);
+            assert!(err < last, "q={q}: {err} !< {last}");
+            last = err;
+        }
+        assert!(last < 1e-6);
+    }
+
+    #[test]
+    fn second_derivative_via_d_squared() {
+        let q = 10;
+        let (z, d) = diff_matrix_glj(q, 0.0, 0.0);
+        let f: Vec<f64> = z.iter().map(|&x| x.powi(4)).collect();
+        let mut df = vec![0.0; q];
+        let mut d2f = vec![0.0; q];
+        apply(&d, &f, &mut df);
+        apply(&d, &df, &mut d2f);
+        for i in 0..q {
+            assert!((d2f[i] - 12.0 * z[i] * z[i]).abs() < 1e-8);
+        }
+    }
+}

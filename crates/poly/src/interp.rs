@@ -1,0 +1,144 @@
+//! Lagrange interpolation through arbitrary distinct point sets, using the
+//! barycentric formula (numerically stable for the Gauss-family points the
+//! spectral method uses).
+
+/// Computes barycentric weights a_i = 1 / ∏_{k≠i} (z_i − z_k).
+///
+/// # Panics
+/// Panics if two points coincide.
+pub fn barycentric_weights(z: &[f64]) -> Vec<f64> {
+    let n = z.len();
+    let mut w = vec![1.0; n];
+    for i in 0..n {
+        for k in 0..n {
+            if k != i {
+                let d = z[i] - z[k];
+                assert!(d != 0.0, "barycentric_weights: duplicate points at {i},{k}");
+                w[i] *= d;
+            }
+        }
+        w[i] = 1.0 / w[i];
+    }
+    w
+}
+
+/// Evaluates the Lagrange interpolant through (z_i, f_i) at `x` using the
+/// second (true) barycentric form. Exact at the nodes.
+pub fn lagrange_eval(z: &[f64], f: &[f64], x: f64) -> f64 {
+    assert_eq!(z.len(), f.len());
+    let w = barycentric_weights(z);
+    lagrange_eval_with_weights(z, &w, f, x)
+}
+
+/// Barycentric evaluation reusing precomputed weights.
+pub fn lagrange_eval_with_weights(z: &[f64], w: &[f64], f: &[f64], x: f64) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..z.len() {
+        let d = x - z[i];
+        if d == 0.0 {
+            return f[i];
+        }
+        let t = w[i] / d;
+        num += t * f[i];
+        den += t;
+    }
+    num / den
+}
+
+/// Builds the interpolation matrix I mapping values at points `zfrom` to
+/// values at points `zto`: `(I f)(zto_i) = Σ_j I[i][j] f(zfrom_j)`.
+/// Returned row-major as `Vec<Vec<f64>>` (`zto.len()` rows).
+pub fn interp_matrix(zfrom: &[f64], zto: &[f64]) -> Vec<Vec<f64>> {
+    let w = barycentric_weights(zfrom);
+    let n = zfrom.len();
+    zto.iter()
+        .map(|&x| {
+            // Row = Lagrange cardinal functions at x.
+            if let Some(hit) = zfrom.iter().position(|&zj| x == zj) {
+                let mut row = vec![0.0; n];
+                row[hit] = 1.0;
+                return row;
+            }
+            let mut den = 0.0;
+            let mut row = vec![0.0; n];
+            for j in 0..n {
+                let t = w[j] / (x - zfrom[j]);
+                row[j] = t;
+                den += t;
+            }
+            for v in &mut row {
+                *v /= den;
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::{zwgj, zwglj};
+
+    #[test]
+    fn exact_at_nodes() {
+        let z = vec![-1.0, -0.3, 0.2, 0.9];
+        let f: Vec<f64> = z.iter().map(|&x| x * x - 2.0 * x).collect();
+        for (i, &zi) in z.iter().enumerate() {
+            assert_eq!(lagrange_eval(&z, &f, zi), f[i]);
+        }
+    }
+
+    #[test]
+    fn reproduces_polynomials_up_to_degree() {
+        // 5 points reproduce any quartic exactly.
+        let z = zwglj(5, 0.0, 0.0).z;
+        let p = |x: f64| 3.0 * x.powi(4) - x.powi(3) + 0.5 * x - 7.0;
+        let f: Vec<f64> = z.iter().map(|&x| p(x)).collect();
+        for &x in &[-0.77, -0.2, 0.11, 0.63] {
+            assert!((lagrange_eval(&z, &f, x) - p(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interp_matrix_rows_sum_to_one() {
+        // Cardinal functions partition unity (interpolating constant 1).
+        let zf = zwgj(6, 0.0, 0.0).z;
+        let zt = vec![-0.9, -0.5, 0.0, 0.4, 0.95];
+        let m = interp_matrix(&zf, &zt);
+        for row in &m {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interp_matrix_identity_when_same_points() {
+        let z = zwglj(4, 0.0, 0.0).z;
+        let m = interp_matrix(&z, &z);
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_to_lobatto_transfer_is_accurate() {
+        let zg = zwgj(8, 0.0, 0.0).z;
+        let zl = zwglj(8, 0.0, 0.0).z;
+        let m = interp_matrix(&zg, &zl);
+        let f: Vec<f64> = zg.iter().map(|&x| (2.0 * x).sin()).collect();
+        for (i, &x) in zl.iter().enumerate() {
+            let got: f64 = m[i].iter().zip(&f).map(|(a, b)| a * b).sum();
+            assert!((got - (2.0 * x).sin()).abs() < 1e-4, "x={x}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_points_panic() {
+        barycentric_weights(&[0.0, 0.5, 0.5]);
+    }
+}

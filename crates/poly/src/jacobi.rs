@@ -1,0 +1,241 @@
+//! Jacobi polynomial evaluation and root finding.
+//!
+//! P^{α,β}_n(x) satisfies the standard three-term recurrence
+//! (Abramowitz & Stegun 22.7.1). Derivatives use
+//! d/dx P^{α,β}_n = (n+α+β+1)/2 · P^{α+1,β+1}_{n−1}.
+
+/// Evaluates the Jacobi polynomial P^{α,β}_n at `x` by the three-term
+/// recurrence. Exact for the polynomial degree, numerically stable on
+/// [−1, 1] for the α, β ≥ −1/2 range the spectral basis uses.
+pub fn jacobi(n: usize, alpha: f64, beta: f64, x: f64) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let p1 = 0.5 * (alpha - beta + (alpha + beta + 2.0) * x);
+    if n == 1 {
+        return p1;
+    }
+    let mut pnm1 = 1.0;
+    let mut pn = p1;
+    for k in 1..n {
+        let kf = k as f64;
+        let a1 = 2.0 * (kf + 1.0) * (kf + alpha + beta + 1.0) * (2.0 * kf + alpha + beta);
+        let a2 = (2.0 * kf + alpha + beta + 1.0) * (alpha * alpha - beta * beta);
+        let a3 = (2.0 * kf + alpha + beta)
+            * (2.0 * kf + alpha + beta + 1.0)
+            * (2.0 * kf + alpha + beta + 2.0);
+        let a4 = 2.0 * (kf + alpha) * (kf + beta) * (2.0 * kf + alpha + beta + 2.0);
+        let pnp1 = ((a2 + a3 * x) * pn - a4 * pnm1) / a1;
+        pnm1 = pn;
+        pn = pnp1;
+    }
+    pn
+}
+
+/// Evaluates d/dx P^{α,β}_n at `x`.
+pub fn jacobi_derivative(n: usize, alpha: f64, beta: f64, x: f64) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        0.5 * (n as f64 + alpha + beta + 1.0) * jacobi(n - 1, alpha + 1.0, beta + 1.0, x)
+    }
+}
+
+/// Second derivative d²/dx² P^{α,β}_n at `x`.
+pub fn jacobi_second_derivative(n: usize, alpha: f64, beta: f64, x: f64) -> f64 {
+    if n < 2 {
+        0.0
+    } else {
+        0.25 * (n as f64 + alpha + beta + 1.0)
+            * (n as f64 + alpha + beta + 2.0)
+            * jacobi(n - 2, alpha + 2.0, beta + 2.0, x)
+    }
+}
+
+/// Computes the `n` zeros of P^{α,β}_n in ascending order by Newton
+/// iteration with polynomial deflation (the classical Polylib `jacobz`
+/// algorithm). Initial guesses are Chebyshev points nudged by the
+/// previously found root.
+pub fn jacobi_zeros(n: usize, alpha: f64, beta: f64) -> Vec<f64> {
+    const MAX_ITER: usize = 80;
+    const EPS: f64 = 1e-15;
+    let mut roots = Vec::with_capacity(n);
+    for k in 0..n {
+        // Chebyshev-like initial guess, averaged with the previous root to
+        // keep iterates in the correct bracket.
+        let mut r = -f64::cos((2.0 * k as f64 + 1.0) * std::f64::consts::PI / (2.0 * n as f64));
+        if k > 0 {
+            r = 0.5 * (r + roots[k - 1]);
+        }
+        for _ in 0..MAX_ITER {
+            // Deflate previously found roots so Newton converges to a new one.
+            let mut defl = 0.0;
+            for &rj in roots.iter().take(k) {
+                defl += 1.0 / (r - rj);
+            }
+            let p = jacobi(n, alpha, beta, r);
+            let dp = jacobi_derivative(n, alpha, beta, r);
+            let delta = -p / (dp - defl * p);
+            r += delta;
+            if delta.abs() < EPS {
+                break;
+            }
+        }
+        roots.push(r);
+    }
+    roots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    roots
+}
+
+/// Γ(x) for the half-integer and integer arguments quadrature weights need
+/// (Lanczos approximation; |relative error| < 2e-10 over the range used).
+pub fn gamma_fn(x: f64) -> f64 {
+    // Lanczos g=7, n=9 coefficients.
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)]
+    const C: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_low_orders_legendre() {
+        // alpha = beta = 0 gives Legendre: P2 = (3x^2 - 1)/2.
+        for &x in &[-1.0, -0.3, 0.0, 0.7, 1.0] {
+            assert!((jacobi(0, 0.0, 0.0, x) - 1.0).abs() < 1e-15);
+            assert!((jacobi(1, 0.0, 0.0, x) - x).abs() < 1e-15);
+            assert!((jacobi(2, 0.0, 0.0, x) - 0.5 * (3.0 * x * x - 1.0)).abs() < 1e-14);
+            assert!(
+                (jacobi(3, 0.0, 0.0, x) - 0.5 * (5.0 * x * x * x - 3.0 * x)).abs() < 1e-14
+            );
+        }
+    }
+
+    #[test]
+    fn jacobi_chebyshev_relation() {
+        // P^{-1/2,-1/2}_n(x) ∝ T_n(x): check ratio constancy at two points.
+        let n = 5;
+        let t = |x: f64| (n as f64 * x.acos()).cos();
+        let r1 = jacobi(n, -0.5, -0.5, 0.3) / t(0.3);
+        let r2 = jacobi(n, -0.5, -0.5, -0.62) / t(-0.62);
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_value_at_one() {
+        // P^{α,β}_n(1) = C(n+α, n).
+        let binom = |top: f64, n: usize| -> f64 {
+            let mut v = 1.0;
+            for i in 0..n {
+                v *= (top - i as f64) / (n - i) as f64;
+            }
+            v
+        };
+        for n in 0..8 {
+            for &(a, b) in &[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)] {
+                let expect = binom(n as f64 + a, n);
+                assert!(
+                    (jacobi(n, a, b, 1.0) - expect).abs() < 1e-12,
+                    "n={n} a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for n in 1..8 {
+            for &x in &[-0.8, -0.1, 0.4, 0.9] {
+                let fd = (jacobi(n, 1.0, 1.0, x + h) - jacobi(n, 1.0, 1.0, x - h)) / (2.0 * h);
+                let an = jacobi_derivative(n, 1.0, 1.0, x);
+                assert!((fd - an).abs() < 1e-6, "n={n} x={x}: fd={fd} an={an}");
+            }
+        }
+    }
+
+    #[test]
+    fn second_derivative_matches_finite_difference() {
+        let h = 1e-4;
+        for n in 2..7 {
+            let x = 0.3;
+            let fd = (jacobi(n, 0.0, 0.0, x + h) - 2.0 * jacobi(n, 0.0, 0.0, x)
+                + jacobi(n, 0.0, 0.0, x - h))
+                / (h * h);
+            let an = jacobi_second_derivative(n, 0.0, 0.0, x);
+            assert!((fd - an).abs() < 1e-5, "n={n}");
+        }
+    }
+
+    #[test]
+    fn zeros_are_roots_and_sorted() {
+        for n in 1..12 {
+            for &(a, b) in &[(0.0, 0.0), (1.0, 1.0), (0.5, 1.5)] {
+                let z = jacobi_zeros(n, a, b);
+                assert_eq!(z.len(), n);
+                for w in z.windows(2) {
+                    assert!(w[0] < w[1], "not sorted: {z:?}");
+                }
+                for &r in &z {
+                    assert!(r > -1.0 && r < 1.0, "root outside (-1,1): {r}");
+                    assert!(
+                        jacobi(n, a, b, r).abs() < 1e-10,
+                        "P_{n}^{{{a},{b}}}({r}) = {}",
+                        jacobi(n, a, b, r)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legendre_zeros_symmetric() {
+        let z = jacobi_zeros(6, 0.0, 0.0);
+        for i in 0..3 {
+            assert!((z[i] + z[5 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_integer_values() {
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, &f) in facts.iter().enumerate() {
+            assert!(
+                (gamma_fn((n + 1) as f64) - f).abs() / f < 1e-10,
+                "Gamma({}) = {}",
+                n + 1,
+                gamma_fn((n + 1) as f64)
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_half() {
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+        assert!((gamma_fn(1.5) - 0.5 * std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+}

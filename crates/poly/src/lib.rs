@@ -1,0 +1,27 @@
+//! # nkt-poly — Jacobi polynomials and Gaussian quadrature
+//!
+//! The spectral/hp element method of Karniadakis & Sherwin (1999) — the
+//! numerical method underlying every application benchmark in the SC'99
+//! paper — is built on hierarchical (Jacobi) polynomial expansions
+//! integrated with Gauss-Jacobi family quadrature. This crate is the
+//! equivalent of NekTar's `Polylib`:
+//!
+//! * [`jacobi`](mod@jacobi) — evaluation of P^{α,β}_n(x) and derivatives via the
+//!   three-term recurrence; zero-finding by Newton iteration with
+//!   deflation.
+//! * [`quadrature`] — Gauss, Gauss-Radau and Gauss-Lobatto Jacobi points
+//!   and weights (`zwgj`, `zwgrjm`, `zwgrjp`, `zwglj` in Polylib naming).
+//! * [`dmatrix`] — collocation differentiation matrices at those points.
+//! * [`interp`] — Lagrange interpolation matrices between point sets.
+
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::too_many_arguments)]
+pub mod dmatrix;
+pub mod interp;
+pub mod jacobi;
+pub mod quadrature;
+
+pub use dmatrix::{diff_matrix_gj, diff_matrix_glj};
+pub use interp::{interp_matrix, lagrange_eval};
+pub use jacobi::{jacobi, jacobi_derivative, jacobi_zeros};
+pub use quadrature::{zwgj, zwglj, zwgrjm, zwgrjp, QuadRule};

@@ -1,0 +1,283 @@
+//! Gauss-Jacobi family quadrature rules (Polylib `zwgj`, `zwgrjm`,
+//! `zwgrjp`, `zwglj`).
+//!
+//! A rule integrates f against the Jacobi weight (1−x)^α (1+x)^β on
+//! [−1, 1]. Exactness: Gauss 2Q−1, Gauss-Radau 2Q−2, Gauss-Lobatto 2Q−3
+//! for Q points.
+
+use crate::jacobi::{gamma_fn, jacobi, jacobi_derivative, jacobi_zeros};
+
+/// A quadrature rule: points `z` and weights `w` on [−1, 1].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadRule {
+    /// Quadrature points, ascending in (−1, 1) (endpoints included for
+    /// Radau/Lobatto rules).
+    pub z: Vec<f64>,
+    /// Quadrature weights.
+    pub w: Vec<f64>,
+}
+
+impl QuadRule {
+    /// Applies the rule: Σ w_i f(z_i).
+    pub fn integrate(&self, f: impl Fn(f64) -> f64) -> f64 {
+        self.z.iter().zip(&self.w).map(|(&z, &w)| w * f(z)).sum()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.z.len()
+    }
+
+    /// True when the rule has no points.
+    pub fn is_empty(&self) -> bool {
+        self.z.is_empty()
+    }
+}
+
+/// Gauss-Jacobi rule with `q` points: zeros of P^{α,β}_q.
+/// Exact for polynomials of degree ≤ 2q − 1 against the Jacobi weight.
+///
+/// # Panics
+/// Panics if `q == 0`.
+pub fn zwgj(q: usize, alpha: f64, beta: f64) -> QuadRule {
+    assert!(q > 0, "zwgj: need at least one point");
+    let z = jacobi_zeros(q, alpha, beta);
+    let qf = q as f64;
+    let fac = 2.0f64.powf(alpha + beta + 1.0) * gamma_fn(alpha + qf + 1.0)
+        * gamma_fn(beta + qf + 1.0)
+        / (gamma_fn(qf + 1.0) * gamma_fn(alpha + beta + qf + 1.0));
+    let w = z
+        .iter()
+        .map(|&zi| {
+            let dp = jacobi_derivative(q, alpha, beta, zi);
+            fac / ((1.0 - zi * zi) * dp * dp)
+        })
+        .collect();
+    QuadRule { z, w }
+}
+
+/// Gauss-Radau-Jacobi rule with `q` points *including z = −1*
+/// (Polylib `zwgrjm`). Exact for degree ≤ 2q − 2.
+pub fn zwgrjm(q: usize, alpha: f64, beta: f64) -> QuadRule {
+    assert!(q > 0, "zwgrjm: need at least one point");
+    if q == 1 {
+        return QuadRule { z: vec![-1.0], w: vec![2.0] };
+    }
+    let mut z = vec![-1.0];
+    z.extend(jacobi_zeros(q - 1, alpha, beta + 1.0));
+    let qf = q as f64;
+    let fac = 2.0f64.powf(alpha + beta) * gamma_fn(alpha + qf) * gamma_fn(beta + qf)
+        / (gamma_fn(qf) * (beta + qf) * gamma_fn(alpha + beta + qf + 1.0));
+    let mut w: Vec<f64> = z
+        .iter()
+        .map(|&zi| {
+            let p = jacobi(q - 1, alpha, beta, zi);
+            fac * (1.0 - zi) / (p * p)
+        })
+        .collect();
+    w[0] *= beta + 1.0;
+    QuadRule { z, w }
+}
+
+/// Gauss-Radau-Jacobi rule with `q` points *including z = +1*
+/// (Polylib `zwgrjp`). Exact for degree ≤ 2q − 2.
+pub fn zwgrjp(q: usize, alpha: f64, beta: f64) -> QuadRule {
+    assert!(q > 0, "zwgrjp: need at least one point");
+    if q == 1 {
+        return QuadRule { z: vec![1.0], w: vec![2.0] };
+    }
+    let mut z = jacobi_zeros(q - 1, alpha + 1.0, beta);
+    z.push(1.0);
+    let qf = q as f64;
+    let fac = 2.0f64.powf(alpha + beta) * gamma_fn(alpha + qf) * gamma_fn(beta + qf)
+        / (gamma_fn(qf) * (alpha + qf) * gamma_fn(alpha + beta + qf + 1.0));
+    let mut w: Vec<f64> = z
+        .iter()
+        .map(|&zi| {
+            let p = jacobi(q - 1, alpha, beta, zi);
+            fac * (1.0 + zi) / (p * p)
+        })
+        .collect();
+    let last = w.len() - 1;
+    w[last] *= alpha + 1.0;
+    QuadRule { z, w }
+}
+
+/// Gauss-Lobatto-Jacobi rule with `q` points including both endpoints
+/// (Polylib `zwglj`). Exact for degree ≤ 2q − 3. This is the rule the
+/// spectral/hp element method collocates on.
+///
+/// # Panics
+/// Panics if `q < 2` (both endpoints are always included).
+pub fn zwglj(q: usize, alpha: f64, beta: f64) -> QuadRule {
+    assert!(q >= 2, "zwglj: need at least two points");
+    let mut z = vec![-1.0];
+    if q > 2 {
+        z.extend(jacobi_zeros(q - 2, alpha + 1.0, beta + 1.0));
+    }
+    z.push(1.0);
+    let qf = q as f64;
+    let fac = 2.0f64.powf(alpha + beta + 1.0) * gamma_fn(alpha + qf) * gamma_fn(beta + qf)
+        / ((qf - 1.0) * gamma_fn(qf) * gamma_fn(alpha + beta + qf + 1.0));
+    let mut w: Vec<f64> = z
+        .iter()
+        .map(|&zi| {
+            let p = jacobi(q - 1, alpha, beta, zi);
+            fac / (p * p)
+        })
+        .collect();
+    w[0] *= beta + 1.0;
+    let last = w.len() - 1;
+    w[last] *= alpha + 1.0;
+    QuadRule { z, w }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ∫_{-1}^{1} (1-x)^a (1+x)^b dx = 2^{a+b+1} B(a+1, b+1).
+    fn jacobi_weight_mass(a: f64, b: f64) -> f64 {
+        2.0f64.powf(a + b + 1.0) * gamma_fn(a + 1.0) * gamma_fn(b + 1.0)
+            / gamma_fn(a + b + 2.0)
+    }
+
+    #[test]
+    fn gauss_legendre_three_points_known_values() {
+        let r = zwgj(3, 0.0, 0.0);
+        let s = (0.6f64).sqrt();
+        assert!((r.z[0] + s).abs() < 1e-13);
+        assert!(r.z[1].abs() < 1e-13);
+        assert!((r.z[2] - s).abs() < 1e-13);
+        assert!((r.w[0] - 5.0 / 9.0).abs() < 1e-13);
+        assert!((r.w[1] - 8.0 / 9.0).abs() < 1e-13);
+        assert!((r.w[2] - 5.0 / 9.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn gll_five_points_known_values() {
+        // Q=5 Gauss-Lobatto-Legendre: z = {±1, ±sqrt(3/7), 0},
+        // w = {1/10, 49/90, 32/45, 49/90, 1/10}.
+        let r = zwglj(5, 0.0, 0.0);
+        let s = (3.0f64 / 7.0).sqrt();
+        let zs = [-1.0, -s, 0.0, s, 1.0];
+        let ws = [0.1, 49.0 / 90.0, 32.0 / 45.0, 49.0 / 90.0, 0.1];
+        for i in 0..5 {
+            assert!((r.z[i] - zs[i]).abs() < 1e-13, "z[{i}]");
+            assert!((r.w[i] - ws[i]).abs() < 1e-13, "w[{i}]: {} vs {}", r.w[i], ws[i]);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_interval_mass() {
+        for &(a, b) in &[(0.0, 0.0), (1.0, 1.0), (0.5, 0.0), (2.0, 1.0)] {
+            let mass = jacobi_weight_mass(a, b);
+            for q in 2..10 {
+                for rule in [zwgj(q, a, b), zwgrjm(q, a, b), zwgrjp(q, a, b), zwglj(q, a, b)] {
+                    let total: f64 = rule.w.iter().sum();
+                    assert!(
+                        (total - mass).abs() < 1e-10,
+                        "a={a} b={b} q={q}: sum {total} vs {mass}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_exactness_degree_2q_minus_1() {
+        // Integrate x^p exactly for p <= 2q-1 (Legendre weight).
+        for q in 1..8 {
+            let r = zwgj(q, 0.0, 0.0);
+            for p in 0..(2 * q) {
+                let got = r.integrate(|x| x.powi(p as i32));
+                let exact = if p % 2 == 1 { 0.0 } else { 2.0 / (p as f64 + 1.0) };
+                assert!(
+                    (got - exact).abs() < 1e-12,
+                    "q={q} p={p}: {got} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lobatto_exactness_degree_2q_minus_3() {
+        for q in 2..9 {
+            let r = zwglj(q, 0.0, 0.0);
+            for p in 0..(2 * q - 2) {
+                let got = r.integrate(|x| x.powi(p as i32));
+                let exact = if p % 2 == 1 { 0.0 } else { 2.0 / (p as f64 + 1.0) };
+                assert!((got - exact).abs() < 1e-11, "q={q} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn radau_exactness_degree_2q_minus_2() {
+        for q in 2..8 {
+            for rule in [zwgrjm(q, 0.0, 0.0), zwgrjp(q, 0.0, 0.0)] {
+                for p in 0..(2 * q - 1) {
+                    let got = rule.integrate(|x| x.powi(p as i32));
+                    let exact = if p % 2 == 1 { 0.0 } else { 2.0 / (p as f64 + 1.0) };
+                    assert!((got - exact).abs() < 1e-11, "q={q} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn radau_rules_contain_their_endpoint() {
+        let rm = zwgrjm(6, 0.0, 0.0);
+        assert!((rm.z[0] + 1.0).abs() < 1e-15);
+        let rp = zwgrjp(6, 0.0, 0.0);
+        assert!((rp.z[5] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lobatto_endpoints_included() {
+        for q in 2..10 {
+            let r = zwglj(q, 0.0, 0.0);
+            assert!((r.z[0] + 1.0).abs() < 1e-15);
+            assert!((r.z[q - 1] - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn weights_positive() {
+        for q in 2..12 {
+            for rule in [
+                zwgj(q, 0.0, 0.0),
+                zwglj(q, 1.0, 1.0),
+                zwgrjm(q, 0.5, 0.5),
+                zwgrjp(q, 0.0, 1.0),
+            ] {
+                for &w in &rule.w {
+                    assert!(w > 0.0, "q={q}: nonpositive weight {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integrates_smooth_function_spectrally() {
+        // ∫ e^x dx = e - 1/e; error should collapse fast with q.
+        let exact = std::f64::consts::E - 1.0 / std::f64::consts::E;
+        let mut last_err = f64::MAX;
+        for q in 2..10 {
+            let err = (zwgj(q, 0.0, 0.0).integrate(f64::exp) - exact).abs();
+            assert!(err < last_err.max(1e-14), "q={q}: err {err} >= {last_err}");
+            last_err = err;
+        }
+        assert!(last_err < 1e-13);
+    }
+
+    #[test]
+    fn gauss_jacobi_weighted_integral() {
+        // ∫ (1-x)(1+x) x^2 dx with the (1,1) weight absorbed by the rule:
+        // rule with alpha=beta=1 integrates f(x)=x^2 against (1-x)(1+x).
+        // Exact: ∫ x^2 (1-x^2) dx = 2/3 - 2/5 = 4/15.
+        let r = zwgj(4, 1.0, 1.0);
+        let got = r.integrate(|x| x * x);
+        assert!((got - 4.0 / 15.0).abs() < 1e-13, "{got}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for nkt-poly: orthogonality, quadrature
+//! exactness and interpolation identities over random parameters.
+
+use nkt_poly::jacobi::{jacobi, jacobi_derivative};
+use nkt_poly::quadrature::{zwgj, zwglj};
+use nkt_poly::{interp_matrix, lagrange_eval};
+use proptest::prelude::*;
+
+proptest! {
+    /// Gauss-Jacobi rules integrate the Jacobi-weighted orthogonality
+    /// relation: ∫ (1-x)^a (1+x)^b P_m P_n dx = 0 for m != n.
+    #[test]
+    fn jacobi_orthogonality(m in 0usize..6, n in 0usize..6, ab in 0usize..3) {
+        prop_assume!(m != n);
+        let (a, b) = [(0.0, 0.0), (1.0, 1.0), (1.0, 0.0)][ab];
+        let q = zwgj(m.max(n) + 2, a, b);
+        let integral = q.integrate(|x| jacobi(m, a, b, x) * jacobi(n, a, b, x));
+        prop_assert!(integral.abs() < 1e-10, "<P{m},P{n}> = {integral}");
+    }
+
+    /// Quadrature exactness on random polynomials of admissible degree.
+    #[test]
+    fn gauss_integrates_random_polynomials(q in 2usize..8, seed in 0u64..500) {
+        let deg = 2 * q - 1;
+        let coefs: Vec<f64> = (0..=deg)
+            .map(|i| (((i as u64 + seed) * 2654435761 % 1000) as f64 / 500.0) - 1.0)
+            .collect();
+        let poly = |x: f64| coefs.iter().rev().fold(0.0, |acc, &c| acc * x + c);
+        let exact: f64 = coefs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i % 2 == 0 { 2.0 * c / (i as f64 + 1.0) } else { 0.0 })
+            .sum();
+        let got = zwgj(q, 0.0, 0.0).integrate(poly);
+        prop_assert!((got - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+    }
+
+    /// d/dx is exact for polynomials under the recurrence-based derivative.
+    #[test]
+    fn derivative_recurrence_consistent(n in 1usize..9, x in -0.99f64..0.99) {
+        // Compare against a central difference of the recurrence itself.
+        let h = 1e-6;
+        let fd = (jacobi(n, 1.0, 1.0, x + h) - jacobi(n, 1.0, 1.0, x - h)) / (2.0 * h);
+        let an = jacobi_derivative(n, 1.0, 1.0, x);
+        prop_assert!((fd - an).abs() < 1e-5 * (1.0 + an.abs()));
+    }
+
+    /// Interpolation through GLL points reproduces polynomials up to the
+    /// rule's degree at arbitrary evaluation points.
+    #[test]
+    fn interpolation_reproduces_polynomials(q in 3usize..9, x in -1.0f64..1.0, seed in 0u64..200) {
+        let z = zwglj(q, 0.0, 0.0).z;
+        let deg = q - 1;
+        let coefs: Vec<f64> = (0..=deg)
+            .map(|i| (((i as u64 * 37 + seed) % 100) as f64 / 50.0) - 1.0)
+            .collect();
+        let poly = |x: f64| coefs.iter().rev().fold(0.0, |acc, &c| acc * x + c);
+        let f: Vec<f64> = z.iter().map(|&zi| poly(zi)).collect();
+        let got = lagrange_eval(&z, &f, x);
+        prop_assert!((got - poly(x)).abs() < 1e-8 * (1.0 + poly(x).abs()));
+    }
+
+    /// Interpolation matrices compose: from->mid->to equals from->to for
+    /// polynomial data.
+    #[test]
+    fn interp_matrices_compose(seed in 0u64..100) {
+        let zf = zwglj(5, 0.0, 0.0).z;
+        let zm = zwgj(6, 0.0, 0.0).z;
+        let zt = vec![-0.7, 0.1, 0.9];
+        let a = interp_matrix(&zf, &zm);
+        let b = interp_matrix(&zm, &zt);
+        let direct = interp_matrix(&zf, &zt);
+        let poly = |x: f64| {
+            let s = seed as f64 * 0.01;
+            x.powi(4) - s * x.powi(3) + 0.5 * x - s
+        };
+        let f: Vec<f64> = zf.iter().map(|&z| poly(z)).collect();
+        let mid: Vec<f64> = a.iter().map(|row| row.iter().zip(&f).map(|(c, v)| c * v).sum()).collect();
+        for (i, row) in b.iter().enumerate() {
+            let via: f64 = row.iter().zip(&mid).map(|(c, v)| c * v).sum();
+            let dir: f64 = direct[i].iter().zip(&f).map(|(c, v)| c * v).sum();
+            prop_assert!((via - dir).abs() < 1e-9, "row {i}: {via} vs {dir}");
+        }
+    }
+
+    /// Quadrature weights are positive and points strictly inside (or on)
+    /// the interval for random admissible (alpha, beta).
+    #[test]
+    fn rules_well_formed(q in 2usize..10, ai in 0usize..4, bi in 0usize..4) {
+        let alphas = [0.0, 0.5, 1.0, 2.0];
+        let (a, b) = (alphas[ai], alphas[bi]);
+        for rule in [zwgj(q, a, b), zwglj(q, a, b)] {
+            for w in &rule.w {
+                prop_assert!(*w > 0.0);
+            }
+            for z in &rule.z {
+                prop_assert!(*z >= -1.0 && *z <= 1.0);
+            }
+            for pair in rule.z.windows(2) {
+                prop_assert!(pair[0] < pair[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Modified modal basis on the reference triangle via collapsed
+//! coordinates (Karniadakis & Sherwin; paper Figure 9, left).
+//!
+//! Reference triangle: {(ξ₁,ξ₂) : −1 ≤ ξ₁, ξ₂; ξ₁+ξ₂ ≤ 0} with vertices
+//! v0=(−1,−1), v1=(1,−1), v2=(−1,1). Collapsed coordinates:
+//! η₁ = 2(1+ξ₁)/(1−ξ₂) − 1, η₂ = ξ₂.
+//!
+//! With f₀=(1−z)/2, f₁=(1+z)/2, g_k = f₀f₁P^{1,1}_{k−1}:
+//!
+//! * vertices: f₀(η₁)f₀(η₂), f₁(η₁)f₀(η₂), f₁(η₂) — the barycentric
+//!   coordinates;
+//! * edge 0 (v0→v1): g_k(η₁)·f₀(η₂)^{k+1} — trace g_k(ξ₁) on ξ₂ = −1;
+//! * edge 1 (v1→v2): f₁(η₁)·g_k(η₂) — trace g_k(ξ₂);
+//! * edge 2 (v2→v0): f₀(η₁)·g_k(η₂) — trace g_k(ξ₂);
+//! * interior: g_p(η₁)·f₀(η₂)^{p+1}f₁(η₂)P^{2p+1,1}_{q−1}(η₂).
+//!
+//! Quadrature: Gauss-Lobatto in η₁ × Gauss-Radau-Jacobi (α=1) in η₂ —
+//! the Radau rule excludes the collapsed point η₂ = 1 and absorbs the
+//! (1−η₂)/2 collapse Jacobian.
+
+use crate::element::{Expansion, ModeClass};
+use nkt_poly::jacobi::{jacobi, jacobi_derivative};
+use nkt_poly::quadrature::{zwglj, zwgrjm};
+
+fn f0(z: f64) -> f64 {
+    0.5 * (1.0 - z)
+}
+fn f1(z: f64) -> f64 {
+    0.5 * (1.0 + z)
+}
+fn g(k: usize, z: f64) -> f64 {
+    f0(z) * f1(z) * jacobi(k - 1, 1.0, 1.0, z)
+}
+fn dg(k: usize, z: f64) -> f64 {
+    let j = jacobi(k - 1, 1.0, 1.0, z);
+    let dj = jacobi_derivative(k - 1, 1.0, 1.0, z);
+    0.25 * (-2.0 * z * j + (1.0 - z * z) * dj)
+}
+
+/// A mode as a separable product A(η₁)·B(η₂); returns (value, dA·B, A·dB).
+fn eval_sep(
+    a: impl Fn(f64) -> (f64, f64),
+    b: impl Fn(f64) -> (f64, f64),
+    e1: f64,
+    e2: f64,
+) -> (f64, f64, f64) {
+    let (av, ad) = a(e1);
+    let (bv, bd) = b(e2);
+    (av * bv, ad * bv, av * bd)
+}
+
+/// Triangular expansion basis tabulated at collapsed-coordinate
+/// quadrature points.
+#[derive(Debug, Clone)]
+pub struct TriBasis {
+    order: usize,
+    /// ξ-space coordinates of the quadrature points.
+    pub xi: Vec<[f64; 2]>,
+    /// Quadrature weights in the ξ measure.
+    pub wq: Vec<f64>,
+    /// Mode values.
+    pub val: Vec<Vec<f64>>,
+    /// ∂/∂ξ₁ tables.
+    pub dxi1: Vec<Vec<f64>>,
+    /// ∂/∂ξ₂ tables.
+    pub dxi2: Vec<Vec<f64>>,
+    class: Vec<ModeClass>,
+}
+
+impl TriBasis {
+    /// Builds the order-`p` triangle basis (p ≥ 1).
+    pub fn new(p: usize) -> TriBasis {
+        assert!(p >= 1, "TriBasis: order must be >= 1");
+        let q1 = zwglj(p + 2, 0.0, 0.0);
+        let q2 = zwgrjm(p + 2, 1.0, 0.0);
+        let n1 = q1.z.len();
+        let n2 = q2.z.len();
+        let npts = n1 * n2;
+        let mut eta = Vec::with_capacity(npts);
+        let mut xi = Vec::with_capacity(npts);
+        let mut wq = Vec::with_capacity(npts);
+        for j in 0..n2 {
+            for i in 0..n1 {
+                let (e1, e2) = (q1.z[i], q2.z[j]);
+                eta.push([e1, e2]);
+                // xi1 = (1+eta1)(1-eta2)/2 - 1.
+                xi.push([(1.0 + e1) * (1.0 - e2) * 0.5 - 1.0, e2]);
+                // 0.5 converts the (1-z) Radau weight into the collapse
+                // Jacobian (1-eta2)/2.
+                wq.push(0.5 * q1.w[i] * q2.w[j]);
+            }
+        }
+        // Assemble the mode list: vertices, edges, interior.
+        type Mode = Box<dyn Fn(f64, f64) -> (f64, f64, f64)>;
+        let mut fns: Vec<Mode> = Vec::new();
+        let mut class = Vec::new();
+        // Vertices.
+        fns.push(Box::new(|e1, e2| eval_sep(|z| (f0(z), -0.5), |z| (f0(z), -0.5), e1, e2)));
+        class.push(ModeClass::Vertex(0));
+        fns.push(Box::new(|e1, e2| eval_sep(|z| (f1(z), 0.5), |z| (f0(z), -0.5), e1, e2)));
+        class.push(ModeClass::Vertex(1));
+        fns.push(Box::new(|e1, e2| eval_sep(|_| (1.0, 0.0), |z| (f1(z), 0.5), e1, e2)));
+        class.push(ModeClass::Vertex(2));
+        // Edge 0 (bottom): g_k(eta1) * f0(eta2)^{k+1}.
+        for k in 1..p {
+            fns.push(Box::new(move |e1, e2| {
+                eval_sep(
+                    |z| (g(k, z), dg(k, z)),
+                    |z| {
+                        let m = (k + 1) as f64;
+                        (f0(z).powi(k as i32 + 1), -0.5 * m * f0(z).powi(k as i32))
+                    },
+                    e1,
+                    e2,
+                )
+            }));
+            class.push(ModeClass::Edge(0, k));
+        }
+        // Edge 1 (v1->v2): f1(eta1) * g_k(eta2).
+        for k in 1..p {
+            fns.push(Box::new(move |e1, e2| {
+                eval_sep(|z| (f1(z), 0.5), |z| (g(k, z), dg(k, z)), e1, e2)
+            }));
+            class.push(ModeClass::Edge(1, k));
+        }
+        // Edge 2 (v2->v0): f0(eta1) * g_k(eta2).
+        for k in 1..p {
+            fns.push(Box::new(move |e1, e2| {
+                eval_sep(|z| (f0(z), -0.5), |z| (g(k, z), dg(k, z)), e1, e2)
+            }));
+            class.push(ModeClass::Edge(2, k));
+        }
+        // Interior: g_p(eta1) * f0^{pp+1} f1 P^{2pp+1,1}_{qq-1}(eta2).
+        for pp in 1..p.saturating_sub(1) {
+            for qq in 1..(p - pp) {
+                fns.push(Box::new(move |e1, e2| {
+                    eval_sep(
+                        |z| (g(pp, z), dg(pp, z)),
+                        |z| {
+                            let a = 2.0 * pp as f64 + 1.0;
+                            let jp = jacobi(qq - 1, a, 1.0, z);
+                            let djp = jacobi_derivative(qq - 1, a, 1.0, z);
+                            let pf = f0(z).powi(pp as i32 + 1);
+                            let dpf = -0.5 * (pp as f64 + 1.0) * f0(z).powi(pp as i32);
+                            let v = pf * f1(z) * jp;
+                            let dv = dpf * f1(z) * jp + pf * 0.5 * jp + pf * f1(z) * djp;
+                            (v, dv)
+                        },
+                        e1,
+                        e2,
+                    )
+                }));
+                class.push(ModeClass::Interior);
+            }
+        }
+        let nm = fns.len();
+        debug_assert_eq!(nm, (p + 1) * (p + 2) / 2);
+        let mut val = vec![vec![0.0; npts]; nm];
+        let mut dxi1 = vec![vec![0.0; npts]; nm];
+        let mut dxi2 = vec![vec![0.0; npts]; nm];
+        for (m, f) in fns.iter().enumerate() {
+            for (q, &[e1, e2]) in eta.iter().enumerate() {
+                let (v, de1, de2) = f(e1, e2);
+                val[m][q] = v;
+                // Chain rule to xi derivatives.
+                let inv = 2.0 / (1.0 - e2);
+                dxi1[m][q] = de1 * inv;
+                dxi2[m][q] = de1 * (1.0 + e1) / (1.0 - e2) + de2;
+            }
+        }
+        TriBasis { order: p, xi, wq, val, dxi1, dxi2, class }
+    }
+}
+
+impl Expansion for TriBasis {
+    fn order(&self) -> usize {
+        self.order
+    }
+
+    fn nmodes(&self) -> usize {
+        self.val.len()
+    }
+
+    fn nquad(&self) -> usize {
+        self.xi.len()
+    }
+
+    fn xi(&self) -> &[[f64; 2]] {
+        &self.xi
+    }
+
+    fn wq(&self) -> &[f64] {
+        &self.wq
+    }
+
+    fn val(&self) -> &[Vec<f64>] {
+        &self.val
+    }
+
+    fn dxi1(&self) -> &[Vec<f64>] {
+        &self.dxi1
+    }
+
+    fn dxi2(&self) -> &[Vec<f64>] {
+        &self.dxi2
+    }
+
+    fn class(&self) -> &[ModeClass] {
+        &self.class
+    }
+
+    fn nverts(&self) -> usize {
+        3
+    }
+
+    fn nedges(&self) -> usize {
+        3
+    }
+
+    /// Intrinsic starts: edge 0 runs v0→v1 (+ξ₁), edge 1 v1→v2 (+ξ₂ along
+    /// the hypotenuse), edge 2 v0→v2 (+ξ₂), i.e. *reversed* relative to
+    /// the CCW traversal v2→v0.
+    fn edge_intrinsic_start(&self, edge: usize) -> usize {
+        match edge {
+            0 => 0,
+            1 => 1,
+            2 => 0,
+            _ => panic!("triangle has 3 edges"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_count() {
+        for p in 1..7 {
+            let b = TriBasis::new(p);
+            assert_eq!(b.nmodes(), (p + 1) * (p + 2) / 2, "p={p}");
+        }
+    }
+
+    #[test]
+    fn quadrature_integrates_reference_area() {
+        let b = TriBasis::new(4);
+        let area: f64 = b.wq.iter().sum();
+        assert!((area - 2.0).abs() < 1e-12, "{area}");
+    }
+
+    #[test]
+    fn quadrature_exact_on_polynomials() {
+        // Integrate xi1*xi2 over the reference triangle: with vertices
+        // (-1,-1),(1,-1),(-1,1): ∫∫ xi1 xi2 = area * stuff; compute by
+        // monomial formula. Using transformation to unit triangle
+        // u=(1+xi1)/2, v=(1+xi2)/2: xi1 xi2=(2u-1)(2v-1), dA = 4 dudv over
+        // u+v<=1: ∫(2u-1)(2v-1)4 dudv = 4[4∫uv - 2∫u - 2∫v + 1/2]
+        // = 4[4/24 - 2/6 - 2/6 + 1/2] = 4*(1/6 - 1/3 - 1/3 + 1/2) = 0.
+        let b = TriBasis::new(5);
+        let got: f64 = b
+            .wq
+            .iter()
+            .zip(&b.xi)
+            .map(|(&w, &[x1, x2])| w * x1 * x2)
+            .sum();
+        assert!(got.abs() < 1e-12, "{got}");
+        // ∫ xi1^2: unit-triangle calc: ∫(2u-1)^2 4 dudv = 4∫(4u^2-4u+1)
+        // = 4(4/12 - 4/6 + 1/2) = 4*(1/3-2/3+1/2)=4/6=2/3.
+        let got2: f64 = b
+            .wq
+            .iter()
+            .zip(&b.xi)
+            .map(|(&w, &[x1, _])| w * x1 * x1)
+            .sum();
+        assert!((got2 - 2.0 / 3.0).abs() < 1e-12, "{got2}");
+    }
+
+    #[test]
+    fn vertex_modes_are_barycentric() {
+        let b = TriBasis::new(3);
+        for (q, &[x1, x2]) in b.xi.iter().enumerate() {
+            let l0 = -0.5 * (x1 + x2);
+            let l1 = 0.5 * (1.0 + x1);
+            let l2 = 0.5 * (1.0 + x2);
+            assert!((b.val[0][q] - l0).abs() < 1e-12);
+            assert!((b.val[1][q] - l1).abs() < 1e-12);
+            assert!((b.val[2][q] - l2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vertex_modes_partition_unity() {
+        let b = TriBasis::new(4);
+        for q in 0..b.nquad() {
+            let s = b.val[0][q] + b.val[1][q] + b.val[2][q];
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn xi_derivatives_of_barycentric_modes() {
+        // l1 = (1+xi1)/2: d/dxi1 = 0.5, d/dxi2 = 0.
+        let b = TriBasis::new(3);
+        for q in 0..b.nquad() {
+            assert!((b.dxi1[1][q] - 0.5).abs() < 1e-11, "q={q}: {}", b.dxi1[1][q]);
+            assert!(b.dxi2[1][q].abs() < 1e-11);
+            // l0: d/dxi1 = d/dxi2 = -0.5.
+            assert!((b.dxi1[0][q] + 0.5).abs() < 1e-11);
+            assert!((b.dxi2[0][q] + 0.5).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn mass_matrix_spd() {
+        let p = 5;
+        let b = TriBasis::new(p);
+        let nm = b.nmodes();
+        let mut m = vec![0.0; nm * nm];
+        for i in 0..nm {
+            for j in 0..nm {
+                let mut s = 0.0;
+                for q in 0..b.nquad() {
+                    s += b.wq[q] * b.val[i][q] * b.val[j][q];
+                }
+                m[i + j * nm] = s;
+            }
+        }
+        nkt_blas::dpotrf(nm, &mut m, nm).expect("triangle mass matrix must be SPD");
+    }
+
+    #[test]
+    fn edge_trace_is_1d_modified_basis() {
+        // Edge 0 mode k traced along xi2 = -1 equals g_k(xi1). Check via
+        // integration against test functions using a 1-D rule mapped onto
+        // quadrature points with eta2 = -1 (the Radau rule includes -1).
+        let p = 4;
+        let b = TriBasis::new(p);
+        // Find points with xi2 == -1.
+        let pts: Vec<usize> =
+            (0..b.nquad()).filter(|&q| (b.xi[q][1] + 1.0).abs() < 1e-13).collect();
+        assert!(!pts.is_empty());
+        for m in 0..b.nmodes() {
+            if let ModeClass::Edge(0, k) = b.class()[m] {
+                for &q in &pts {
+                    let x1 = b.xi[q][0];
+                    assert!(
+                        (b.val[m][q] - g(k, x1)).abs() < 1e-12,
+                        "edge0 k={k} at xi1={x1}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modes_vanish_on_opposite_edges() {
+        let b = TriBasis::new(5);
+        let bottom: Vec<usize> =
+            (0..b.nquad()).filter(|&q| (b.xi[q][1] + 1.0).abs() < 1e-13).collect();
+        for m in 0..b.nmodes() {
+            match b.class()[m] {
+                ModeClass::Edge(1, _) | ModeClass::Edge(2, _) | ModeClass::Interior => {
+                    for &q in &bottom {
+                        assert!(b.val[m][q].abs() < 1e-12, "mode {m} at bottom");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Bluff-body wake DNS — the paper's serial application benchmark
+//! (Table 1 / Figure 12) at a laptop-friendly scale.
+//!
+//! Solves incompressible flow past a square-section bluff body in the
+//! Figure 11 (left) domain with laminar unit inflow, and prints the
+//! 7-stage timing breakdown of each step.
+//!
+//! ```sh
+//! cargo run --release --example cylinder_wake
+//! ```
+
+use nektar_repro::nektar::serial2d::{Serial2dSolver, SolverConfig};
+use nektar_repro::nektar::timers::Stage;
+
+fn main() {
+    let mesh = nektar_repro::mesh::bluff_body_mesh(1);
+    println!(
+        "bluff-body domain [-15,25]x[-5,5], {} elements (paper: 902; scale with refine)",
+        mesh.nelems()
+    );
+    let cfg = SolverConfig {
+        order: 4,
+        dt: 2e-3,
+        nu: 0.01, // Re = 100 on the unit body
+        scheme_order: 2,
+        advect: true,
+    };
+    let mut solver = Serial2dSolver::new(
+        mesh,
+        cfg,
+        |x| if x[0] < -14.0 { 1.0 } else { 0.0 },
+        |_| 0.0,
+    );
+    solver.set_initial(|_| 1.0, |_| 0.0);
+    println!("dofs per velocity component: {}", solver.ndof());
+
+    let nsteps = 10;
+    for step in 1..=nsteps {
+        solver.step();
+        if step % 5 == 0 {
+            println!(
+                "step {:>3}: E = {:.4}, div = {:.2e}",
+                step,
+                solver.kinetic_energy(),
+                solver.divergence_norm()
+            );
+        }
+    }
+
+    println!("\nper-stage share of CPU time (paper Figure 12):");
+    let pct = solver.clock.percentages();
+    let labels = [
+        "1 modal->quadrature transform",
+        "2 nonlinear terms",
+        "3 stiffly-stable weighting",
+        "4 pressure RHS",
+        "5 pressure solve (banded)",
+        "6 viscous RHS",
+        "7 Helmholtz solves (banded)",
+    ];
+    for (s, label) in Stage::ALL.iter().zip(labels) {
+        println!("  {:<32} {:>5.1}%", label, pct[s.index()]);
+    }
+    let solves = pct[Stage::PressureSolve.index()] + pct[Stage::ViscousSolve.index()];
+    println!(
+        "\nmatrix inversions take {solves:.0}% (paper: \"the matrix inversions \
+         account for 60% of the total CPU time\")"
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: solve a Poisson problem with the spectral/hp element
+//! method and watch p-refinement converge spectrally.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nektar_repro::mesh::rect_quads;
+use nektar_repro::spectral::{HelmholtzProblem, SolveMethod};
+use nkt_mesh::BoundaryTag;
+
+fn main() {
+    let pi = std::f64::consts::PI;
+    let exact = move |x: [f64; 2]| (pi * x[0]).sin() * (pi * x[1]).sin();
+    let forcing = move |x: [f64; 2]| 2.0 * pi * pi * exact(x);
+
+    println!("Poisson on [0,1]^2, 3x3 quadrilateral elements, p-refinement");
+    println!("{:>6} {:>10} {:>14} {:>12}", "order", "dofs", "L2 error", "bandwidth");
+    for order in [2, 3, 4, 5, 6, 7, 8] {
+        let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, 3, 3);
+        let mut prob = HelmholtzProblem::new(
+            mesh,
+            order,
+            0.0,
+            &[
+                BoundaryTag::Wall,
+                BoundaryTag::Inflow,
+                BoundaryTag::Outflow,
+                BoundaryTag::Side,
+            ],
+        );
+        let (u, stats) = prob.solve(forcing, |_| 0.0, SolveMethod::BandedDirect);
+        let err = prob.l2_error(&u, exact);
+        println!(
+            "{:>6} {:>10} {:>14.3e} {:>12}",
+            order,
+            prob.asm.ndof,
+            err,
+            stats.bandwidth
+        );
+    }
+    println!();
+    println!("Each +1 in polynomial order multiplies accuracy — no remeshing");
+    println!("(paper S1.3: \"convergence ... can be obtained without remeshing\").");
+}
