@@ -1,47 +1,42 @@
-//! Native criterion benches of the BLAS kernels the paper sweeps
-//! (Figures 1–6), running our pure-Rust implementations on the host.
+//! Native benches of the BLAS kernels the paper sweeps (Figures 1–6),
+//! running our pure-Rust implementations on the host via the in-repo
+//! `nkt-testkit` harness. Emits `results/BENCH_blas_kernels.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nkt_blas::level2::Trans;
+use nkt_testkit::{Bench, Throughput};
 
-fn bench_level1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("blas1");
+fn bench_level1(b: &mut Bench) {
+    let mut g = b.group("blas1");
     for &n in &[256usize, 4096, 65536, 1 << 20] {
         let x = vec![1.0f64; n];
         let mut y = vec![2.0f64; n];
         g.throughput(Throughput::Bytes((16 * n) as u64));
-        g.bench_with_input(BenchmarkId::new("dcopy", n), &n, |b, _| {
-            b.iter(|| nkt_blas::dcopy(std::hint::black_box(&x), &mut y))
-        });
+        g.bench(&format!("dcopy/{n}"), || nkt_blas::dcopy(std::hint::black_box(&x), &mut y));
         g.throughput(Throughput::Elements((2 * n) as u64));
-        g.bench_with_input(BenchmarkId::new("daxpy", n), &n, |b, _| {
-            b.iter(|| nkt_blas::daxpy(1.0001, std::hint::black_box(&x), &mut y))
-        });
-        g.bench_with_input(BenchmarkId::new("ddot", n), &n, |b, _| {
-            b.iter(|| nkt_blas::ddot(std::hint::black_box(&x), std::hint::black_box(&y)))
+        g.bench(&format!("daxpy/{n}"), || nkt_blas::daxpy(1.0001, std::hint::black_box(&x), &mut y));
+        g.bench(&format!("ddot/{n}"), || {
+            nkt_blas::ddot(std::hint::black_box(&x), std::hint::black_box(&y))
         });
     }
     g.finish();
 }
 
-fn bench_level2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("blas2");
+fn bench_level2(b: &mut Bench) {
+    let mut g = b.group("blas2");
     for &n in &[16usize, 64, 256, 1024] {
         let a = vec![1.0f64; n * n];
         let x = vec![1.0f64; n];
         let mut y = vec![0.0f64; n];
         g.throughput(Throughput::Elements((2 * n * n) as u64));
-        g.bench_with_input(BenchmarkId::new("dgemv", n), &n, |b, _| {
-            b.iter(|| {
-                nkt_blas::dgemv(Trans::No, n, n, 1.0, std::hint::black_box(&a), n, &x, 0.0, &mut y)
-            })
+        g.bench(&format!("dgemv/{n}"), || {
+            nkt_blas::dgemv(Trans::No, n, n, 1.0, std::hint::black_box(&a), n, &x, 0.0, &mut y)
         });
     }
     g.finish();
 }
 
-fn bench_level3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("blas3");
+fn bench_level3(b: &mut Bench) {
+    let mut g = b.group("blas3");
     // The paper's point: NekTar calls dgemm mostly at n <= 10; also bench
     // the blocked kernel at sizes where packing pays.
     for &n in &[4usize, 8, 10, 32, 128, 256] {
@@ -49,50 +44,46 @@ fn bench_level3(c: &mut Criterion) {
         let b_ = vec![1.0f64; n * n];
         let mut cm = vec![0.0f64; n * n];
         g.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        g.bench_with_input(BenchmarkId::new("dgemm", n), &n, |b, _| {
-            b.iter(|| {
-                nkt_blas::dgemm(
-                    Trans::No,
-                    Trans::No,
-                    n,
-                    n,
-                    n,
-                    1.0,
-                    std::hint::black_box(&a),
-                    n,
-                    &b_,
-                    n,
-                    0.0,
-                    &mut cm,
-                    n,
-                )
-            })
+        g.bench(&format!("dgemm/{n}"), || {
+            nkt_blas::dgemm(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                std::hint::black_box(&a),
+                n,
+                &b_,
+                n,
+                0.0,
+                &mut cm,
+                n,
+            )
         });
-        g.bench_with_input(BenchmarkId::new("dgemm_small", n), &n, |b, _| {
-            b.iter(|| {
-                nkt_blas::dgemm_small(
-                    Trans::No,
-                    Trans::No,
-                    n,
-                    n,
-                    n,
-                    1.0,
-                    std::hint::black_box(&a),
-                    n,
-                    &b_,
-                    n,
-                    0.0,
-                    &mut cm,
-                    n,
-                )
-            })
+        g.bench(&format!("dgemm_small/{n}"), || {
+            nkt_blas::dgemm_small(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                std::hint::black_box(&a),
+                n,
+                &b_,
+                n,
+                0.0,
+                &mut cm,
+                n,
+            )
         });
     }
     g.finish();
 }
 
-fn bench_banded(c: &mut Criterion) {
-    let mut g = c.benchmark_group("banded_solve");
+fn bench_banded(b: &mut Bench) {
+    let mut g = b.group("banded_solve");
     for &(n, kd) in &[(1000usize, 20usize), (10_000, 50), (10_000, 200)] {
         let mut m = nkt_blas::BandedSym::zeros(n, kd);
         for j in 0..n {
@@ -102,20 +93,20 @@ fn bench_banded(c: &mut Criterion) {
         }
         nkt_blas::dpbtrf(&mut m).unwrap();
         let rhs = vec![1.0f64; n];
-        g.bench_with_input(
-            BenchmarkId::new("dpbtrs", format!("n{n}_kd{kd}")),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    let mut x = rhs.clone();
-                    nkt_blas::dpbtrs(std::hint::black_box(&m), &mut x).unwrap();
-                    x
-                })
-            },
-        );
+        g.bench(&format!("dpbtrs/n{n}_kd{kd}"), || {
+            let mut x = rhs.clone();
+            nkt_blas::dpbtrs(std::hint::black_box(&m), &mut x).unwrap();
+            x
+        });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_level1, bench_level2, bench_level3, bench_banded);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("blas_kernels");
+    bench_level1(&mut b);
+    bench_level2(&mut b);
+    bench_level3(&mut b);
+    bench_banded(&mut b);
+    b.finish();
+}

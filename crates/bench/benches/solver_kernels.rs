@@ -1,32 +1,29 @@
-//! Native criterion benches of the solver-level kernels: FFT batches,
-//! the spectral Helmholtz solve (direct vs PCG — a DESIGN.md §6
-//! ablation), and a full serial Navier–Stokes step.
+//! Native benches of the solver-level kernels: FFT batches, the spectral
+//! Helmholtz solve (direct vs PCG — a DESIGN.md §6 ablation), and a full
+//! serial Navier–Stokes step. Uses the in-repo `nkt-testkit` harness and
+//! emits `results/BENCH_solver_kernels.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nkt_fft::{Complex64, FftPlan, RealFft};
 use nkt_mesh::{rect_quads, BoundaryTag};
 use nkt_spectral::{HelmholtzProblem, SolveMethod};
+use nkt_testkit::Bench;
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn bench_fft(b: &mut Bench) {
+    let mut g = b.group("fft");
     for &n in &[64usize, 256, 1024] {
         let plan = FftPlan::new(n);
         let data: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
-        g.bench_with_input(BenchmarkId::new("complex", n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = data.clone();
-                plan.forward(&mut d);
-                d
-            })
+        g.bench(&format!("complex/{n}"), || {
+            let mut d = data.clone();
+            plan.forward(&mut d);
+            d
         });
         let rplan = RealFft::new(n);
         let rdata: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
-        g.bench_with_input(BenchmarkId::new("real", n), &n, |b, _| {
-            b.iter(|| {
-                let mut sp = vec![Complex64::ZERO; rplan.spectrum_len()];
-                rplan.forward(std::hint::black_box(&rdata), &mut sp);
-                sp
-            })
+        g.bench(&format!("real/{n}"), || {
+            let mut sp = vec![Complex64::ZERO; rplan.spectrum_len()];
+            rplan.forward(std::hint::black_box(&rdata), &mut sp);
+            sp
         });
     }
     g.finish();
@@ -34,8 +31,8 @@ fn bench_fft(c: &mut Criterion) {
 
 /// The direct-vs-iterative solver choice ablation (paper: direct for the
 /// Fourier code, PCG for ALE).
-fn bench_solver_choice(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solver_choice");
+fn bench_solver_choice(b: &mut Bench) {
+    let mut g = b.group("solver_choice");
     g.sample_size(10);
     let all: &[BoundaryTag] = &[
         BoundaryTag::Wall,
@@ -47,44 +44,49 @@ fn bench_solver_choice(c: &mut Criterion) {
     for &(nel, p) in &[(4usize, 5usize), (6, 7)] {
         let label = format!("{nel}x{nel}_p{p}");
         let f = move |x: [f64; 2]| 2.0 * pi * pi * (pi * x[0]).sin() * (pi * x[1]).sin();
-        g.bench_function(BenchmarkId::new("banded_direct", &label), |b| {
+        {
             let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, nel, nel);
             let mut prob = HelmholtzProblem::new(mesh, p, 0.0, all);
             // Factor once (first call), then measure repeated solves —
             // the per-step cost in the time-stepping loop.
             let _ = prob.solve(f, |_| 0.0, SolveMethod::BandedDirect);
-            b.iter(|| prob.solve(f, |_| 0.0, SolveMethod::BandedDirect).0)
-        });
-        g.bench_function(BenchmarkId::new("pcg", &label), |b| {
+            g.bench(&format!("banded_direct/{label}"), || {
+                prob.solve(f, |_| 0.0, SolveMethod::BandedDirect).0
+            });
+        }
+        {
             let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, nel, nel);
             let mut prob = HelmholtzProblem::new(mesh, p, 0.0, all);
-            b.iter(|| {
+            g.bench(&format!("pcg/{label}"), || {
                 prob.solve(f, |_| 0.0, SolveMethod::Pcg { tol: 1e-10, max_iter: 5000 }).0
-            })
-        });
+            });
+        }
     }
     g.finish();
 }
 
-fn bench_ns_step(c: &mut Criterion) {
+fn bench_ns_step(b: &mut Bench) {
     use nektar::serial2d::{Serial2dSolver, SolverConfig};
-    let mut g = c.benchmark_group("navier_stokes");
+    let mut g = b.group("navier_stokes");
     g.sample_size(10);
     for &(nel, p) in &[(3usize, 4usize), (4, 6)] {
-        g.bench_function(BenchmarkId::new("serial_step", format!("{nel}x{nel}_p{p}")), |b| {
-            let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, nel, nel);
-            let cfg = SolverConfig { order: p, dt: 1e-3, nu: 0.01, scheme_order: 2, advect: true };
-            let mut s = Serial2dSolver::new(mesh, cfg, |_| 0.0, |_| 0.0);
-            let pi = std::f64::consts::PI;
-            s.set_initial(
-                |x| (pi * x[0]).sin() * (pi * x[1]).cos(),
-                |x| -(pi * x[0]).cos() * (pi * x[1]).sin(),
-            );
-            b.iter(|| s.step())
-        });
+        let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, nel, nel);
+        let cfg = SolverConfig { order: p, dt: 1e-3, nu: 0.01, scheme_order: 2, advect: true };
+        let mut s = Serial2dSolver::new(mesh, cfg, |_| 0.0, |_| 0.0);
+        let pi = std::f64::consts::PI;
+        s.set_initial(
+            |x| (pi * x[0]).sin() * (pi * x[1]).cos(),
+            |x| -(pi * x[0]).cos() * (pi * x[1]).sin(),
+        );
+        g.bench(&format!("serial_step/{nel}x{nel}_p{p}"), || s.step());
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_solver_choice, bench_ns_step);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("solver_kernels");
+    bench_fft(&mut b);
+    bench_solver_choice(&mut b);
+    bench_ns_step(&mut b);
+    b.finish();
+}

@@ -16,7 +16,8 @@
 //! | `fig15_16_ale_stages` | Figures 15–16 (ALE stage breakdowns) |
 //! | `ablation_alltoall` / `ablation_gs` / `ablation_partition` | design-choice ablations (DESIGN.md §6) |
 //!
-//! Criterion benches in `benches/` time the *native* kernels on the host.
+//! The `nkt-testkit` benches in `benches/` time the *native* kernels on
+//! the host and write `results/BENCH_<name>.json`.
 //! Experiment binaries print `modeled` numbers (1999-machine replay) and
 //! say so; EXPERIMENTS.md records paper-vs-ours for each.
 

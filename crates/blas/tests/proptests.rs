@@ -3,18 +3,17 @@
 
 use nkt_blas::level2::Trans;
 use nkt_blas::*;
-use proptest::prelude::*;
+use nkt_testkit::{prop_assert, prop_check, vec_in, Strategy};
 
 fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-100.0f64..100.0, n)
+    vec_in(-100.0f64..100.0, n)
 }
 
 fn tol(scale: f64) -> f64 {
     1e-9 * (1.0 + scale.abs())
 }
 
-proptest! {
-    #[test]
+prop_check! {
     fn ddot_commutes(n in 1usize..200, seed in 0u64..1000) {
         let x: Vec<f64> = (0..n).map(|i| ((i as u64 + seed) as f64 * 0.713).sin()).collect();
         let y: Vec<f64> = (0..n).map(|i| ((i as u64 * 3 + seed) as f64 * 0.137).cos()).collect();
@@ -23,7 +22,6 @@ proptest! {
         prop_assert!((a - b).abs() <= tol(a));
     }
 
-    #[test]
     fn daxpy_linearity(x in vec_strategy(64), alpha in -10.0f64..10.0, beta in -10.0f64..10.0) {
         // (alpha + beta) x applied once == alpha x then beta x applied twice.
         let mut y1 = vec![0.0; 64];
@@ -36,7 +34,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn dnrm2_scaling(x in vec_strategy(50), c in -20.0f64..20.0) {
         let n0 = dnrm2(&x);
         let scaled: Vec<f64> = x.iter().map(|v| c * v).collect();
@@ -44,19 +41,16 @@ proptest! {
         prop_assert!((n1 - c.abs() * n0).abs() <= tol(n1) * 10.0);
     }
 
-    #[test]
     fn dnrm2_triangle_inequality(x in vec_strategy(40), y in vec_strategy(40)) {
         let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
         prop_assert!(dnrm2(&sum) <= dnrm2(&x) + dnrm2(&y) + 1e-9);
     }
 
-    #[test]
     fn cauchy_schwarz(x in vec_strategy(40), y in vec_strategy(40)) {
         let d = ddot(&x, &y).abs();
         prop_assert!(d <= dnrm2(&x) * dnrm2(&y) * (1.0 + 1e-12) + 1e-9);
     }
 
-    #[test]
     fn dgemv_matches_manual(m in 1usize..20, n in 1usize..20, seed in 0u64..100) {
         let a: Vec<f64> = (0..m * n).map(|i| ((i as u64 + seed) as f64 * 0.311).sin()).collect();
         let x: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).recip()).collect();
@@ -71,7 +65,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn dgemm_transpose_identity(m in 1usize..12, n in 1usize..12, k in 1usize..12, seed in 0u64..100) {
         // (A B)^T == B^T A^T: compute both and compare.
         let a: Vec<f64> = (0..m * k).map(|i| ((i as u64 * 7 + seed) as f64 * 0.19).sin()).collect();
@@ -88,7 +81,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn lu_solve_recovers_solution(n in 1usize..16, seed in 0u64..100) {
         // Diagonally dominant => nonsingular.
         let mut a = vec![0.0; n * n];
@@ -109,7 +101,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn banded_cholesky_solve_recovers(n in 1usize..40, kd in 0usize..6, seed in 0u64..50) {
         let kd = kd.min(n.saturating_sub(1));
         let mut m = BandedSym::zeros(n, kd);
@@ -133,7 +124,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn idamax_is_argmax(x in vec_strategy(30)) {
         let i = idamax(&x);
         for v in &x {

@@ -2,7 +2,7 @@
 //! signals and sizes.
 
 use nkt_fft::{Complex64, FftPlan, RealFft};
-use proptest::prelude::*;
+use nkt_testkit::{prop_assert, prop_check};
 
 fn csignal(n: usize, seed: u64) -> Vec<Complex64> {
     (0..n)
@@ -13,8 +13,7 @@ fn csignal(n: usize, seed: u64) -> Vec<Complex64> {
         .collect()
 }
 
-proptest! {
-    #[test]
+prop_check! {
     fn roundtrip_any_length(n in 1usize..200, seed in 0u64..1000) {
         let x = csignal(n, seed);
         let plan = FftPlan::new(n);
@@ -27,7 +26,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn parseval_any_length(n in 1usize..150, seed in 0u64..500) {
         let x = csignal(n, seed);
         let mut y = x.clone();
@@ -37,7 +35,6 @@ proptest! {
         prop_assert!((ex - ey).abs() <= 1e-8 * (1.0 + ex));
     }
 
-    #[test]
     fn linearity(n in 2usize..100, seed in 0u64..200, alpha in -5.0f64..5.0) {
         let x = csignal(n, seed);
         let y = csignal(n, seed + 13);
@@ -59,7 +56,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn time_shift_is_phase_ramp(n in 2usize..64, seed in 0u64..200, shift in 1usize..8) {
         // x[(j - s) mod n] transforms to X_k e^{-2pi i k s / n}.
         let shift = shift % n;
@@ -80,7 +76,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn real_fft_matches_complex(nh in 1usize..64, seed in 0u64..200) {
         let n = 2 * nh;
         let x: Vec<f64> = (0..n)
@@ -97,7 +92,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn real_fft_hermitian_symmetry(nh in 1usize..50, seed in 0u64..100) {
         // The full spectrum of a real signal is conjugate-symmetric: check
         // via the complex transform against the stored half.

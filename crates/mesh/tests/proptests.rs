@@ -2,12 +2,11 @@
 //! resolutions.
 
 use nkt_mesh::{bluff_body_mesh, box_hexes, rect_quads, rect_tris, wing_box_mesh};
-use proptest::prelude::*;
+use nkt_testkit::{prop_assert, prop_assert_eq, prop_check};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+prop_check! {
+    #![cases(16)]
 
-    #[test]
     fn rect_quads_invariants(nx in 1usize..12, ny in 1usize..12,
                              w in 0.5f64..10.0, h in 0.5f64..10.0) {
         let m = rect_quads(0.0, w, 0.0, h, nx, ny);
@@ -21,7 +20,6 @@ proptest! {
         prop_assert_eq!(v - e + f, 1);
     }
 
-    #[test]
     fn rect_tris_invariants(nx in 1usize..10, ny in 1usize..10) {
         let m = rect_tris(0.0, 1.0, 0.0, 1.0, nx, ny);
         m.validate().unwrap();
@@ -33,7 +31,6 @@ proptest! {
         prop_assert_eq!(v - e + f, 1);
     }
 
-    #[test]
     fn box_hexes_invariants(nx in 1usize..6, ny in 1usize..6, nz in 1usize..6) {
         let m = box_hexes(0.0, 2.0, 0.0, 1.0, 0.0, 3.0, nx, ny, nz);
         m.validate().unwrap();
@@ -44,7 +41,6 @@ proptest! {
         prop_assert_eq!(boundary, 2 * (nx * ny + ny * nz + nx * nz));
     }
 
-    #[test]
     fn bluff_body_scales(refine in 1usize..4) {
         let m = bluff_body_mesh(refine);
         m.validate().unwrap();
@@ -52,7 +48,6 @@ proptest! {
         prop_assert!((m.total_area() - 399.0).abs() < 1e-6);
     }
 
-    #[test]
     fn wing_mesh_scales(refine in 1usize..3) {
         let m = wing_box_mesh(refine);
         m.validate().unwrap();

@@ -1,10 +1,12 @@
 //! Per-rank communicator: point-to-point messaging with virtual-time
 //! accounting.
 
-use crossbeam::channel::{Receiver, Sender};
 use nkt_net::ClusterNetwork;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Message tag type (like MPI's integer tags).
 pub type Tag = u64;
@@ -34,6 +36,11 @@ pub struct Comm {
     net: Arc<ClusterNetwork>,
     txs: Vec<Sender<Message>>,
     rx: Receiver<Message>,
+    /// Set by any rank that unwinds; receivers poll it so a dead peer
+    /// cannot leave the world blocked (every rank holds a sender clone
+    /// to every rank — itself included — so channel disconnection alone
+    /// can never wake a receiver whose peer died).
+    poison: Arc<AtomicBool>,
     /// Unmatched messages already pulled off the channel.
     pending: VecDeque<Message>,
     /// Virtual wall clock, seconds.
@@ -53,6 +60,7 @@ impl Comm {
         net: Arc<ClusterNetwork>,
         txs: Vec<Sender<Message>>,
         rx: Receiver<Message>,
+        poison: Arc<AtomicBool>,
     ) -> Self {
         Comm {
             rank,
@@ -60,6 +68,7 @@ impl Comm {
             net,
             txs,
             rx,
+            poison,
             pending: VecDeque::new(),
             clock: 0.0,
             busy: 0.0,
@@ -144,7 +153,20 @@ impl Comm {
             return msg;
         }
         loop {
-            let msg = self.rx.recv().expect("recv: world torn down while waiting");
+            let msg = match self.rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => {
+                    assert!(
+                        !self.poison.load(Ordering::SeqCst),
+                        "recv: a peer rank panicked while rank {} was waiting",
+                        self.rank
+                    );
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("recv: world torn down while waiting")
+                }
+            };
             let matches =
                 src.is_none_or(|s| s == msg.src) && tag.is_none_or(|t| t == msg.tag);
             if matches {

@@ -1,15 +1,30 @@
 //! World harness: spawns one thread per rank and runs a closure on each.
 
 use crate::comm::{Comm, Message};
-use crossbeam::channel::unbounded;
 use nkt_net::ClusterNetwork;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
 use std::sync::Arc;
+
+/// Flags the world as poisoned when its rank thread unwinds, so peers
+/// blocked in `recv` abort instead of waiting on a message that will
+/// never arrive (see the poison check in [`Comm::recv`]).
+struct PoisonOnPanic(Arc<AtomicBool>);
+
+impl Drop for PoisonOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+}
 
 /// Runs `f` on `p` rank threads over the given network model and returns
 /// each rank's result in rank order.
 ///
-/// Data exchange is real (crossbeam channels); time is virtual (see
-/// [`Comm`]). The closure gets a mutable [`Comm`] bound to its rank.
+/// Data exchange is real (`std::sync::mpsc` channels — unbounded, so
+/// eager sends never block); time is virtual (see [`Comm`]). The closure
+/// gets a mutable [`Comm`] bound to its rank.
 ///
 /// # Panics
 /// Propagates a panic from any rank thread.
@@ -20,10 +35,11 @@ where
 {
     assert!(p >= 1, "run: need at least one rank");
     let net = Arc::new(net);
+    let poison = Arc::new(AtomicBool::new(false));
     let mut txs = Vec::with_capacity(p);
     let mut rxs = Vec::with_capacity(p);
     for _ in 0..p {
-        let (tx, rx) = unbounded::<Message>();
+        let (tx, rx) = channel::<Message>();
         txs.push(tx);
         rxs.push(rx);
     }
@@ -33,15 +49,17 @@ where
         for (rank, rx) in rxs.into_iter().enumerate() {
             let txs = txs.clone();
             let net = Arc::clone(&net);
+            let poison = Arc::clone(&poison);
             handles.push(scope.spawn(move || {
-                let mut comm = Comm::new(rank, p, net, txs, rx);
+                // If this rank unwinds, poison the world so peers blocked
+                // in recv panic too instead of deadlocking (every rank
+                // holds sender clones to every rank, itself included, so
+                // channel disconnection alone cannot wake them).
+                let _guard = PoisonOnPanic(Arc::clone(&poison));
+                let mut comm = Comm::new(rank, p, net, txs, rx, poison);
                 f(&mut comm)
             }));
         }
-        // Drop the original senders: when a rank thread panics and its
-        // Comm (holding the remaining sender clones) unwinds, peers
-        // blocked in recv see the channel close and unwind too, instead
-        // of deadlocking the whole world.
         drop(txs);
         handles
             .into_iter()

@@ -1,0 +1,205 @@
+//! Behavioural contract of the `std::sync::mpsc` channel backend that
+//! replaced crossbeam: message ordering and tag-matching semantics,
+//! collective correctness at the paper's rank counts (P = 2/4/8), and
+//! the rank-panic-does-not-deadlock guarantee the world harness relies
+//! on (a dead rank poisons the world so blocked receivers abort; channel
+//! disconnection alone cannot wake them, since every rank holds sender
+//! clones to every rank — itself included).
+
+use nkt_mpi::{run, AlltoallAlgo, Comm, ReduceOp};
+use nkt_net::{cluster, ClusterNetwork, NetId};
+use std::sync::mpsc;
+use std::time::Duration;
+
+fn net() -> ClusterNetwork {
+    cluster(NetId::T3e)
+}
+
+/// Runs `f` as a world on a watchdog thread: if the world does not
+/// finish within `secs`, the test fails instead of hanging the whole
+/// suite — this is how the no-deadlock guarantees below are enforced.
+fn run_with_timeout<R, F>(secs: u64, f: F) -> std::thread::Result<R>
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)));
+    });
+    let result = rx
+        .recv_timeout(Duration::from_secs(secs))
+        .expect("world deadlocked: no result within the watchdog timeout");
+    handle.join().expect("watchdog relay thread died");
+    result
+}
+
+/// Messages from one src with one tag arrive in send order (MPI's
+/// non-overtaking guarantee, inherited from mpsc's per-sender FIFO).
+#[test]
+fn same_src_same_tag_is_fifo() {
+    let out = run(2, net(), |c| {
+        if c.rank() == 0 {
+            for i in 0..32 {
+                c.send(1, 5, &[i as f64]);
+            }
+            Vec::new()
+        } else {
+            (0..32).map(|_| c.recv(Some(0), Some(5)).data[0]).collect::<Vec<f64>>()
+        }
+    });
+    let expect: Vec<f64> = (0..32).map(|i| i as f64).collect();
+    assert_eq!(out[1], expect);
+}
+
+/// Tag matching skips non-matching messages without losing them: a
+/// receiver asking for tag B first still gets tag A afterwards, even
+/// though A was sent first and sits buffered ahead of B.
+#[test]
+fn tag_selection_across_buffered_messages() {
+    let out = run(2, net(), |c| {
+        if c.rank() == 0 {
+            c.send(1, 1, &[10.0]);
+            c.send(1, 2, &[20.0]);
+            c.send(1, 1, &[11.0]);
+            Vec::new()
+        } else {
+            let b = c.recv(Some(0), Some(2)).data[0];
+            let a1 = c.recv(Some(0), Some(1)).data[0];
+            let a2 = c.recv(Some(0), Some(1)).data[0];
+            vec![b, a1, a2]
+        }
+    });
+    assert_eq!(out[1], vec![20.0, 10.0, 11.0]);
+}
+
+/// Wildcard source with a fixed tag drains everything carrying that tag.
+#[test]
+fn wildcard_src_fixed_tag() {
+    let p = 4;
+    let out = run(p, net(), move |c| {
+        if c.rank() == 0 {
+            let mut got: Vec<f64> = (1..p).map(|_| c.recv(None, Some(9)).data[0]).collect();
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            got
+        } else {
+            c.send(0, 9, &[c.rank() as f64]);
+            Vec::new()
+        }
+    });
+    assert_eq!(out[0], vec![1.0, 2.0, 3.0]);
+}
+
+fn check_alltoall_at(p: usize) {
+    for algo in [AlltoallAlgo::Pairwise, AlltoallAlgo::Ring, AlltoallAlgo::Bruck] {
+        let block = 3;
+        let out = run(p, net(), move |c| {
+            let r = c.rank();
+            let send: Vec<f64> = (0..p * block).map(|i| (r * 1000 + i) as f64).collect();
+            let mut recv = vec![-1.0; p * block];
+            c.alltoall_with(algo, &send, block, &mut recv);
+            recv
+        });
+        for (dst, recv) in out.iter().enumerate() {
+            for src in 0..p {
+                for s in 0..block {
+                    let expect = (src * 1000 + dst * block + s) as f64;
+                    assert_eq!(
+                        recv[src * block + s], expect,
+                        "algo {algo:?} p={p} dst={dst} src={src} slot={s}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_allreduce_at(p: usize) {
+    for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+        let out = run(p, net(), move |c| {
+            let r = c.rank() as f64;
+            let mut v = vec![r + 1.0, -r, r * r];
+            c.allreduce(&mut v, op);
+            v
+        });
+        let columns: Vec<Vec<f64>> =
+            (0..3).map(|i| (0..p).map(|r| [r as f64 + 1.0, -(r as f64), (r * r) as f64][i]).collect()).collect();
+        for (r, v) in out.iter().enumerate() {
+            for i in 0..3 {
+                let expect = match op {
+                    ReduceOp::Sum => columns[i].iter().sum::<f64>(),
+                    ReduceOp::Min => columns[i].iter().copied().fold(f64::INFINITY, f64::min),
+                    ReduceOp::Max => columns[i].iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                };
+                assert!((v[i] - expect).abs() < 1e-12, "op {op:?} p={p} rank {r} slot {i}: {} vs {expect}", v[i]);
+            }
+        }
+    }
+}
+
+#[test]
+fn alltoall_all_algorithms_p2_p4_p8() {
+    for p in [2, 4, 8] {
+        check_alltoall_at(p);
+    }
+}
+
+#[test]
+fn allreduce_all_ops_p2_p4_p8() {
+    for p in [2, 4, 8] {
+        check_allreduce_at(p);
+    }
+}
+
+/// A rank that panics mid-collective must not leave its peers blocked
+/// forever: its unwind sets the world's poison flag, blocked receivers
+/// poll it and abort, and `run` propagates the panic. The watchdog
+/// turns a regression (deadlock) into a test failure.
+#[test]
+fn rank_panic_does_not_deadlock_p2p() {
+    let result = run_with_timeout(30, || {
+        run(2, net(), |c| {
+            if c.rank() == 0 {
+                panic!("rank 0 dies before sending");
+            }
+            // Rank 1 waits for a message that will never come.
+            c.recv(Some(0), Some(1)).data[0]
+        })
+    });
+    assert!(result.is_err(), "world must propagate the rank panic");
+}
+
+/// Same guarantee inside a collective with more ranks: everyone else is
+/// inside allreduce's message exchange when rank 2 dies.
+#[test]
+fn rank_panic_does_not_deadlock_collective() {
+    let result = run_with_timeout(30, || {
+        run(4, net(), |c: &mut Comm| {
+            if c.rank() == 2 {
+                panic!("rank 2 dies before the collective");
+            }
+            let mut v = vec![c.rank() as f64];
+            c.allreduce(&mut v, ReduceOp::Sum);
+            v[0]
+        })
+    });
+    assert!(result.is_err(), "world must propagate the rank panic");
+}
+
+/// Sanity: the virtual clock is still deterministic under the std
+/// channel backend (same world twice → identical wtime ledgers).
+#[test]
+fn virtual_time_unchanged_by_backend() {
+    let once = || {
+        run(8, net(), |c| {
+            let send = vec![1.0; 8 * 16];
+            let mut recv = vec![0.0; 8 * 16];
+            c.alltoall(&send, 16, &mut recv);
+            let mut v = vec![c.rank() as f64];
+            c.allreduce(&mut v, ReduceOp::Sum);
+            c.barrier();
+            (c.wtime(), c.busy())
+        })
+    };
+    assert_eq!(once(), once());
+}

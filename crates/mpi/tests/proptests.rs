@@ -3,18 +3,17 @@
 
 use nkt_mpi::{run, AlltoallAlgo, ReduceOp};
 use nkt_net::{cluster, NetId};
-use proptest::prelude::*;
+use nkt_testkit::{prop_assert, prop_assert_eq, prop_check};
 
 fn net() -> nkt_net::ClusterNetwork {
     cluster(NetId::T3e)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+prop_check! {
+    #![cases(24)]
 
     /// Alltoall is a permutation: every (src, dst, slot) triple arrives
     /// exactly where MPI says, for every algorithm and any P/block combo.
-    #[test]
     fn alltoall_semantics(p in 1usize..9, block in 1usize..7, algo_i in 0usize..3) {
         let algo = [AlltoallAlgo::Pairwise, AlltoallAlgo::Ring, AlltoallAlgo::Bruck][algo_i];
         let out = run(p, net(), move |c| {
@@ -37,7 +36,6 @@ proptest! {
     }
 
     /// Allreduce agrees with a serial reduction for every operator.
-    #[test]
     fn allreduce_semantics(p in 1usize..10, len in 1usize..6, op_i in 0usize..3, seed in 0u64..100) {
         let op = [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max][op_i];
         let value = move |r: usize, i: usize| {
@@ -62,7 +60,6 @@ proptest! {
     }
 
     /// Broadcast delivers the root's payload everywhere, any root/P.
-    #[test]
     fn bcast_semantics(p in 1usize..10, root in 0usize..10, len in 1usize..5) {
         let root = root % p;
         let out = run(p, net(), move |c| {
@@ -81,7 +78,6 @@ proptest! {
     }
 
     /// Virtual clocks are non-negative, finite, and busy ≤ wall.
-    #[test]
     fn time_ledgers_sane(p in 2usize..8, block in 1usize..64) {
         let out = run(p, net(), move |c| {
             let send = vec![1.0; p * block];

@@ -2,7 +2,7 @@
 //! invariants over random graphs.
 
 use nkt_partition::{edge_cut, imbalance, partition_kway, Graph, PartitionOptions};
-use proptest::prelude::*;
+use nkt_testkit::{prop_assert, prop_assert_eq, prop_check};
 
 /// Random connected graph: a spanning path plus extra random edges.
 fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
@@ -24,8 +24,7 @@ fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
     Graph::from_edges(n, &edges)
 }
 
-proptest! {
-    #[test]
+prop_check! {
     fn every_vertex_gets_a_valid_part(n in 2usize..120, extra in 0usize..80, seed in 0u64..500, k in 2usize..6) {
         let g = random_connected(n, extra, seed);
         let k = k.min(n);
@@ -36,7 +35,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn no_part_is_empty_when_enough_vertices(n in 8usize..100, extra in 0usize..50, seed in 0u64..300) {
         let k = 4usize;
         let g = random_connected(n, extra, seed);
@@ -46,7 +44,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn cut_bounded_by_total_edge_weight(n in 4usize..100, extra in 0usize..60, seed in 0u64..300) {
         let g = random_connected(n, extra, seed);
         let part = partition_kway(&g, 3.min(n), &PartitionOptions::default());
@@ -55,7 +52,6 @@ proptest! {
         prop_assert!(cut >= 0 && cut <= total);
     }
 
-    #[test]
     fn bisection_imbalance_bounded(n in 8usize..150, extra in 0usize..80, seed in 0u64..300) {
         let g = random_connected(n, extra, seed);
         let part = partition_kway(&g, 2, &PartitionOptions::default());
@@ -64,7 +60,6 @@ proptest! {
         prop_assert!(imbalance(&g, &part, 2) <= 1.6, "imbalance {}", imbalance(&g, &part, 2));
     }
 
-    #[test]
     fn deterministic_given_same_input(n in 4usize..60, extra in 0usize..40, seed in 0u64..200) {
         let g = random_connected(n, extra, seed);
         let a = partition_kway(&g, 3.min(n), &PartitionOptions::default());
@@ -72,7 +67,6 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
-    #[test]
     fn refinement_never_hurts_the_cut(n in 8usize..80, extra in 0usize..60, seed in 0u64..200) {
         let g = random_connected(n, extra, seed);
         let with = partition_kway(&g, 2, &PartitionOptions::default());

@@ -4,12 +4,11 @@
 use nkt_poly::jacobi::{jacobi, jacobi_derivative};
 use nkt_poly::quadrature::{zwgj, zwglj};
 use nkt_poly::{interp_matrix, lagrange_eval};
-use proptest::prelude::*;
+use nkt_testkit::{prop_assert, prop_assume, prop_check};
 
-proptest! {
+prop_check! {
     /// Gauss-Jacobi rules integrate the Jacobi-weighted orthogonality
     /// relation: ∫ (1-x)^a (1+x)^b P_m P_n dx = 0 for m != n.
-    #[test]
     fn jacobi_orthogonality(m in 0usize..6, n in 0usize..6, ab in 0usize..3) {
         prop_assume!(m != n);
         let (a, b) = [(0.0, 0.0), (1.0, 1.0), (1.0, 0.0)][ab];
@@ -19,7 +18,6 @@ proptest! {
     }
 
     /// Quadrature exactness on random polynomials of admissible degree.
-    #[test]
     fn gauss_integrates_random_polynomials(q in 2usize..8, seed in 0u64..500) {
         let deg = 2 * q - 1;
         let coefs: Vec<f64> = (0..=deg)
@@ -36,7 +34,6 @@ proptest! {
     }
 
     /// d/dx is exact for polynomials under the recurrence-based derivative.
-    #[test]
     fn derivative_recurrence_consistent(n in 1usize..9, x in -0.99f64..0.99) {
         // Compare against a central difference of the recurrence itself.
         let h = 1e-6;
@@ -47,7 +44,6 @@ proptest! {
 
     /// Interpolation through GLL points reproduces polynomials up to the
     /// rule's degree at arbitrary evaluation points.
-    #[test]
     fn interpolation_reproduces_polynomials(q in 3usize..9, x in -1.0f64..1.0, seed in 0u64..200) {
         let z = zwglj(q, 0.0, 0.0).z;
         let deg = q - 1;
@@ -62,7 +58,6 @@ proptest! {
 
     /// Interpolation matrices compose: from->mid->to equals from->to for
     /// polynomial data.
-    #[test]
     fn interp_matrices_compose(seed in 0u64..100) {
         let zf = zwglj(5, 0.0, 0.0).z;
         let zm = zwgj(6, 0.0, 0.0).z;
@@ -85,7 +80,6 @@ proptest! {
 
     /// Quadrature weights are positive and points strictly inside (or on)
     /// the interval for random admissible (alpha, beta).
-    #[test]
     fn rules_well_formed(q in 2usize..10, ai in 0usize..4, bi in 0usize..4) {
         let alphas = [0.0, 0.5, 1.0, 2.0];
         let (a, b) = (alphas[ai], alphas[bi]);

@@ -5,7 +5,7 @@
 use nkt_mesh::{rect_quads, rect_tris, BoundaryTag};
 use nkt_spectral::element::Expansion;
 use nkt_spectral::{Assembly, HelmholtzProblem, QuadBasis, SolveMethod, TriBasis};
-use proptest::prelude::*;
+use nkt_testkit::{prop_assert, prop_assert_eq, prop_check};
 
 const ALL: &[BoundaryTag] = &[
     BoundaryTag::Wall,
@@ -14,12 +14,11 @@ const ALL: &[BoundaryTag] = &[
     BoundaryTag::Side,
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+prop_check! {
+    #![cases(12)]
 
     /// Laplace problems reproduce any affine solution exactly on any
     /// quadrilateral mesh and order.
-    #[test]
     fn laplace_reproduces_affine(nx in 1usize..4, ny in 1usize..4, p in 2usize..6,
                                  a in -2.0f64..2.0, b in -2.0f64..2.0, c in -2.0f64..2.0) {
         let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, nx, ny);
@@ -30,7 +29,6 @@ proptest! {
     }
 
     /// Same on triangular meshes (collapsed-coordinate basis).
-    #[test]
     fn laplace_affine_on_triangles(n in 1usize..3, p in 2usize..5, b in -2.0f64..2.0) {
         let mesh = rect_tris(0.0, 1.0, 0.0, 1.0, n, n);
         let exact = move |x: [f64; 2]| 1.0 + b * x[0] - 0.5 * x[1];
@@ -41,7 +39,6 @@ proptest! {
 
     /// The assembled Helmholtz matrix is symmetric (read through the
     /// banded storage) for random λ.
-    #[test]
     fn assembled_matrix_symmetric(nx in 1usize..3, p in 2usize..5, lam in 0.0f64..100.0) {
         let mesh = rect_quads(0.0, 2.0, 0.0, 1.0, nx + 1, nx);
         let prob = HelmholtzProblem::new(mesh, p, lam, &[]);
@@ -55,7 +52,6 @@ proptest! {
 
     /// Dof counts follow the Euler-style formula for quads:
     /// verts + edges(p−1) + elems(p−1)².
-    #[test]
     fn quad_dof_count_formula(nx in 1usize..5, ny in 1usize..5, p in 2usize..6) {
         let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, nx, ny);
         let basis = QuadBasis::new(p);
@@ -68,7 +64,6 @@ proptest! {
 
     /// Gather/scatter adjointness: <scatter(x_local), y> == <x_local,
     /// gather(y)> for every element (signs cancel).
-    #[test]
     fn gather_scatter_adjoint(nx in 1usize..4, p in 2usize..5, seed in 0u64..100) {
         let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, nx, nx);
         let basis = QuadBasis::new(p);
@@ -90,7 +85,6 @@ proptest! {
     /// Triangle basis: quadrature of any mode against the constant one
     /// equals its exact integral computed from the vertex modes'
     /// partition of unity (sanity of collapsed-coordinate weights).
-    #[test]
     fn tri_mode_integrals_finite(p in 1usize..6) {
         let b = TriBasis::new(p);
         for m in 0..b.nmodes() {

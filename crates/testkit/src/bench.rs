@@ -1,0 +1,333 @@
+//! Micro-benchmark harness: warmup, calibrated iteration counts,
+//! median/MAD statistics, machine-readable JSON output.
+//!
+//! Replaces `criterion` for this workspace. Each bench binary (declared
+//! with `harness = false`) builds a [`Bench`], registers timed closures
+//! through [`Group`]s, and [`Bench::finish`] writes
+//! `results/BENCH_<name>.json` at the workspace root — the accumulating
+//! trajectory the ROADMAP tracks across PRs.
+//!
+//! Methodology (per benchmark id):
+//! 1. **Warmup**: run the closure until ~`warmup_ms` elapses, which also
+//!    estimates the per-iteration cost.
+//! 2. **Calibration**: pick `iters_per_sample` so one sample lasts
+//!    ~`sample_target_ms` (at least 1 iteration).
+//! 3. **Sampling**: collect `samples` timed samples; the statistic per
+//!    sample is mean ns/iteration.
+//! 4. **Robust stats**: report the median and the MAD (median absolute
+//!    deviation) across samples — insensitive to scheduler noise spikes,
+//!    unlike mean/stddev.
+//!
+//! `NKT_BENCH_FAST=1` shrinks warmup/samples for smoke runs (CI and
+//! `scripts/verify.sh` use it); the JSON records which mode produced it.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Work per pass, used to derive throughput rates from the median time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes moved per iteration (reported as MB/s).
+    Bytes(u64),
+    /// Elements (e.g. flops) per iteration (reported as Melem/s).
+    Elements(u64),
+}
+
+#[derive(Debug)]
+struct Entry {
+    id: String,
+    iters_per_sample: u64,
+    samples: usize,
+    median_ns: f64,
+    mad_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+/// A bench suite accumulating results; writes JSON on [`finish`](Self::finish).
+pub struct Bench {
+    name: String,
+    entries: Vec<Entry>,
+    fast: bool,
+}
+
+impl Bench {
+    /// Creates a suite named `name`; the output file is
+    /// `results/BENCH_<name>.json`.
+    pub fn new(name: &str) -> Bench {
+        let fast = std::env::var("NKT_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
+        Bench { name: name.to_string(), entries: Vec::new(), fast }
+    }
+
+    /// Opens a named group; benchmark ids become `<group>/<id>`.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.to_string(),
+            throughput: None,
+            samples: None,
+        }
+    }
+
+    fn warmup_time(&self) -> Duration {
+        Duration::from_millis(if self.fast { 5 } else { 100 })
+    }
+
+    fn sample_target(&self) -> Duration {
+        Duration::from_millis(if self.fast { 2 } else { 20 })
+    }
+
+    fn default_samples(&self) -> usize {
+        if self.fast { 8 } else { 30 }
+    }
+
+    /// Writes `results/BENCH_<name>.json` and returns its path.
+    pub fn finish(self) -> PathBuf {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("bench: cannot create {}: {e}", dir.display()));
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let unix = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"name\": {},", json_str(&self.name));
+        let _ = writeln!(out, "  \"created_unix\": {unix},");
+        let _ = writeln!(out, "  \"fast_mode\": {},", self.fast);
+        out.push_str("  \"results\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            let mut extra = String::new();
+            match e.throughput {
+                Some(Throughput::Bytes(b)) => {
+                    let rate = b as f64 / e.median_ns * 1e9 / 1e6;
+                    let _ = write!(extra, ", \"bytes_per_iter\": {b}, \"mb_per_s\": {}", json_f64(rate));
+                }
+                Some(Throughput::Elements(n)) => {
+                    let rate = n as f64 / e.median_ns * 1e9 / 1e6;
+                    let _ = write!(extra, ", \"elems_per_iter\": {n}, \"melem_per_s\": {}", json_f64(rate));
+                }
+                None => {}
+            }
+            let _ = writeln!(
+                out,
+                "    {{\"id\": {id}, \"iters_per_sample\": {ips}, \"samples\": {ns}, \
+                 \"median_ns\": {med}, \"mad_ns\": {mad}, \"mean_ns\": {mean}, \
+                 \"min_ns\": {min}, \"max_ns\": {max}{extra}}}{comma}",
+                id = json_str(&e.id),
+                ips = e.iters_per_sample,
+                ns = e.samples,
+                med = json_f64(e.median_ns),
+                mad = json_f64(e.mad_ns),
+                mean = json_f64(e.mean_ns),
+                min = json_f64(e.min_ns),
+                max = json_f64(e.max_ns),
+            );
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out)
+            .unwrap_or_else(|e| panic!("bench: cannot write {}: {e}", path.display()));
+        eprintln!("bench '{}': {} result(s) -> {}", self.name, self.entries.len(), path.display());
+        path
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: Option<usize>,
+}
+
+impl Group<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for subsequent benchmarks (for
+    /// expensive bodies where 30 samples would take too long).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(3));
+        self
+    }
+
+    /// Times `f` and records the result under `<group>/<id>`.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, id: &str, mut f: F) {
+        let full_id = format!("{}/{}", self.name, id);
+
+        // Warmup, counting iterations to estimate per-iter cost.
+        let warmup = self.bench.warmup_time();
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter_est = start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        // Calibrate: one sample ≈ sample_target.
+        let target_ns = self.bench.sample_target().as_nanos() as f64;
+        let iters_per_sample = ((target_ns / per_iter_est).round() as u64).max(1);
+
+        let nsamples = self.samples.unwrap_or(self.bench.default_samples());
+        let mut per_iter_ns = Vec::with_capacity(nsamples);
+        for _ in 0..nsamples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter_ns.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+
+        let med = median(&mut per_iter_ns.clone());
+        let mut devs: Vec<f64> = per_iter_ns.iter().map(|x| (x - med).abs()).collect();
+        let mad = median(&mut devs);
+        let mean = per_iter_ns.iter().sum::<f64>() / nsamples as f64;
+        let min = per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter_ns.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        eprintln!("  {full_id}: median {} ± {} (MAD), {iters_per_sample} iters/sample", fmt_ns(med), fmt_ns(mad));
+        self.bench.entries.push(Entry {
+            id: full_id,
+            iters_per_sample,
+            samples: nsamples,
+            median_ns: med,
+            mad_ns: mad,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            throughput: self.throughput,
+        });
+    }
+
+    /// Group end marker (bookkeeping happens per-bench; provided for
+    /// call-site symmetry with the old criterion API).
+    pub fn finish(self) {}
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// JSON string escape (the ids here are plain ASCII, but stay correct).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite-checked JSON number (JSON has no NaN/Inf).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// `results/` at the workspace root: walk up from the running crate's
+/// manifest dir to the first `Cargo.toml` containing a `[workspace]`
+/// section. `NKT_RESULTS_DIR` overrides.
+fn results_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("NKT_RESULTS_DIR") {
+        return PathBuf::from(d);
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: &std::path::Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir.join("results");
+                }
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return start.join("results"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn bench_writes_json() {
+        let dir = std::env::temp_dir().join(format!("nkt_testkit_bench_{}", std::process::id()));
+        // Scoped env override keeps this hermetic; tests in this crate
+        // run in one process but nothing else reads NKT_RESULTS_DIR.
+        std::env::set_var("NKT_RESULTS_DIR", &dir);
+        std::env::set_var("NKT_BENCH_FAST", "1");
+        let mut b = Bench::new("selftest");
+        {
+            let mut g = b.group("g");
+            g.throughput(Throughput::Bytes(8));
+            g.bench("noop", || std::hint::black_box(1 + 1));
+            g.finish();
+        }
+        let path = b.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"id\": \"g/noop\""));
+        assert!(text.contains("\"median_ns\""));
+        assert!(text.contains("\"mb_per_s\""));
+        std::env::remove_var("NKT_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,26 @@
+//! # nkt-testkit — the workspace's self-built test & bench substrate
+//!
+//! The build environment for this reproduction is offline by design
+//! (hermetic, like the self-built stacks of the paper's cohort — PMS,
+//! Tarang), so the usual crates (`rand`, `proptest`, `criterion`) are
+//! replaced by this zero-dependency kit:
+//!
+//! * [`Rng`] — deterministic SplitMix64-seeded xoshiro256** PRNG;
+//! * [`prop_check!`] — property testing with strategy-driven case
+//!   generation, seed reporting, and single-level shrinking (see
+//!   [`Strategy`] / [`vec_in`] / [`one_of`]);
+//! * [`Bench`] — micro-bench harness (warmup, calibrated iteration
+//!   counts, median/MAD) emitting `results/BENCH_<name>.json`.
+//!
+//! Environment knobs: `NKT_PROP_SEED`, `NKT_PROP_CASES`,
+//! `NKT_BENCH_FAST`, `NKT_RESULTS_DIR`.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+pub mod strategy;
+
+pub use bench::{Bench, Group, Throughput};
+pub use prop::{base_seed, case_count, pin_prop, run_prop, CaseOutcome, DEFAULT_CASES};
+pub use rng::{splitmix64, Rng};
+pub use strategy::{one_of, vec_in, OneOf, Strategy, TupleStrategy, VecIn};

@@ -1,0 +1,140 @@
+//! Deterministic PRNG: SplitMix64 seeding into xoshiro256**.
+//!
+//! The workspace builds offline with zero external crates, so this is the
+//! in-repo replacement for `rand` — in the spirit of the PMS/Tarang
+//! self-built stacks the paper's cohort used. Quality is far beyond what
+//! test-case generation needs (xoshiro256** passes BigCrush); the
+//! important property here is *determinism*: the same seed reproduces the
+//! same case stream on every platform, so a failing property test can be
+//! replayed from its printed seed.
+
+/// SplitMix64 step: the standard seeding scramble (Steele et al.).
+/// Used both to expand a single `u64` seed into the xoshiro state and as
+/// a standalone hash for deriving per-test seeds from names.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** generator (Blackman & Vigna), seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Any seed (including 0) is
+    /// valid: SplitMix64 expansion guarantees a non-zero state.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    /// (Modulo reduction: the bias at test-scale bounds is immaterial.)
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below: zero bound");
+        self.next_u64() % bound
+    }
+
+    /// Uniform in the half-open integer range `[lo, hi)`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi, "range_u64: empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform in the half-open range `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "range_f64: empty range {lo}..{hi}");
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<u64> = { let mut r = Rng::new(42); (0..64).map(|_| r.next_u64()).collect() };
+        let b: Vec<u64> = { let mut r = Rng::new(42); (0..64).map(|_| r.next_u64()).collect() };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = Rng::new(0);
+        let xs: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        assert!(xs.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = Rng::new(9);
+        for _ in 0..10_000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = r.range_f64(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        // 8 buckets over [0,1): each should get 10000/8 ± 5σ.
+        let mut r = Rng::new(1234);
+        let mut buckets = [0usize; 8];
+        for _ in 0..10_000 {
+            buckets[(r.next_f64() * 8.0) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((1000..1500).contains(&b), "bucket count {b} far from 1250");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Input generation for [`prop_check!`](crate::prop_check): the
+//! [`Strategy`] trait, range implementations, and combinators.
+//!
+//! A strategy knows how to *generate* a value from an [`Rng`] and how to
+//! *shrink* a failing value toward something simpler. Shrinking is
+//! single-level: `shrink` returns a batch of candidate simplifications of
+//! one value and the runner greedily adopts any candidate that still
+//! fails (bounded number of passes, no recursive exploration).
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A generator + shrinker for one property-test argument.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: Clone + Debug;
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+    /// Candidate simplifications of `v`, simplest first. Every candidate
+    /// must itself be a value this strategy could have produced.
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value>;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *v;
+                let mut out = Vec::new();
+                // Toward the low end: lo itself, then the midpoint, then
+                // one step down — enough to localise off-by-one and
+                // smallest-case failures without a full search.
+                for cand in [lo, lo + (v - lo) / 2, v.saturating_sub(1).max(lo)] {
+                    if cand != v && self.contains(&cand) && !out.contains(&cand) {
+                        out.push(cand);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.start, self.end)
+    }
+
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        for cand in [self.start, 0.0, 1.0, *v / 2.0, (self.start + *v) / 2.0] {
+            if cand != *v && self.contains(&cand) && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+/// Fixed-length vector of values drawn from an element strategy — the
+/// replacement for `proptest::collection::vec(elem, len)`.
+pub fn vec_in<S: Strategy>(elem: S, len: usize) -> VecIn<S> {
+    VecIn { elem, len }
+}
+
+/// See [`vec_in`].
+pub struct VecIn<S> {
+    elem: S,
+    len: usize,
+}
+
+impl<S: Strategy> Strategy for VecIn<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (0..self.len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // All elements at once to their first (simplest) candidate…
+        let simplest: Vec<S::Value> = v
+            .iter()
+            .map(|e| self.elem.shrink(e).into_iter().next().unwrap_or_else(|| e.clone()))
+            .collect();
+        out.push(simplest);
+        // …then element-wise on a budget of positions.
+        for i in 0..v.len().min(8) {
+            if let Some(cand) = self.elem.shrink(&v[i]).into_iter().next() {
+                let mut w = v.clone();
+                w[i] = cand;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+/// One of a fixed list of values, drawn uniformly — the replacement for
+/// `prop_oneof!`/`sample::select` over small enumerations.
+pub fn one_of<T: Clone + Debug>(choices: &[T]) -> OneOf<T> {
+    assert!(!choices.is_empty(), "one_of: empty choice list");
+    OneOf { choices: choices.to_vec() }
+}
+
+/// See [`one_of`].
+pub struct OneOf<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        self.choices[rng.below(self.choices.len() as u64) as usize].clone()
+    }
+
+    fn shrink(&self, _v: &T) -> Vec<T> {
+        Vec::new()
+    }
+}
+
+/// A tuple of strategies: generates and shrinks a tuple of values.
+/// Shrinking is per-component with the others held fixed (single level).
+pub trait TupleStrategy {
+    /// Tuple of the component value types.
+    type Value: Clone + Debug;
+    /// Draws every component.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+    /// Candidates with exactly one component simplified.
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value>;
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident / $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> TupleStrategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_generates_in_bounds() {
+        let s = 3usize..17;
+        let mut rng = Rng::new(5);
+        for _ in 0..1000 {
+            assert!(s.contains(&s.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_lo() {
+        let s = 2usize..100;
+        for cand in s.shrink(&50) {
+            assert!(cand < 50 && s.contains(&cand));
+        }
+        assert!(s.shrink(&2).is_empty());
+    }
+
+    #[test]
+    fn f64_shrink_stays_in_range() {
+        let s = -10.0f64..10.0;
+        for cand in s.shrink(&7.5) {
+            assert!(s.contains(&cand) && cand != 7.5);
+        }
+    }
+
+    #[test]
+    fn vec_generates_fixed_len() {
+        let s = vec_in(0.0f64..1.0, 12);
+        let mut rng = Rng::new(1);
+        let v = s.generate(&mut rng);
+        assert_eq!(v.len(), 12);
+        assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn vec_shrink_preserves_len() {
+        let s = vec_in(-5.0f64..5.0, 4);
+        let mut rng = Rng::new(2);
+        let v = s.generate(&mut rng);
+        for cand in s.shrink(&v) {
+            assert_eq!(cand.len(), 4);
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_changes_one_component() {
+        let s = (1usize..10, 0.0f64..1.0);
+        let v = (9usize, 0.9f64);
+        for cand in TupleStrategy::shrink(&s, &v) {
+            let changed = (cand.0 != v.0) as u32 + (cand.1 != v.1) as u32;
+            assert_eq!(changed, 1, "candidate {cand:?} changed {changed} components");
+        }
+    }
+
+    #[test]
+    fn one_of_draws_from_choices() {
+        let s = one_of(&[10, 20, 30]);
+        let mut rng = Rng::new(3);
+        for _ in 0..100 {
+            assert!([10, 20, 30].contains(&s.generate(&mut rng)));
+        }
+    }
+}

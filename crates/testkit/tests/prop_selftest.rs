@@ -1,0 +1,94 @@
+//! Self-tests of the `prop_check!` machinery: passing properties pass,
+//! failing properties fail with shrunk, reproducible reports, and
+//! discards/case counts behave.
+
+use nkt_testkit::{prop_check, prop_assert, prop_assert_eq, prop_assume, vec_in};
+use nkt_testkit::{CaseOutcome, Rng, Strategy, TupleStrategy};
+
+prop_check! {
+    #![cases(40)]
+
+    /// Arithmetic holds for all drawn inputs.
+    fn addition_commutes(a in 0u64..100_000, b in 0u64..100_000) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    /// Assume discards odd draws; the property then only sees evens.
+    fn assume_filters_inputs(n in 0usize..1000) {
+        prop_assume!(n % 2 == 0);
+        prop_assert!(n % 2 == 0, "saw odd {n} past the assume");
+    }
+
+    /// Vec strategy generates the fixed length with in-range elements.
+    fn vec_strategy_shape(v in vec_in(-2.0f64..2.0, 17)) {
+        prop_assert_eq!(v.len(), 17);
+        for x in &v {
+            prop_assert!(*x >= -2.0 && *x < 2.0);
+        }
+    }
+}
+
+/// A failing property is detected, and the report carries the shrunk
+/// input and the seed line.
+#[test]
+fn failing_property_reports_and_shrinks() {
+    let strats = (0u64..1000,);
+    // Fails for every n >= 10: shrinking should walk n well below the
+    // typical first-failure draw.
+    let prop = |vals: &(u64,)| -> CaseOutcome {
+        let (n,) = *vals;
+        if n >= 10 {
+            CaseOutcome::Fail(format!("n too big: {n}"))
+        } else {
+            CaseOutcome::Pass
+        }
+    };
+    let result = std::panic::catch_unwind(|| {
+        nkt_testkit::run_prop("selftest::failing_property", 100, &strats, &prop);
+    });
+    let err = result.expect_err("property must fail");
+    let msg = err.downcast_ref::<String>().expect("string panic payload");
+    assert!(msg.contains("NKT_PROP_SEED="), "no seed report in: {msg}");
+    assert!(msg.contains("n too big"), "no cause in: {msg}");
+    // Greedy shrink halves toward the low bound: the reported witness
+    // must be in the minimal failing region, not a random large draw.
+    assert!(msg.contains("input: (10,)") || msg.contains("input: (11,)"),
+        "shrinking did not reach the boundary: {msg}");
+}
+
+/// Panics inside the body are caught and reported like failures.
+#[test]
+fn panicking_body_is_a_failure() {
+    let strats = (0usize..10,);
+    let prop = |_: &(usize,)| -> CaseOutcome {
+        panic!("boom from body");
+    };
+    let result = std::panic::catch_unwind(|| {
+        nkt_testkit::run_prop("selftest::panicking_body", 5, &strats, &prop);
+    });
+    let err = result.expect_err("property must fail");
+    let msg = err.downcast_ref::<String>().expect("string panic payload");
+    assert!(msg.contains("boom from body"), "panic cause lost: {msg}");
+}
+
+/// The same test name draws the same case stream (determinism contract).
+#[test]
+fn case_stream_is_deterministic() {
+    let strats = (0u64..1_000_000, vec_in(-1.0f64..1.0, 5));
+    let draw = || {
+        let mut rng = Rng::new(nkt_testkit::base_seed("selftest::stream"));
+        (0..10).map(|_| strats.generate(&mut Rng::new(rng.next_u64()))).collect::<Vec<_>>()
+    };
+    assert_eq!(format!("{:?}", draw()), format!("{:?}", draw()));
+}
+
+/// Strategy trait stays object-usable for downstream helper fns.
+#[test]
+fn strategy_impl_trait_helpers_compose() {
+    fn small_vec() -> impl Strategy<Value = Vec<f64>> {
+        vec_in(0.0f64..1.0, 3)
+    }
+    let mut rng = Rng::new(1);
+    let v = small_vec().generate(&mut rng);
+    assert_eq!(v.len(), 3);
+}

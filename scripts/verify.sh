@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification + example smoke pass, fully offline.
+#
+# The workspace has zero external dependencies by design (see DESIGN.md
+# §3): --offline both enforces that invariant and proves the build needs
+# no registry. The example pass catches example bit-rot that `cargo
+# test` alone would miss (examples are binaries, not test targets).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build (release, offline) =="
+cargo build --release --offline
+
+echo "== tier-1: tests (offline) =="
+cargo test -q --offline
+
+echo "== workspace tests (all crates, offline) =="
+cargo test -q --offline --workspace
+
+echo "== example smoke pass =="
+for ex in quickstart cylinder_wake fourier_dns flapping_wing_ale cluster_compare; do
+    echo "-- example: $ex"
+    cargo run --release --offline --example "$ex" > /dev/null
+done
+
+echo "== bench harness smoke (fast mode, writes results/BENCH_*.json) =="
+NKT_BENCH_FAST=1 cargo bench --offline -p nkt-bench > /dev/null
+
+echo "verify: OK"
