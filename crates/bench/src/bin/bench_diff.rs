@@ -1,0 +1,262 @@
+//! Diffs a fresh bench-harness run against the committed baselines in
+//! `results/BENCH_*.json` and fails (exit 1) on regressions.
+//!
+//! A result regresses when its fresh median exceeds the baseline median
+//! by more than `max(k * baseline MAD, floor * baseline median)` — the
+//! MAD term tracks each benchmark's own run-to-run noise, the relative
+//! floor keeps near-zero-MAD fast-mode baselines from flagging
+//! sub-percent jitter.
+//!
+//! ```sh
+//! NKT_BENCH_FAST=1 NKT_RESULTS_DIR=/tmp/fresh cargo bench -p nkt-bench
+//! cargo run -p nkt-bench --bin bench_diff -- --fresh /tmp/fresh
+//! ```
+//!
+//! `scripts/bench_diff` wraps both steps.
+
+use nkt_trace::json::{parse, Value};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One benchmark row read back from a `BENCH_*.json` file.
+#[derive(Debug, Clone)]
+struct Row {
+    id: String,
+    median_ns: f64,
+    mad_ns: f64,
+}
+
+/// Comparison verdict for one benchmark id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Ok,
+    Faster,
+    Regressed,
+}
+
+/// Regression tolerance in ns around the baseline median.
+fn tolerance(base: &Row, k: f64, floor: f64) -> f64 {
+    (k * base.mad_ns).max(floor * base.median_ns)
+}
+
+/// Classifies a fresh median against its baseline.
+fn judge(base: &Row, fresh_median_ns: f64, k: f64, floor: f64) -> Verdict {
+    let tol = tolerance(base, k, floor);
+    if fresh_median_ns > base.median_ns + tol {
+        Verdict::Regressed
+    } else if fresh_median_ns < base.median_ns - tol {
+        Verdict::Faster
+    } else {
+        Verdict::Ok
+    }
+}
+
+fn load_rows(path: &Path) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let results = doc
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{}: no \"results\" array", path.display()))?;
+    let mut rows = Vec::new();
+    for r in results {
+        let field = |k: &str| r.get(k).and_then(Value::as_f64);
+        rows.push(Row {
+            id: r
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{}: result without an \"id\"", path.display()))?
+                .to_string(),
+            median_ns: field("median_ns")
+                .ok_or_else(|| format!("{}: result without \"median_ns\"", path.display()))?,
+            mad_ns: field("mad_ns").unwrap_or(0.0),
+        });
+    }
+    Ok(rows)
+}
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    k: f64,
+    floor: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff --fresh <dir> [--baseline <dir>] [-k <mads>] [--floor <frac>]\n\
+         \n\
+         --fresh     directory holding the fresh BENCH_*.json run (required)\n\
+         --baseline  committed baselines (default: <workspace>/results)\n\
+         -k          MAD multiplier for the tolerance band (default: 3)\n\
+         --floor     relative floor on the band (default: 0.05 = 5%)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut k = 3.0;
+    let mut floor = 0.05;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("bench_diff: {name} needs a value");
+            usage()
+        });
+        match a.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(val("--baseline"))),
+            "--fresh" => fresh = Some(PathBuf::from(val("--fresh"))),
+            "-k" => k = val("-k").parse().unwrap_or_else(|_| usage()),
+            "--floor" => floor = val("--floor").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    Args {
+        baseline: baseline.unwrap_or_else(nkt_trace::results_dir),
+        fresh: fresh.unwrap_or_else(|| usage()),
+        k,
+        floor,
+    }
+}
+
+fn bench_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    v.sort();
+    v
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let fresh_files = bench_files(&args.fresh);
+    if fresh_files.is_empty() {
+        eprintln!("bench_diff: no BENCH_*.json in {}", args.fresh.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "bench_diff: fresh {} vs baseline {} (tolerance: {} MAD, {:.0}% floor)",
+        args.fresh.display(),
+        args.baseline.display(),
+        args.k,
+        100.0 * args.floor
+    );
+
+    let mut regressions = 0usize;
+    for fresh_path in &fresh_files {
+        let fname = fresh_path.file_name().unwrap().to_str().unwrap();
+        let base_path = args.baseline.join(fname);
+        let fresh_rows = match load_rows(fresh_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if !base_path.exists() {
+            println!("\n{fname}: no committed baseline — {} new result(s)", fresh_rows.len());
+            continue;
+        }
+        let base_rows = match load_rows(&base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("\n{fname}:");
+        println!("{:<40} {:>12} {:>12} {:>8}  verdict", "id", "base ns", "fresh ns", "delta");
+        for base in &base_rows {
+            let Some(fresh) = fresh_rows.iter().find(|r| r.id == base.id) else {
+                println!("{:<40} {:>12.0} {:>12} {:>8}  MISSING from fresh run", base.id, base.median_ns, "-", "-");
+                continue;
+            };
+            let delta = 100.0 * (fresh.median_ns - base.median_ns) / base.median_ns;
+            let verdict = judge(base, fresh.median_ns, args.k, args.floor);
+            let label = match verdict {
+                Verdict::Ok => "ok",
+                Verdict::Faster => "faster",
+                Verdict::Regressed => {
+                    regressions += 1;
+                    "REGRESSED"
+                }
+            };
+            println!(
+                "{:<40} {:>12.0} {:>12.0} {:>+7.1}%  {label}",
+                base.id, base.median_ns, fresh.median_ns, delta
+            );
+        }
+        for fresh in &fresh_rows {
+            if !base_rows.iter().any(|r| r.id == fresh.id) {
+                println!("{:<40} {:>12} {:>12.0} {:>8}  new (no baseline)", fresh.id, "-", fresh.median_ns, "-");
+            }
+        }
+    }
+
+    if regressions > 0 {
+        println!("\nbench_diff: {regressions} regression(s) beyond the tolerance band");
+        ExitCode::FAILURE
+    } else {
+        println!("\nbench_diff: OK — no regressions");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(median: f64, mad: f64) -> Row {
+        Row { id: "x".into(), median_ns: median, mad_ns: mad }
+    }
+
+    #[test]
+    fn mad_band_dominates_when_noisy() {
+        let b = base(1000.0, 100.0);
+        // 3 MAD = 300 > 5% floor = 50.
+        assert_eq!(judge(&b, 1299.0, 3.0, 0.05), Verdict::Ok);
+        assert_eq!(judge(&b, 1301.0, 3.0, 0.05), Verdict::Regressed);
+        assert_eq!(judge(&b, 699.0, 3.0, 0.05), Verdict::Faster);
+    }
+
+    #[test]
+    fn relative_floor_rescues_zero_mad_baselines() {
+        // Fast-mode baselines can have MAD = 0; without the floor every
+        // nanosecond of jitter would regress.
+        let b = base(1000.0, 0.0);
+        assert_eq!(judge(&b, 1049.0, 3.0, 0.05), Verdict::Ok);
+        assert_eq!(judge(&b, 1051.0, 3.0, 0.05), Verdict::Regressed);
+    }
+
+    #[test]
+    fn load_rows_reads_the_harness_schema() {
+        let dir = std::env::temp_dir().join("nkt_bench_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("BENCH_sample.json");
+        std::fs::write(
+            &p,
+            r#"{"name":"sample","fast_mode":true,"results":[
+                {"id":"a/b","median_ns":12.5,"mad_ns":0.5},
+                {"id":"c","median_ns":7.0}
+            ]}"#,
+        )
+        .unwrap();
+        let rows = load_rows(&p).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, "a/b");
+        assert_eq!(rows[0].median_ns, 12.5);
+        assert_eq!(rows[1].mad_ns, 0.0, "missing mad defaults to 0");
+        std::fs::remove_file(&p).unwrap();
+    }
+}

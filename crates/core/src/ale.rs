@@ -24,7 +24,7 @@
 use crate::hex3d::{elem_box, HexHelmholtz, HexNumbering};
 use crate::opstream::{Recorder, WorkItem};
 use crate::splitting::StifflyStable;
-use crate::timers::{Stage, StageClock};
+use crate::timers::{Stage, StageClock, StageTimer};
 use nkt_mesh::{BoundaryTag, Mesh3d};
 use nkt_mpi::{Comm, ReduceOp};
 use std::collections::VecDeque;
@@ -338,6 +338,7 @@ impl NektarAle {
     /// Advances one step. Collective. Returns the step's stage times
     /// (host compute; solve stages additionally carry virtual comm time).
     pub fn step(&mut self, comm: &mut Comm) -> StageClock {
+        let step_span = nkt_trace::span_v("step", "step", comm.wtime());
         let mut sc = StageClock::new();
         let dt = self.cfg.dt;
         let nu = self.cfg.nu;
@@ -345,7 +346,7 @@ impl NektarAle {
         let ne = self.vel_op.my_elems.len();
 
         // Stage 1: modal -> quadrature.
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::BwdTransform);
         let uq: [Vec<f64>; 3] = [
             self.to_quad(&self.u[0]),
             self.to_quad(&self.u[1]),
@@ -358,10 +359,10 @@ impl NektarAle {
                 WorkItem::Gemm { m: nq3, n: 1, k: nm1 * nm1 * nm1 },
             );
         }
-        sc.add(Stage::BwdTransform, t0.elapsed().as_secs_f64());
+        sc.add(Stage::BwdTransform, t0.stop());
 
         // Stage 2: nonlinear + ALE terms; vertex position update.
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::NonLinear);
         let mut nl: [Vec<f64>; 3] =
             [vec![0.0; ne * nq3], vec![0.0; ne * nq3], vec![0.0; ne * nq3]];
         if self.cfg.advect {
@@ -407,7 +408,7 @@ impl NektarAle {
             self.press_op.rebuild_diag(comm);
             self.mesh_op.rebuild_diag(comm);
         }
-        sc.add(Stage::NonLinear, t0.elapsed().as_secs_f64());
+        sc.add(Stage::NonLinear, t0.stop());
 
         // History and ramp.
         self.hist_vel.push_front(uq);
@@ -422,7 +423,7 @@ impl NektarAle {
         let eff = StifflyStable::new(j);
 
         // Stage 3: stiffly-stable weighting (quadrature space).
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::StifflyStable);
         let mut hat: [Vec<f64>; 3] =
             [vec![0.0; ne * nq3], vec![0.0; ne * nq3], vec![0.0; ne * nq3]];
         for lvl in 0..j {
@@ -444,18 +445,18 @@ impl NektarAle {
                 ws: 48 * nq3,
             },
         );
-        sc.add(Stage::StifflyStable, t0.elapsed().as_secs_f64());
+        sc.add(Stage::StifflyStable, t0.stop());
 
         // Stage 4: pressure RHS = (1/dt) ∫ uhat·∇φ.
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::PressureRhs);
         let mut prhs = vec![0.0; self.press_op.nlocal()];
         self.divergence_rhs(&hat, 1.0 / dt, &mut prhs);
         self.press_op.gs.exchange(comm, &mut prhs, ReduceOp::Sum);
-        sc.add(Stage::PressureRhs, t0.elapsed().as_secs_f64());
+        sc.add(Stage::PressureRhs, t0.stop());
 
         // Stage 5: pressure PCG solve.
-        let t0 = std::time::Instant::now();
         let w0 = comm.wtime();
+        let t0 = StageTimer::start_v(Stage::PressureSolve, w0);
         let mut pnew = if self.p.len() == self.press_op.nlocal() {
             self.p.clone() // warm start from the previous step
         } else {
@@ -470,13 +471,11 @@ impl NektarAle {
             &mut self.recorder,
         );
         self.p = pnew;
-        sc.add(
-            Stage::PressureSolve,
-            t0.elapsed().as_secs_f64() + (comm.wtime() - w0),
-        );
+        let virt = comm.wtime() - w0;
+        sc.add(Stage::PressureSolve, t0.stop_v(comm.wtime()) + virt);
 
         // Stage 6: viscous RHS from u** = uhat - dt ∇p.
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::ViscousRhs);
         let gp = self.grad_quad(&self.p, &self.press_op);
         let scale = 1.0 / (nu * dt);
         let mut vrhs: [Vec<f64>; 3] = [
@@ -516,12 +515,12 @@ impl NektarAle {
         for c in 0..3 {
             self.vel_op.gs.exchange(comm, &mut vrhs[c], ReduceOp::Sum);
         }
-        sc.add(Stage::ViscousRhs, t0.elapsed().as_secs_f64());
+        sc.add(Stage::ViscousRhs, t0.stop());
 
         // Stage 7: three velocity Helmholtz PCG solves + the ALE extra
         // mesh-velocity Helmholtz solve.
-        let t0 = std::time::Instant::now();
         let w0 = comm.wtime();
+        let t0 = StageTimer::start_v(Stage::ViscousSolve, w0);
         let solver: &HexHelmholtz = if j < self.scheme.order {
             &self.ramp_ops[j - 1]
         } else {
@@ -575,10 +574,9 @@ impl NektarAle {
         } else {
             0
         };
-        sc.add(
-            Stage::ViscousSolve,
-            t0.elapsed().as_secs_f64() + (comm.wtime() - w0),
-        );
+        let virt = comm.wtime() - w0;
+        sc.add(Stage::ViscousSolve, t0.stop_v(comm.wtime()) + virt);
+        step_span.end_v(comm.wtime());
         self.last_iters = (pit, vit, mit);
         self.time += dt;
         self.clock.merge(&sc);

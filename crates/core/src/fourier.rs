@@ -19,7 +19,7 @@
 
 use crate::opstream::{CommItem, Recorder, WorkItem};
 use crate::splitting::StifflyStable;
-use crate::timers::{Stage, StageClock};
+use crate::timers::{Stage, StageClock, StageTimer};
 use nkt_fft::{Complex64, RealFft};
 use nkt_mesh::{BoundaryTag, Mesh2d};
 use nkt_mpi::Comm;
@@ -407,13 +407,14 @@ impl NektarF {
     /// times (host compute seconds; the NonLinear stage additionally
     /// carries the virtual communication time).
     pub fn step(&mut self, comm: &mut Comm) -> StageClock {
+        let step_span = nkt_trace::span_v("step", "step", comm.wtime());
         let mut sc = StageClock::new();
         let dt = self.cfg.dt;
         let nu = self.cfg.nu;
         let mpp = self.my_modes.len();
 
         // Stage 1: modal -> quadrature for u, v, w (cos & sin planes).
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::BwdTransform);
         let mut vel: Vec<[ModePlane; 3]> = Vec::with_capacity(mpp);
         for mi in 0..mpp {
             let prob = &self.viscous[mi];
@@ -431,11 +432,11 @@ impl NektarF {
             }
             vel.push(comps);
         }
-        sc.add(Stage::BwdTransform, t0.elapsed().as_secs_f64());
+        sc.add(Stage::BwdTransform, t0.stop());
 
         // Stage 2: nonlinear terms via the Alltoall/FFT sandwich.
-        let t0 = std::time::Instant::now();
         let wall0 = comm.wtime();
+        let t0 = StageTimer::start_v(Stage::NonLinear, wall0);
         let mut mode_fields: Vec<Vec<ModePlane>> = (0..12).map(|_| Vec::with_capacity(mpp)).collect();
         for mi in 0..mpp {
             let k = self.my_modes.start + mi;
@@ -494,8 +495,8 @@ impl NektarF {
                 nl_modes[2][mi].clone(),
             ]);
         }
-        let host = t0.elapsed().as_secs_f64();
         let virt = comm.wtime() - wall0;
+        let host = t0.stop_v(comm.wtime());
         sc.add(Stage::NonLinear, host + virt);
 
         // History push with startup ramp.
@@ -511,7 +512,7 @@ impl NektarF {
         let eff = StifflyStable::new(j);
 
         // Stage 3: stiffly-stable weighting.
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::StifflyStable);
         let mut hat: Vec<[ModePlane; 3]> = Vec::with_capacity(mpp);
         for mi in 0..mpp {
             let mut comps: [ModePlane; 3] = Default::default();
@@ -540,7 +541,7 @@ impl NektarF {
                 ws: 32 * self.nq_total,
             },
         );
-        sc.add(Stage::StifflyStable, t0.elapsed().as_secs_f64());
+        sc.add(Stage::StifflyStable, t0.stop());
 
         // Stages 4-7 per owned mode.
         let mut new_fields: Vec<[ModeCoeffs; 3]> = Vec::with_capacity(mpp);
@@ -549,7 +550,7 @@ impl NektarF {
             let beta = self.beta(k);
 
             // Stage 4: pressure RHS (cos and sin planes).
-            let t0 = std::time::Instant::now();
+            let t0 = StageTimer::start(Stage::PressureRhs);
             let ndofp = self.pressure[mi].asm.ndof;
             let mut rhs_a = vec![0.0; ndofp];
             let mut rhs_b = vec![0.0; ndofp];
@@ -590,12 +591,12 @@ impl NektarF {
                     prob.asm.scatter_add(ei, &lb, &mut rhs_b);
                 }
             }
-            sc.add(Stage::PressureRhs, t0.elapsed().as_secs_f64());
+            sc.add(Stage::PressureRhs, t0.stop());
 
             // Stage 5: two pressure solves (cos/sin share the factor —
             // "the real and imaginary parts of a Fourier mode sharing the
             // same matrices").
-            let t0 = std::time::Instant::now();
+            let t0 = StageTimer::start(Stage::PressureSolve);
             let zeros = vec![0.0; ndofp];
             let (pa, _) =
                 self.pressure[mi].solve_with_rhs(rhs_a, &zeros, SolveMethod::BandedDirect);
@@ -606,10 +607,10 @@ impl NektarF {
                 self.recorder
                     .work(Stage::PressureSolve, WorkItem::BandedSolve { n: ndofp, kd: kdp });
             }
-            sc.add(Stage::PressureSolve, t0.elapsed().as_secs_f64());
+            sc.add(Stage::PressureSolve, t0.stop());
 
             // Stage 6: viscous RHS from u** = uhat − dt ∇p.
-            let t0 = std::time::Instant::now();
+            let t0 = StageTimer::start(Stage::ViscousRhs);
             let pprob = &self.pressure[mi];
             let (gpx_a, gpy_a) = self.grad_quad_with(pprob, &pa);
             let (gpx_b, gpy_b) = self.grad_quad_with(pprob, &pb);
@@ -662,10 +663,10 @@ impl NektarF {
                     prob.asm.scatter_add(ei, &locals[5], &mut rhs[2].1);
                 }
             }
-            sc.add(Stage::ViscousRhs, t0.elapsed().as_secs_f64());
+            sc.add(Stage::ViscousRhs, t0.stop());
 
             // Stage 7: six Helmholtz solves (3 components × cos/sin).
-            let t0 = std::time::Instant::now();
+            let t0 = StageTimer::start(Stage::ViscousSolve);
             let ud = vec![0.0; ndofv];
             let solver = if j < self.scheme.order {
                 &mut self.ramp[mi][j - 1]
@@ -684,10 +685,11 @@ impl NektarF {
                 self.recorder
                     .work(Stage::ViscousSolve, WorkItem::BandedSolve { n: ndofv, kd: kdv });
             }
-            sc.add(Stage::ViscousSolve, t0.elapsed().as_secs_f64());
+            sc.add(Stage::ViscousSolve, t0.stop());
             new_fields.push(comps);
         }
         self.fields = new_fields;
+        step_span.end_v(comm.wtime());
         self.clock.merge(&sc);
         self.steps_taken += 1;
         sc

@@ -4,7 +4,7 @@
 //! (DESIGN.md §2 substitution).
 
 use crate::opstream::{CommItem, OpRecording, WorkItem};
-use crate::timers::StageClock;
+use crate::timers::{Stage, StageClock};
 use nkt_machine::Machine;
 use nkt_net::ClusterNetwork;
 
@@ -28,6 +28,22 @@ impl ReplayTimes {
     /// Total wall seconds.
     pub fn wall_total(&self) -> f64 {
         self.wall.total()
+    }
+
+    /// Records one virtual-time trace span per nonzero stage, laid out
+    /// back-to-back from `vt0` (virtual seconds); returns the end time.
+    /// Paper-scale replayed steps thereby render on the same Perfetto
+    /// timeline as natively traced runs (no-op below `NKT_TRACE=spans`).
+    pub fn record_trace_spans(&self, vt0: f64) -> f64 {
+        let mut t = vt0;
+        for s in Stage::ALL {
+            let wall = self.wall.totals[s.index()];
+            if wall > 0.0 {
+                nkt_trace::record_vspan(s.name(), "replay", t, t + wall);
+                t += wall;
+            }
+        }
+        t
     }
 }
 
@@ -178,6 +194,24 @@ mod tests {
     fn single_rank_comm_is_free() {
         let (c, w) = comm_time(&CommItem::Alltoall { block_bytes: 1 << 20 }, &cluster(NetId::T3e), 1);
         assert_eq!((c, w), (0.0, 0.0));
+    }
+
+    #[test]
+    fn replay_trace_spans_tile_the_wall_total() {
+        nkt_trace::set_mode(nkt_trace::TraceMode::Spans);
+        let rec = sample_rec();
+        let t = replay(&rec, &machine(MachineId::Muses), &cluster(NetId::T3e), 4);
+        let end = t.record_trace_spans(1.5);
+        assert!((end - 1.5 - t.wall_total()).abs() < 1e-12);
+        let tid = nkt_trace::current_tid();
+        let mine: Vec<_> =
+            nkt_trace::take_collected().into_iter().filter(|d| d.tid == tid).collect();
+        let spans: Vec<_> =
+            mine.iter().flat_map(|d| &d.events).filter(|e| e.cat == "replay").collect();
+        assert!(spans.len() >= 4, "one span per nonzero stage");
+        let vsum: f64 = spans.iter().map(|e| e.vdur().unwrap()).sum();
+        assert!((vsum - t.wall_total()).abs() < 1e-12);
+        nkt_trace::set_mode(nkt_trace::TraceMode::Off);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::opstream::{Recorder, WorkItem};
 use crate::splitting::StifflyStable;
-use crate::timers::{Stage, StageClock};
+use crate::timers::{Stage, StageClock, StageTimer};
 use nkt_mesh::{BoundaryTag, Mesh2d};
 use nkt_spectral::{HelmholtzProblem, SolveMethod};
 use std::collections::VecDeque;
@@ -221,6 +221,7 @@ impl Serial2dSolver {
 
     /// Advances one time step. Returns the per-stage times of this step.
     pub fn step(&mut self) -> StageClock {
+        let step_span = nkt_trace::span("step", "step");
         let mut step_clock = StageClock::new();
         let dt = self.cfg.dt;
         let nu = self.cfg.nu;
@@ -229,13 +230,13 @@ impl Serial2dSolver {
         // Stage 1: modal -> quadrature transform of the velocity.
         let u_mod = self.u.clone();
         let v_mod = self.v.clone();
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::BwdTransform);
         let uq = self.to_quadrature(&u_mod);
         let vq = self.to_quadrature(&v_mod);
-        step_clock.add(Stage::BwdTransform, t0.elapsed().as_secs_f64());
+        step_clock.add(Stage::BwdTransform, t0.stop());
 
         // Stage 2: nonlinear terms at quadrature points.
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::NonLinear);
         let (nun, nvn) = if self.cfg.advect {
             let (dux, duy) = self.gradient(&u_mod, Stage::NonLinear);
             let (dvx, dvy) = self.gradient(&v_mod, Stage::NonLinear);
@@ -265,7 +266,7 @@ impl Serial2dSolver {
             let zeros: QField = uq.iter().map(|v| vec![0.0; v.len()]).collect();
             (zeros.clone(), zeros)
         };
-        step_clock.add(Stage::NonLinear, t0.elapsed().as_secs_f64());
+        step_clock.add(Stage::NonLinear, t0.stop());
 
         // Push history (newest at the front).
         self.hist_uq.push_front((uq, vq));
@@ -282,7 +283,7 @@ impl Serial2dSolver {
 
         // Stage 3: stiffly-stable weighting: uhat = sum alpha u + dt sum
         // beta N, all in quadrature space.
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::StifflyStable);
         let mut uhat: QField = Vec::with_capacity(ne);
         let mut vhat: QField = Vec::with_capacity(ne);
         for ei in 0..ne {
@@ -310,11 +311,11 @@ impl Serial2dSolver {
             uhat.push(a);
             vhat.push(b);
         }
-        step_clock.add(Stage::StifflyStable, t0.elapsed().as_secs_f64());
+        step_clock.add(Stage::StifflyStable, t0.stop());
 
         // Stage 4: pressure RHS (integration by parts):
         // rhs_i = (1/dt) ∫ uhat·∇φ_i.
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::PressureRhs);
         let mut prhs = vec![0.0; self.pressure.asm.ndof];
         for ei in 0..ne {
             let basis = self.pressure.basis(ei);
@@ -337,10 +338,10 @@ impl Serial2dSolver {
             self.pressure.asm.scatter_add(ei, &local, &mut prhs);
             self.recorder.work(Stage::PressureRhs, WorkItem::Gemm { m: nm, n: 2, k: nq });
         }
-        step_clock.add(Stage::PressureRhs, t0.elapsed().as_secs_f64());
+        step_clock.add(Stage::PressureRhs, t0.stop());
 
         // Stage 5: pressure solve (banded direct).
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::PressureSolve);
         let pzero = vec![0.0; self.pressure.asm.ndof];
         let (pnew, _) = self.pressure.solve_with_rhs(prhs, &pzero, SolveMethod::BandedDirect);
         self.p = pnew;
@@ -351,10 +352,10 @@ impl Serial2dSolver {
                 kd: self.pressure.matrix.kd(),
             },
         );
-        step_clock.add(Stage::PressureSolve, t0.elapsed().as_secs_f64());
+        step_clock.add(Stage::PressureSolve, t0.stop());
 
         // Stage 6: viscous RHS: u** = uhat - dt ∇p; rhs = (1/(nu dt)) ∫ u** φ.
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::ViscousRhs);
         let p_mod = self.p.clone();
         let (gpx, gpy) = {
             // Gradient of pressure uses the pressure problem's assembly.
@@ -414,11 +415,11 @@ impl Serial2dSolver {
             self.viscous.asm.scatter_add(ei, &lv, &mut vrhs);
             self.recorder.work(Stage::ViscousRhs, WorkItem::Gemm { m: nm, n: 2, k: nq });
         }
-        step_clock.add(Stage::ViscousRhs, t0.elapsed().as_secs_f64());
+        step_clock.add(Stage::ViscousRhs, t0.stop());
 
         // Stage 7: viscous Helmholtz solves for u and v (using the ramp
         // matrix while the BDF history is still filling).
-        let t0 = std::time::Instant::now();
+        let t0 = StageTimer::start(Stage::ViscousSolve);
         let ud = self.ud_u.clone();
         let vd = self.ud_v.clone();
         let solver = if j < self.scheme.order {
@@ -439,8 +440,9 @@ impl Serial2dSolver {
                 },
             );
         }
-        step_clock.add(Stage::ViscousSolve, t0.elapsed().as_secs_f64());
+        step_clock.add(Stage::ViscousSolve, t0.stop());
 
+        step_span.end();
         self.clock.merge(&step_clock);
         self.steps_taken += 1;
         step_clock

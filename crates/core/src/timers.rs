@@ -39,7 +39,28 @@ impl Stage {
 
     /// Stage index 0..7 (paper labels 1..7).
     pub fn index(self) -> usize {
-        Stage::ALL.iter().position(|&s| s == self).expect("stage in ALL")
+        match self {
+            Stage::BwdTransform => 0,
+            Stage::NonLinear => 1,
+            Stage::StifflyStable => 2,
+            Stage::PressureRhs => 3,
+            Stage::PressureSolve => 4,
+            Stage::ViscousRhs => 5,
+            Stage::ViscousSolve => 6,
+        }
+    }
+
+    /// Stable stage name (trace span labels, report rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::BwdTransform => "BwdTransform",
+            Stage::NonLinear => "NonLinear",
+            Stage::StifflyStable => "StifflyStable",
+            Stage::PressureRhs => "PressureRhs",
+            Stage::PressureSolve => "PressureSolve",
+            Stage::ViscousRhs => "ViscousRhs",
+            Stage::ViscousSolve => "ViscousSolve",
+        }
     }
 
     /// The Figures 15–16 grouping: 'a' = steps 1–4 & 6, 'b' = step 5
@@ -50,6 +71,45 @@ impl Stage {
             Stage::ViscousSolve => 'c',
             _ => 'a',
         }
+    }
+}
+
+/// Times one stage region: a host wall timer paired with a trace span,
+/// so the StageClock ledgers and the exported timeline measure the same
+/// interval (they must agree — the trace smoke test checks within 1%).
+pub struct StageTimer {
+    t0: std::time::Instant,
+    sp: nkt_trace::Span,
+}
+
+impl StageTimer {
+    /// Starts timing a host-time stage region.
+    pub fn start(stage: Stage) -> StageTimer {
+        StageTimer { t0: std::time::Instant::now(), sp: nkt_trace::span(stage.name(), "stage") }
+    }
+
+    /// Starts a region that also carries virtual time, anchored at `vt0`
+    /// (usually `comm.wtime()` at region entry).
+    pub fn start_v(stage: Stage, vt0: f64) -> StageTimer {
+        StageTimer {
+            t0: std::time::Instant::now(),
+            sp: nkt_trace::span_v(stage.name(), "stage", vt0),
+        }
+    }
+
+    /// Ends the region; returns its host seconds.
+    pub fn stop(self) -> f64 {
+        let secs = self.t0.elapsed().as_secs_f64();
+        self.sp.end();
+        secs
+    }
+
+    /// Ends the region stamping the virtual end time `vt1`; returns host
+    /// seconds (the caller charges the virtual delta to its clock).
+    pub fn stop_v(self, vt1: f64) -> f64 {
+        let secs = self.t0.elapsed().as_secs_f64();
+        self.sp.end_v(vt1);
+        secs
     }
 }
 
@@ -72,11 +132,12 @@ impl StageClock {
         self.totals[stage.index()] += seconds;
     }
 
-    /// Runs `f`, charging its host wall time to `stage`.
+    /// Runs `f`, charging its host wall time to `stage` (and recording a
+    /// trace span when `NKT_TRACE=spans`).
     pub fn time<R>(&mut self, stage: Stage, f: impl FnOnce() -> R) -> R {
-        let t0 = std::time::Instant::now();
+        let t = StageTimer::start(stage);
         let r = f();
-        self.add(stage, t0.elapsed().as_secs_f64());
+        self.add(stage, t.stop());
         r
     }
 

@@ -53,10 +53,35 @@ pub enum AlltoallAlgo {
 }
 
 impl Comm {
+    /// Runs one collective body under its trace span (virtual-time
+    /// endpoints from [`Comm::wtime`]), bumps its invocation counter, and
+    /// labels this rank's recv blocking sites with the collective's name
+    /// for the duration. All three are no-ops when tracing is off except
+    /// for two field writes.
+    fn traced<T>(
+        &mut self,
+        op: &'static str,
+        counter: &'static str,
+        body: impl FnOnce(&mut Self) -> T,
+    ) -> T {
+        let prev = self.op_label;
+        self.op_label = op;
+        nkt_trace::counter_add(counter, 1);
+        let sp = nkt_trace::span_v(op, "mpi", self.wtime());
+        let out = body(self);
+        sp.end_v(self.wtime());
+        self.op_label = prev;
+        out
+    }
+
     /// Synchronizes all ranks (dissemination barrier, ⌈log₂P⌉ rounds).
     /// On return every rank's clock is ≥ every other rank's clock at
     /// entry.
     pub fn barrier(&mut self) {
+        self.traced("barrier", "mpi.coll.barrier", Self::barrier_impl)
+    }
+
+    fn barrier_impl(&mut self) {
         let p = self.size();
         if p == 1 {
             return;
@@ -78,14 +103,20 @@ impl Comm {
     /// reduction of all ranks' `data`. Binomial reduce-to-0 then binomial
     /// broadcast.
     pub fn allreduce(&mut self, data: &mut [f64], op: ReduceOp) {
-        let root = 0;
-        self.reduce_to(root, data, op);
-        self.bcast(root, data);
+        self.traced("allreduce", "mpi.coll.allreduce", |c| {
+            let root = 0;
+            c.reduce_to_impl(root, data, op);
+            c.bcast_impl(root, data);
+        })
     }
 
     /// Reduces into `data` on `root` (other ranks' buffers are left with
     /// partial reductions, as in MPI_Reduce).
     pub fn reduce_to(&mut self, root: usize, data: &mut [f64], op: ReduceOp) {
+        self.traced("reduce", "mpi.coll.reduce", |c| c.reduce_to_impl(root, data, op))
+    }
+
+    fn reduce_to_impl(&mut self, root: usize, data: &mut [f64], op: ReduceOp) {
         let p = self.size();
         if p == 1 {
             return;
@@ -110,6 +141,10 @@ impl Comm {
 
     /// Broadcasts `data` from `root` to all ranks (binomial tree).
     pub fn bcast(&mut self, root: usize, data: &mut [f64]) {
+        self.traced("bcast", "mpi.coll.bcast", |c| c.bcast_impl(root, data))
+    }
+
+    fn bcast_impl(&mut self, root: usize, data: &mut [f64]) {
         let p = self.size();
         if p == 1 {
             return;
@@ -143,6 +178,10 @@ impl Comm {
     /// Gathers each rank's `data` on `root`; returns `Some(rows)` on root
     /// (rows in rank order), `None` elsewhere.
     pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        self.traced("gather", "mpi.coll.gather", |c| c.gather_impl(root, data))
+    }
+
+    fn gather_impl(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
         if self.rank() == root {
             let mut rows: Vec<Vec<f64>> = vec![Vec::new(); self.size()];
             rows[root] = data.to_vec();
@@ -169,6 +208,18 @@ impl Comm {
     /// # Panics
     /// Panics if the buffers are shorter than `size() * block`.
     pub fn alltoall_with(
+        &mut self,
+        algo: AlltoallAlgo,
+        send: &[f64],
+        block: usize,
+        recv: &mut [f64],
+    ) {
+        self.traced("alltoall", "mpi.coll.alltoall", |c| {
+            c.alltoall_with_impl(algo, send, block, recv)
+        })
+    }
+
+    fn alltoall_with_impl(
         &mut self,
         algo: AlltoallAlgo,
         send: &[f64],

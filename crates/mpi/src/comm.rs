@@ -1,12 +1,13 @@
 //! Per-rank communicator: point-to-point messaging with virtual-time
 //! accounting.
 
+use crate::diag::{BlockSite, BlockTable};
 use nkt_net::ClusterNetwork;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Message tag type (like MPI's integer tags).
 pub type Tag = u64;
@@ -23,6 +24,22 @@ pub struct Message {
     /// Virtual time at which the message is fully delivered at the
     /// receiver, per the network model.
     pub arrival: f64,
+}
+
+/// Per-rank traffic totals, maintained unconditionally (five integer
+/// bumps per message — cheap enough to never gate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages sent.
+    pub sent_msgs: u64,
+    /// Payload bytes sent (8 × f64 count).
+    pub sent_bytes: u64,
+    /// Messages received (matched and absorbed).
+    pub recvd_msgs: u64,
+    /// Payload bytes received.
+    pub recvd_bytes: u64,
+    /// High-water mark of the unmatched-message queue.
+    pub pending_peak: u64,
 }
 
 /// The per-rank communicator handle.
@@ -51,6 +68,16 @@ pub struct Comm {
     /// round uses more aggregate bandwidth than the fabric has (set by the
     /// collective implementations).
     pub(crate) contention: f64,
+    /// Traffic totals for diagnostics and trace export.
+    stats: CommStats,
+    /// World-shared table of per-rank blocking sites.
+    blocked: Arc<BlockTable>,
+    /// Host-time cap on a single `recv` wait (None = wait forever).
+    recv_deadline: Option<Duration>,
+    /// Which communication operation the current recv belongs to; the
+    /// collectives set this around their exchanges so blocking-site dumps
+    /// name `allreduce`/`alltoall`/... instead of the generic `p2p`.
+    pub(crate) op_label: &'static str,
 }
 
 impl Comm {
@@ -61,6 +88,8 @@ impl Comm {
         txs: Vec<Sender<Message>>,
         rx: Receiver<Message>,
         poison: Arc<AtomicBool>,
+        blocked: Arc<BlockTable>,
+        recv_deadline: Option<Duration>,
     ) -> Self {
         Comm {
             rank,
@@ -73,6 +102,10 @@ impl Comm {
             clock: 0.0,
             busy: 0.0,
             contention: 1.0,
+            stats: CommStats::default(),
+            blocked,
+            recv_deadline,
+            op_label: "p2p",
         }
     }
 
@@ -134,6 +167,8 @@ impl Comm {
         // arrival at the destination.
         self.clock += overhead;
         self.busy += overhead;
+        self.stats.sent_msgs += 1;
+        self.stats.sent_bytes += 8 * data.len() as u64;
         let msg = Message { src: self.rank, tag, data: data.to_vec(), arrival: self.clock + wire };
         self.txs[dest].send(msg).expect("send: destination rank terminated");
     }
@@ -141,6 +176,11 @@ impl Comm {
     /// Receives a message matching `src`/`tag` (None = wildcard). Blocks
     /// the thread until a match arrives; advances the virtual clock to the
     /// message's arrival time if that is later than now.
+    ///
+    /// # Panics
+    /// Panics — with a dump of every rank's blocking site — if a peer rank
+    /// panics while this rank waits, or if the wait exceeds the world's
+    /// recv deadline ([`crate::WorldOpts::recv_deadline`]).
     pub fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Message {
         // First scan messages already buffered.
         if let Some(pos) = self
@@ -149,18 +189,47 @@ impl Comm {
             .position(|m| src.is_none_or(|s| s == m.src) && tag.is_none_or(|t| t == m.tag))
         {
             let msg = self.pending.remove(pos).expect("position came from iter");
+            self.note_recvd(&msg);
             self.absorb_arrival(&msg);
             return msg;
         }
+        let wait_start = Instant::now();
+        let mut published = false;
+        let mut ever_published = false;
         loop {
             let msg = match self.rx.recv_timeout(Duration::from_millis(10)) {
                 Ok(msg) => msg,
                 Err(RecvTimeoutError::Timeout) => {
-                    assert!(
-                        !self.poison.load(Ordering::SeqCst),
-                        "recv: a peer rank panicked while rank {} was waiting",
-                        self.rank
-                    );
+                    // We are genuinely waiting. Publish where (once) so
+                    // that whichever rank aborts first can report every
+                    // rank's blocking site. This sits on the already-slow
+                    // 10 ms poll path, never on a satisfied recv.
+                    if !published {
+                        self.publish_block_site(src, tag);
+                        published = true;
+                        ever_published = true;
+                    }
+                    if self.poison.load(Ordering::SeqCst) {
+                        panic!(
+                            "recv: a peer rank panicked while rank {} was waiting\n{}",
+                            self.rank,
+                            self.blocked.dump()
+                        );
+                    }
+                    if let Some(d) = self.recv_deadline {
+                        if wait_start.elapsed() >= d {
+                            panic!(
+                                "recv: rank {} exceeded the {:.0?} recv deadline in \
+                                 {} recv (peer {}, tag {}) — likely deadlock\n{}",
+                                self.rank,
+                                d,
+                                self.op_label,
+                                src.map_or("any".to_string(), |s| s.to_string()),
+                                tag.map_or("any".to_string(), |t| t.to_string()),
+                                self.blocked.dump()
+                            );
+                        }
+                    }
                     continue;
                 }
                 Err(RecvTimeoutError::Disconnected) => {
@@ -170,11 +239,55 @@ impl Comm {
             let matches =
                 src.is_none_or(|s| s == msg.src) && tag.is_none_or(|t| t == msg.tag);
             if matches {
+                if ever_published {
+                    self.blocked.clear(self.rank);
+                }
+                self.note_recvd(&msg);
                 self.absorb_arrival(&msg);
                 return msg;
             }
             self.pending.push_back(msg);
+            self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len() as u64);
+            // The queue changed; refresh the published site next time we
+            // time out so the dump shows current backlog.
+            published = false;
         }
+    }
+
+    /// Records this rank's blocking site in the world-shared table.
+    fn publish_block_site(&self, src: Option<usize>, tag: Option<Tag>) {
+        self.blocked.publish(
+            self.rank,
+            BlockSite {
+                op: self.op_label,
+                peer: src,
+                tag,
+                queued_bytes: self.pending.iter().map(|m| 8 * m.data.len()).sum(),
+                queued_msgs: self.pending.len(),
+            },
+        );
+    }
+
+    fn note_recvd(&mut self, msg: &Message) {
+        self.stats.recvd_msgs += 1;
+        self.stats.recvd_bytes += 8 * msg.data.len() as u64;
+    }
+
+    /// Traffic totals so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Emits this rank's traffic totals into the thread-local trace
+    /// recorder (no-op below `NKT_TRACE=counters`). Called by the world
+    /// harness when the rank closure returns; callers holding a `Comm`
+    /// longer can invoke it at any checkpoint.
+    pub fn publish_trace_counters(&self) {
+        nkt_trace::counter_add("mpi.send.msgs", self.stats.sent_msgs);
+        nkt_trace::counter_add("mpi.send.bytes", self.stats.sent_bytes);
+        nkt_trace::counter_add("mpi.recv.msgs", self.stats.recvd_msgs);
+        nkt_trace::counter_add("mpi.recv.bytes", self.stats.recvd_bytes);
+        nkt_trace::gauge_set("mpi.recv.pending_peak", self.stats.pending_peak as f64);
     }
 
     fn absorb_arrival(&mut self, msg: &Message) {

@@ -23,8 +23,10 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod diag;
 pub mod world;
 
 pub use collectives::{AlltoallAlgo, ReduceOp};
-pub use comm::{Comm, Message, Tag};
-pub use world::run;
+pub use comm::{Comm, CommStats, Message, Tag};
+pub use diag::{BlockSite, BlockTable};
+pub use world::{run, run_cfg, WorldOpts};

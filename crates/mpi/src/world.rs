@@ -1,10 +1,33 @@
 //! World harness: spawns one thread per rank and runs a closure on each.
 
 use crate::comm::{Comm, Message};
+use crate::diag::BlockTable;
 use nkt_net::ClusterNetwork;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// World-level knobs for [`run_cfg`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorldOpts {
+    /// Host-time cap on any single `recv` wait. When a rank waits longer
+    /// — a lost message, a mismatched tag, a deadlocked collective — it
+    /// panics with a dump of every rank's blocking site instead of
+    /// hanging the test run forever. `None` (default) waits indefinitely.
+    pub recv_deadline: Option<Duration>,
+}
+
+impl WorldOpts {
+    /// Reads `NKT_MPI_DEADLINE_MS` (unset or unparsable = no deadline).
+    pub fn from_env() -> WorldOpts {
+        let recv_deadline = std::env::var("NKT_MPI_DEADLINE_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_millis);
+        WorldOpts { recv_deadline }
+    }
+}
 
 /// Flags the world as poisoned when its rank thread unwinds, so peers
 /// blocked in `recv` abort instead of waiting on a message that will
@@ -33,9 +56,24 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Sync,
 {
+    run_cfg(p, net, WorldOpts::from_env(), f)
+}
+
+/// [`run`] with explicit [`WorldOpts`] instead of the environment.
+///
+/// # Panics
+/// Propagates a panic from any rank thread with its original payload, so
+/// deadline/poison diagnostics (which rank blocked where) survive the
+/// join.
+pub fn run_cfg<R, F>(p: usize, net: ClusterNetwork, opts: WorldOpts, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
     assert!(p >= 1, "run: need at least one rank");
     let net = Arc::new(net);
     let poison = Arc::new(AtomicBool::new(false));
+    let blocked = Arc::new(BlockTable::new(p));
     let mut txs = Vec::with_capacity(p);
     let mut rxs = Vec::with_capacity(p);
     for _ in 0..p {
@@ -50,20 +88,31 @@ where
             let txs = txs.clone();
             let net = Arc::clone(&net);
             let poison = Arc::clone(&poison);
+            let blocked = Arc::clone(&blocked);
             handles.push(scope.spawn(move || {
                 // If this rank unwinds, poison the world so peers blocked
                 // in recv panic too instead of deadlocking (every rank
                 // holds sender clones to every rank, itself included, so
                 // channel disconnection alone cannot wake them).
                 let _guard = PoisonOnPanic(Arc::clone(&poison));
-                let mut comm = Comm::new(rank, p, net, txs, rx, poison);
-                f(&mut comm)
+                nkt_trace::set_thread_meta(format!("rank {rank}"), Some(rank));
+                let mut comm =
+                    Comm::new(rank, p, net, txs, rx, poison, blocked, opts.recv_deadline);
+                let out = f(&mut comm);
+                comm.publish_trace_counters();
+                nkt_trace::flush_thread();
+                out
             }));
         }
         drop(txs);
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // Re-raise with the original payload: the blocking-site
+                // dump inside a deadline panic must reach the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }

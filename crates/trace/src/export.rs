@@ -1,0 +1,286 @@
+//! Global collector and Chrome trace-event JSON exporter.
+//!
+//! Thread buffers drain here (at thread exit or [`flush_thread`]);
+//! [`export`] serializes everything collected so far into one
+//! `TRACE_<run>.json` using the Chrome trace-event *object* format:
+//!
+//! ```json
+//! { "traceEvents": [...], "displayTimeUnit": "ms", "metrics": {...} }
+//! ```
+//!
+//! Perfetto and `chrome://tracing` load the `traceEvents` array and
+//! ignore the extra `metrics` key, so one artifact is both the visual
+//! timeline and the machine-readable metrics dump. Host-time spans live
+//! on pid 0 ("host"); virtual-only spans (model replay) on pid 1
+//! ("virtual"), whose microseconds are *model* microseconds.
+
+use crate::metrics::merge_counters;
+use crate::span::{with_buf, SpanEvent, ThreadData};
+use crate::{mode, TraceMode};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static COLLECTOR: Mutex<Vec<ThreadData>> = Mutex::new(Vec::new());
+
+pub(crate) fn collect(data: ThreadData) {
+    COLLECTOR.lock().unwrap().push(data);
+}
+
+/// Drains the current thread's buffer into the global collector.
+pub fn flush_thread() {
+    with_buf(|b| {
+        let data = b.take_data();
+        if !(data.events.is_empty() && data.counters.is_empty() && data.gauges.is_empty()) {
+            collect(data);
+        }
+    });
+}
+
+/// Flushes the current thread, then drains and returns everything
+/// collected so far (tests; [`export`] uses it internally).
+pub fn take_collected() -> Vec<ThreadData> {
+    flush_thread();
+    std::mem::take(&mut COLLECTOR.lock().unwrap())
+}
+
+/// Exports everything recorded so far to `TRACE_<run>.json` in the
+/// configured directory. Returns the path, or `None` when tracing is
+/// off. Drains the collector: a second export only sees newer data.
+pub fn export(run: &str) -> Option<PathBuf> {
+    if mode() == TraceMode::Off {
+        return None;
+    }
+    let threads = take_collected();
+    let dir = crate::dir_override()
+        .or_else(|| std::env::var("NKT_TRACE_DIR").ok().map(PathBuf::from))
+        .unwrap_or_else(results_dir);
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("trace: cannot create {}: {e}", dir.display()));
+    let path = dir.join(format!("TRACE_{run}.json"));
+    let body = chrome_json(&threads);
+    std::fs::write(&path, body)
+        .unwrap_or_else(|e| panic!("trace: cannot write {}: {e}", path.display()));
+    eprintln!(
+        "trace '{run}': {} thread(s), {} span(s) -> {}",
+        threads.len(),
+        threads.iter().map(|t| t.events.len()).sum::<usize>(),
+        path.display()
+    );
+    Some(path)
+}
+
+/// Serializes collected thread data as Chrome trace-event JSON.
+pub fn chrome_json(threads: &[ThreadData]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("    ");
+        out.push_str(&line);
+    };
+    push(
+        r#"{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"host"}}"#.to_string(),
+        &mut out,
+    );
+    push(
+        r#"{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"virtual"}}"#.to_string(),
+        &mut out,
+    );
+    for t in threads {
+        if let Some(name) = &t.name {
+            for pid in [0u32, 1] {
+                push(
+                    format!(
+                        r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{},"args":{{"name":{}}}}}"#,
+                        t.tid,
+                        json_str(name)
+                    ),
+                    &mut out,
+                );
+            }
+        }
+        for e in &t.events {
+            push(event_json(e, t.tid), &mut out);
+        }
+    }
+    out.push_str("\n  ],\n  \"displayTimeUnit\": \"ms\",\n");
+    out.push_str(&metrics_json(threads));
+    out.push_str("}\n");
+    out
+}
+
+fn event_json(e: &SpanEvent, tid: u64) -> String {
+    // Virtual-only spans render on the "virtual" process with model
+    // microseconds; host spans on pid 0 with real microseconds.
+    let (pid, ts, dur) = if e.ts_us.is_finite() {
+        (0u32, e.ts_us, e.dur_us)
+    } else {
+        (1u32, e.vt0 * 1e6, (e.vt1 - e.vt0) * 1e6)
+    };
+    let mut args = format!("{{\"depth\":{}", e.depth);
+    if e.vt0.is_finite() {
+        let _ = write!(args, ",\"vt0\":{}", json_f64(e.vt0));
+    }
+    if e.vt1.is_finite() {
+        let _ = write!(args, ",\"vt1\":{}", json_f64(e.vt1));
+    }
+    args.push('}');
+    format!(
+        r#"{{"name":{},"cat":{},"ph":"X","ts":{},"dur":{},"pid":{pid},"tid":{tid},"args":{args}}}"#,
+        json_str(e.name),
+        json_str(e.cat),
+        json_f64(ts),
+        json_f64(dur),
+    )
+}
+
+fn metrics_json(threads: &[ThreadData]) -> String {
+    let mut out = String::from("  \"metrics\": {\n    \"per_thread\": [\n");
+    for (i, t) in threads.iter().enumerate() {
+        let comma = if i + 1 < threads.len() { "," } else { "" };
+        let rank = t.rank.map_or("null".to_string(), |r| r.to_string());
+        let mut counters = String::new();
+        for (j, (n, v)) in t.counters.iter().enumerate() {
+            let c = if j + 1 < t.counters.len() { ", " } else { "" };
+            let _ = write!(counters, "{}: {v}{c}", json_str(n));
+        }
+        let mut gauges = String::new();
+        for (j, (n, v)) in t.gauges.iter().enumerate() {
+            let c = if j + 1 < t.gauges.len() { ", " } else { "" };
+            let _ = write!(gauges, "{}: {}{c}", json_str(n), json_f64(*v));
+        }
+        let _ = writeln!(
+            out,
+            "      {{\"tid\": {}, \"rank\": {rank}, \"counters\": {{{counters}}}, \"gauges\": {{{gauges}}}}}{comma}",
+            t.tid
+        );
+    }
+    out.push_str("    ],\n    \"counter_totals\": {");
+    let mut totals: Vec<(&'static str, u64)> = Vec::new();
+    for t in threads {
+        merge_counters(&mut totals, &t.counters);
+    }
+    for (j, (n, v)) in totals.iter().enumerate() {
+        let c = if j + 1 < totals.len() { ", " } else { "" };
+        let _ = write!(out, "{}: {v}{c}", json_str(n));
+    }
+    out.push_str("}\n  }\n");
+    out
+}
+
+/// JSON string escape.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite-checked JSON number (JSON has no NaN/Inf).
+pub(crate) fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// `results/` at the workspace root: walk up from the running crate's
+/// manifest dir to the first `Cargo.toml` with a `[workspace]` section
+/// (same resolution as the bench harness).
+pub fn results_dir() -> PathBuf {
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: &std::path::Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir.join("results");
+                }
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return start.join("results"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.500");
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let t = ThreadData {
+            tid: 7,
+            rank: Some(3),
+            name: Some("rank 3".to_string()),
+            events: vec![SpanEvent {
+                name: "NonLinear",
+                cat: "stage",
+                ts_us: 10.0,
+                dur_us: 5.0,
+                vt0: 0.5,
+                vt1: 0.75,
+                depth: 1,
+            }],
+            counters: vec![("mpi.send.bytes", 1024)],
+            gauges: vec![("mpi.recv.pending_peak", 2.0)],
+        };
+        let s = chrome_json(&[t]);
+        assert!(s.contains("\"traceEvents\""));
+        assert!(s.contains("\"name\":\"NonLinear\""));
+        assert!(s.contains("\"cat\":\"stage\""));
+        assert!(s.contains("\"vt0\":0.500"));
+        assert!(s.contains("\"mpi.send.bytes\": 1024"));
+        assert!(s.contains("\"counter_totals\""));
+        assert!(s.contains("\"rank 3\""));
+    }
+
+    #[test]
+    fn virtual_only_events_land_on_pid_1() {
+        let e = SpanEvent {
+            name: "replayed",
+            cat: "replay",
+            ts_us: f64::NAN,
+            dur_us: f64::NAN,
+            vt0: 1.0,
+            vt1: 2.0,
+            depth: 0,
+        };
+        let s = event_json(&e, 4);
+        assert!(s.contains("\"pid\":1"), "{s}");
+        assert!(s.contains("\"ts\":1000000.000"), "{s}");
+        assert!(s.contains("\"dur\":1000000.000"), "{s}");
+    }
+}

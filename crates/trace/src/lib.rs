@@ -1,0 +1,168 @@
+//! # nkt-trace — workspace-wide tracing and metrics
+//!
+//! The paper's entire contribution is *measurement*: per-stage pies
+//! (Figures 12–16), per-machine kernel sweeps, Alltoall saturation. This
+//! crate is the observability substrate that lets the reproduction tell
+//! the same stories about itself: span timelines, typed counters/gauges,
+//! and a Chrome trace-event exporter whose output loads directly in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! ## Architecture
+//!
+//! * **Thread-local recorders** ([`span`], [`counter_add`], [`gauge_set`])
+//!   buffer events without any cross-thread synchronization on the hot
+//!   path. Each rank thread of `nkt-mpi` is one recorder; buffers drain
+//!   into a global collector when the thread exits (or on explicit
+//!   [`flush_thread`]).
+//! * **Dual timestamps**: spans always carry host [`std::time::Instant`]
+//!   times; spans around virtual-time regions (`nkt-mpi` collectives, the
+//!   model replay) additionally carry virtual-clock start/end seconds, so
+//!   paper-scale simulated runs produce the same timeline format as
+//!   native runs.
+//! * **Off-path cost**: every recording entry point starts with a single
+//!   relaxed atomic load of the global mode ([`mode`]). With
+//!   `NKT_TRACE=off` (the default) nothing else happens — bench numbers
+//!   are unaffected.
+//!
+//! ## Configuration
+//!
+//! | env var         | values                   | effect                          |
+//! |-----------------|--------------------------|---------------------------------|
+//! | `NKT_TRACE`     | `off` \| `counters` \| `spans` | recording mode (default `off`) |
+//! | `NKT_TRACE_DIR` | directory path           | where `TRACE_<run>.json` lands (default `<workspace>/results`) |
+//!
+//! The mode is latched from the environment on first use; embedders and
+//! tests can override it programmatically via [`set_mode`] /
+//! [`init`].
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use export::{export, flush_thread, results_dir, take_collected};
+pub use metrics::{counter_add, gauge_set, merge_counters};
+pub use span::{
+    current_tid, record_vspan, set_thread_meta, span, span_v, Span, SpanEvent, ThreadData,
+};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Recording mode, ordered by how much is captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceMode {
+    /// Nothing is recorded (a single relaxed atomic load per call site).
+    Off,
+    /// Counters and gauges only.
+    Counters,
+    /// Counters, gauges, and span timelines.
+    Spans,
+}
+
+/// Trace configuration (the programmatic twin of the env knobs).
+#[derive(Debug, Clone, Default)]
+pub struct TraceConfig {
+    /// Recording mode.
+    pub mode: Option<TraceMode>,
+    /// Output directory for `TRACE_<run>.json` (None = `NKT_TRACE_DIR`
+    /// env, falling back to `<workspace>/results`).
+    pub dir: Option<PathBuf>,
+}
+
+impl TraceConfig {
+    /// Reads `NKT_TRACE` and `NKT_TRACE_DIR`.
+    pub fn from_env() -> TraceConfig {
+        TraceConfig {
+            mode: std::env::var("NKT_TRACE").ok().map(|v| parse_mode(&v)),
+            dir: std::env::var("NKT_TRACE_DIR").ok().map(PathBuf::from),
+        }
+    }
+}
+
+fn parse_mode(v: &str) -> TraceMode {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "counters" => TraceMode::Counters,
+        "spans" | "on" | "1" => TraceMode::Spans,
+        _ => TraceMode::Off,
+    }
+}
+
+const MODE_UNINIT: u8 = u8::MAX;
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+static DIR_OVERRIDE: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Current recording mode. One relaxed atomic load on the fast path; the
+/// first call latches the mode from `NKT_TRACE`.
+#[inline]
+pub fn mode() -> TraceMode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => TraceMode::Off,
+        1 => TraceMode::Counters,
+        2 => TraceMode::Spans,
+        _ => init_mode_from_env(),
+    }
+}
+
+#[cold]
+fn init_mode_from_env() -> TraceMode {
+    let m = TraceConfig::from_env().mode.unwrap_or(TraceMode::Off);
+    // A racing thread may have latched first; either wrote the same
+    // env-derived value or an explicit set_mode, which wins.
+    let _ = MODE.compare_exchange(
+        MODE_UNINIT,
+        m as u8,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    match MODE.load(Ordering::Relaxed) {
+        1 => TraceMode::Counters,
+        2 => TraceMode::Spans,
+        _ => TraceMode::Off,
+    }
+}
+
+/// Overrides the recording mode (tests, embedders).
+pub fn set_mode(m: TraceMode) {
+    MODE.store(m as u8, Ordering::Relaxed);
+}
+
+/// Overrides the export directory (None restores env/default resolution).
+pub fn set_dir(dir: Option<PathBuf>) {
+    *DIR_OVERRIDE.lock().unwrap() = dir;
+}
+
+pub(crate) fn dir_override() -> Option<PathBuf> {
+    DIR_OVERRIDE.lock().unwrap().clone()
+}
+
+/// Applies a [`TraceConfig`]: unset fields keep the current behaviour.
+pub fn init(cfg: TraceConfig) {
+    if let Some(m) = cfg.mode {
+        set_mode(m);
+    }
+    if cfg.dir.is_some() {
+        set_dir(cfg.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(parse_mode("off"), TraceMode::Off);
+        assert_eq!(parse_mode("counters"), TraceMode::Counters);
+        assert_eq!(parse_mode("spans"), TraceMode::Spans);
+        assert_eq!(parse_mode("SPANS"), TraceMode::Spans);
+        assert_eq!(parse_mode("garbage"), TraceMode::Off);
+    }
+
+    #[test]
+    fn mode_ordering_reflects_detail() {
+        assert!(TraceMode::Off < TraceMode::Counters);
+        assert!(TraceMode::Counters < TraceMode::Spans);
+    }
+}

@@ -1,0 +1,73 @@
+//! Typed counter/gauge metrics, accumulated per thread.
+//!
+//! Counters are monotonic `u64` values with **saturating** arithmetic:
+//! an increment past `u64::MAX` pins at `u64::MAX` rather than wrapping,
+//! and merging per-thread slices into totals saturates the same way — a
+//! counter that overflowed stays visibly pinned instead of silently
+//! restarting near zero. Gauges are last-value `f64`s (per thread; merge
+//! keeps the last writer within a thread and reports per-thread values).
+//!
+//! Active in [`TraceMode::Counters`] and above; with tracing off each
+//! call is one relaxed atomic load.
+
+use crate::span::with_buf;
+use crate::{mode, TraceMode};
+
+/// Adds `delta` to the named counter of the current thread (saturating).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if mode() < TraceMode::Counters {
+        return;
+    }
+    with_buf(|b| {
+        let counters = &mut b.data.counters;
+        match counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = v.saturating_add(delta),
+            None => counters.push((name, delta)),
+        }
+    });
+}
+
+/// Sets the named gauge of the current thread to `v`.
+#[inline]
+pub fn gauge_set(name: &'static str, v: f64) {
+    if mode() < TraceMode::Counters {
+        return;
+    }
+    with_buf(|b| {
+        let gauges = &mut b.data.gauges;
+        match gauges.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, g)) => *g = v,
+            None => gauges.push((name, v)),
+        }
+    });
+}
+
+/// Merges a counter slice into an accumulator (saturating per name).
+pub fn merge_counters(into: &mut Vec<(&'static str, u64)>, from: &[(&'static str, u64)]) {
+    for &(name, v) in from {
+        match into.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, acc)) => *acc = acc.saturating_add(v),
+            None => into.push((name, v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_by_name() {
+        let mut acc = vec![("a", 1u64), ("b", 2)];
+        merge_counters(&mut acc, &[("b", 3), ("c", 4)]);
+        assert_eq!(acc, vec![("a", 1), ("b", 5), ("c", 4)]);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut acc = vec![("a", u64::MAX - 1)];
+        merge_counters(&mut acc, &[("a", 10)]);
+        assert_eq!(acc, vec![("a", u64::MAX)]);
+    }
+}

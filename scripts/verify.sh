@@ -23,7 +23,24 @@ for ex in quickstart cylinder_wake fourier_dns flapping_wing_ale cluster_compare
     cargo run --release --offline --example "$ex" > /dev/null
 done
 
-echo "== bench harness smoke (fast mode, writes results/BENCH_*.json) =="
-NKT_BENCH_FAST=1 cargo bench --offline -p nkt-bench > /dev/null
+echo "== trace smoke pass (spans mode + exported-JSON round-trip) =="
+# quickstart under NKT_TRACE=spans exports TRACE_quickstart.json and
+# asserts per-stage span totals match its StageClock ledger within 1%;
+# trace_timeline then re-parses the artifact like a consumer would.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+NKT_TRACE=spans NKT_TRACE_DIR="$trace_dir" \
+    cargo run --release --offline --example quickstart > /dev/null
+cargo run --release --offline --example trace_timeline -- \
+    "$trace_dir/TRACE_quickstart.json" > /dev/null
+
+echo "== bench harness smoke (fast mode) + bench_diff dry run =="
+NKT_BENCH_FAST=1 NKT_RESULTS_DIR="$trace_dir" \
+    cargo bench --offline -p nkt-bench > /dev/null
+# Dry run: exercises the diff against the committed baselines without
+# gating — fast-mode numbers on a loaded machine drift well past the
+# 3-MAD band. Gate deliberately with: scripts/bench_diff
+cargo run --release --offline -p nkt-bench --bin bench_diff -- \
+    --fresh "$trace_dir" || echo "bench_diff: drift noted (dry run, not gating)"
 
 echo "verify: OK"
