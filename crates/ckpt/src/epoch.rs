@@ -1,0 +1,384 @@
+//! Coordinated checkpoint epochs over `nkt-mpi`, plus the serial
+//! (single-process) variants the 2-D solver uses.
+//!
+//! ## Write protocol (barrier-delimited epoch)
+//!
+//! 1. **Quiesce.** Every rank enters [`Comm::quiesce`]: a barrier
+//!    followed by a drain of any already-delivered messages into the
+//!    pending queue. After the barrier, every pre-checkpoint send has
+//!    been matched or is sitting in its receiver's queue — nothing is
+//!    "on the wire" between ranks, so each rank's solver state plus its
+//!    pending queue is a consistent global cut. (The solvers checkpoint
+//!    at step boundaries where the pending queues are empty; the drain
+//!    is a guard, not a requirement.)
+//! 2. **Shard.** Each rank serializes its [`Checkpointable`] state plus
+//!    a `meta` section (kind, epoch, step, rank, nranks) and writes
+//!    `CKPT_<run>_r<rank>_e<epoch>.bin` atomically.
+//! 3. **Agree.** An allreduce-Min over a success flag: if *any* rank
+//!    failed its write, every rank gets [`CkptError::PeerFailed`] and
+//!    the partial epoch is left manifest-less (invisible to restore).
+//! 4. **Manifest.** After a barrier (all shards durably renamed), rank 0
+//!    writes `CKPT_<run>_e<epoch>.manifest` recording epoch, step and
+//!    shard count. The manifest is the epoch's commit record: restore
+//!    only considers epochs that have one.
+//! 5. **Prune.** Rank 0 removes epochs beyond the retention window, then
+//!    a final barrier releases the ranks.
+//!
+//! ## Restore protocol
+//!
+//! Rank 0 lists manifests and broadcasts the candidate epochs, newest
+//! first. For each candidate, every rank validates locally (manifest
+//! parses, shard count matches the world size, its own shard opens with
+//! all CRCs good and meta agreeing) and the ranks allreduce-Min their
+//! verdicts: the newest epoch that every rank can read wins. A torn or
+//! corrupted newest epoch is thereby skipped *collectively* — no rank
+//! restores from an epoch any peer rejected — and the run falls back to
+//! the previous one.
+
+use std::path::Path;
+
+use nkt_mpi::{Comm, ReduceOp};
+
+use crate::error::CkptError;
+use crate::format::{CkptFile, CkptWriter};
+use crate::policy::{ensure_dir, CkptConfig};
+use crate::codec::{Dec, Enc};
+use crate::traits::Checkpointable;
+
+/// Meta section present in every shard.
+const META_SECTION: &str = "meta";
+/// Sections in a manifest file.
+const MANIFEST_SECTION: &str = "epoch";
+
+/// What a successful restore reports back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreInfo {
+    /// Epoch restored from (== the step the snapshot was taken at).
+    pub epoch: u64,
+    /// Step count the solver resumes at.
+    pub step: u64,
+    /// True when the newest on-disk epoch was rejected and an older one
+    /// was used.
+    pub fell_back: bool,
+}
+
+fn meta_section(state: &dyn Checkpointable, epoch: u64, rank: usize, nranks: usize) -> Vec<u8> {
+    let mut e = Enc::new();
+    let kind = state.kind().as_bytes();
+    e.usize(kind.len());
+    for &b in kind {
+        e.u64(b as u64);
+    }
+    e.u64(epoch);
+    e.u64(state.ckpt_step());
+    e.usize(rank);
+    e.usize(nranks);
+    e.into_bytes()
+}
+
+fn check_meta(
+    d: &mut Dec<'_>,
+    kind: &str,
+    epoch: u64,
+    rank: usize,
+    nranks: usize,
+) -> Result<u64, CkptError> {
+    let klen = d.len_prefix(64)?;
+    let mut kbytes = Vec::with_capacity(klen);
+    for _ in 0..klen {
+        kbytes.push(d.u64()? as u8);
+    }
+    let file_kind = String::from_utf8_lossy(&kbytes).into_owned();
+    if file_kind != kind {
+        return Err(CkptError::StateMismatch {
+            what: format!("solver kind: checkpoint is '{file_kind}', restoring into '{kind}'"),
+        });
+    }
+    d.expect_u64(epoch, "epoch")?;
+    let step = d.u64()?;
+    d.expect_u64(rank as u64, "rank")?;
+    d.expect_u64(nranks as u64, "world size")?;
+    Ok(step)
+}
+
+/// Builds the shard container for one rank (shared by the parallel and
+/// serial writers).
+fn build_shard(state: &dyn Checkpointable, epoch: u64, rank: usize, nranks: usize) -> CkptWriter {
+    let mut w = CkptWriter::new();
+    w.section(META_SECTION, meta_section(state, epoch, rank, nranks));
+    state.write_sections(&mut w);
+    w
+}
+
+/// Validates one shard file against the expected identity and hands the
+/// step count back.
+fn open_shard(
+    path: &Path,
+    kind: &str,
+    epoch: u64,
+    rank: usize,
+    nranks: usize,
+) -> Result<(CkptFile, u64), CkptError> {
+    let f = CkptFile::open(path)?;
+    let mut d = f.dec(META_SECTION)?;
+    let step = check_meta(&mut d, kind, epoch, rank, nranks)?;
+    d.finish()?;
+    Ok((f, step))
+}
+
+fn write_manifest(cfg: &CkptConfig, epoch: u64, step: u64, nranks: usize) -> Result<(), CkptError> {
+    let mut e = Enc::new();
+    e.u64(epoch);
+    e.u64(step);
+    e.usize(nranks);
+    let mut w = CkptWriter::new();
+    w.section(MANIFEST_SECTION, e.into_bytes());
+    w.write_to(&cfg.manifest_path(epoch))?;
+    Ok(())
+}
+
+/// Parses a manifest, returning `(step, nranks)` for `epoch`.
+fn read_manifest(cfg: &CkptConfig, epoch: u64) -> Result<(u64, usize), CkptError> {
+    let f = CkptFile::open(&cfg.manifest_path(epoch))?;
+    let mut d = f.dec(MANIFEST_SECTION)?;
+    let man_epoch = d.u64()?;
+    if man_epoch != epoch {
+        return Err(CkptError::Manifest {
+            what: format!("file named epoch {epoch} records epoch {man_epoch}"),
+        });
+    }
+    let step = d.u64()?;
+    let nranks = d.len_prefix(1 << 20)?;
+    d.finish()?;
+    Ok((step, nranks))
+}
+
+/// Coordinated epoch write for a rank-parallel solver. Call from every
+/// rank with the same `step`; returns only after the epoch is either
+/// fully committed (manifest on disk) or collectively abandoned.
+pub fn write_epoch(
+    comm: &mut Comm,
+    cfg: &CkptConfig,
+    step: usize,
+    state: &dyn Checkpointable,
+) -> Result<(), CkptError> {
+    let epoch = step as u64;
+    let sp = nkt_trace::span_v("ckpt.write", "ckpt", comm.wtime());
+    let result = write_epoch_inner(comm, cfg, epoch, state);
+    sp.end_v(comm.wtime());
+    result
+}
+
+fn write_epoch_inner(
+    comm: &mut Comm,
+    cfg: &CkptConfig,
+    epoch: u64,
+    state: &dyn Checkpointable,
+) -> Result<(), CkptError> {
+    comm.quiesce();
+
+    let rank = comm.rank();
+    let nranks = comm.size();
+    let shard_result: Result<u64, CkptError> = (|| {
+        ensure_dir(&cfg.dir)?;
+        let w = build_shard(state, epoch, rank, nranks);
+        let bytes = w.write_to(&cfg.shard_path(epoch, rank))?;
+        Ok(bytes)
+    })();
+
+    let mut ok = [if shard_result.is_ok() { 1.0 } else { 0.0 }];
+    comm.allreduce(&mut ok, ReduceOp::Min);
+    match (&shard_result, ok[0] >= 1.0) {
+        (Ok(bytes), true) => {
+            nkt_trace::counter_add("ckpt.write.bytes", *bytes);
+            nkt_trace::counter_add("ckpt.write.shards", 1);
+        }
+        (Ok(_), false) => {
+            // A peer failed; this rank's shard is orphaned (no manifest
+            // will name it). Remove it so it cannot confuse a listing.
+            std::fs::remove_file(cfg.shard_path(epoch, rank)).ok();
+            return Err(CkptError::PeerFailed { epoch });
+        }
+        (Err(_), _) => return shard_result.map(|_| ()),
+    }
+
+    // All shards are durably in place past this barrier; commit.
+    comm.barrier();
+    let mut commit_ok = [1.0f64];
+    if rank == 0 {
+        if write_manifest(cfg, epoch, state.ckpt_step(), nranks).is_err() {
+            commit_ok[0] = 0.0;
+        } else {
+            for old in cfg.list_epochs().into_iter().skip(cfg.keep) {
+                cfg.remove_epoch(old, nranks);
+            }
+        }
+    }
+    comm.bcast(0, &mut commit_ok);
+    if commit_ok[0] < 1.0 {
+        return Err(CkptError::PeerFailed { epoch });
+    }
+    Ok(())
+}
+
+/// Collectively finds the newest epoch every rank can restore from and
+/// applies it to `state`. Returns [`RestoreInfo`] or
+/// [`CkptError::NoValidEpoch`] when nothing on disk survives validation.
+pub fn restore_latest(
+    comm: &mut Comm,
+    cfg: &CkptConfig,
+    state: &mut dyn Checkpointable,
+) -> Result<RestoreInfo, CkptError> {
+    let sp = nkt_trace::span_v("ckpt.restore", "ckpt", comm.wtime());
+    let result = restore_latest_inner(comm, cfg, state);
+    sp.end_v(comm.wtime());
+    result
+}
+
+fn restore_latest_inner(
+    comm: &mut Comm,
+    cfg: &CkptConfig,
+    state: &mut dyn Checkpointable,
+) -> Result<RestoreInfo, CkptError> {
+    let rank = comm.rank();
+    let nranks = comm.size();
+
+    // Rank 0 lists candidate epochs (newest first) and broadcasts them.
+    // Epochs are step numbers — far below 2^53, so the f64 transport the
+    // collectives use is exact.
+    let mut count = [0.0f64];
+    let epochs_r0: Vec<u64> = if rank == 0 { cfg.list_epochs() } else { Vec::new() };
+    if rank == 0 {
+        count[0] = epochs_r0.len() as f64;
+    }
+    comm.bcast(0, &mut count);
+    let n = count[0] as usize;
+    let mut buf: Vec<f64> = if rank == 0 {
+        epochs_r0.iter().map(|&e| e as f64).collect()
+    } else {
+        vec![0.0; n]
+    };
+    comm.bcast(0, &mut buf);
+    let epochs: Vec<u64> = buf.iter().map(|&e| e as u64).collect();
+
+    let mut tried = Vec::new();
+    let mut last_cause: Option<String> = None;
+    let mut fell_back = false;
+    for &epoch in &epochs {
+        tried.push(epoch);
+        // Local validation: manifest + own shard, CRCs eager in open().
+        let local: Result<(CkptFile, u64), CkptError> = (|| {
+            let (step, man_ranks) = read_manifest(cfg, epoch)?;
+            if man_ranks != nranks {
+                return Err(CkptError::Manifest {
+                    what: format!("epoch {epoch} was written by {man_ranks} ranks, world has {nranks}"),
+                });
+            }
+            let (f, shard_step) = open_shard(&cfg.shard_path(epoch, rank), state.kind(), epoch, rank, nranks)?;
+            if shard_step != step {
+                return Err(CkptError::Manifest {
+                    what: format!("epoch {epoch}: shard records step {shard_step}, manifest {step}"),
+                });
+            }
+            Ok((f, step))
+        })();
+
+        let mut ok = [if local.is_ok() { 1.0 } else { 0.0 }];
+        comm.allreduce(&mut ok, ReduceOp::Min);
+        match (local, ok[0] >= 1.0) {
+            (Ok((f, step)), true) => {
+                state.read_sections(&f)?;
+                nkt_trace::counter_add("ckpt.restore.bytes", f.payload_bytes());
+                nkt_trace::counter_add("ckpt.restore.shards", 1);
+                if fell_back {
+                    nkt_trace::counter_add("ckpt.restore.fallbacks", 1);
+                }
+                return Ok(RestoreInfo { epoch, step, fell_back });
+            }
+            (local, _) => {
+                if let Err(e) = local {
+                    last_cause.get_or_insert_with(|| format!("rank {rank}: {e}"));
+                } else {
+                    last_cause.get_or_insert_with(|| format!("epoch {epoch} rejected by a peer rank"));
+                }
+                fell_back = true;
+            }
+        }
+    }
+    Err(CkptError::NoValidEpoch { tried, last_cause })
+}
+
+/// Serial (single-process) epoch write for the 2-D solver: same file
+/// layout with `rank = 0`, `nranks = 1`, no collectives.
+pub fn write_epoch_serial(
+    cfg: &CkptConfig,
+    step: usize,
+    state: &dyn Checkpointable,
+) -> Result<(), CkptError> {
+    let epoch = step as u64;
+    let sp = nkt_trace::span("ckpt.write", "ckpt");
+    let result = (|| {
+        ensure_dir(&cfg.dir)?;
+        let w = build_shard(state, epoch, 0, 1);
+        let bytes = w.write_to(&cfg.shard_path(epoch, 0))?;
+        write_manifest(cfg, epoch, state.ckpt_step(), 1)?;
+        nkt_trace::counter_add("ckpt.write.bytes", bytes);
+        nkt_trace::counter_add("ckpt.write.shards", 1);
+        for old in cfg.list_epochs().into_iter().skip(cfg.keep) {
+            cfg.remove_epoch(old, 1);
+        }
+        Ok(())
+    })();
+    sp.end();
+    result
+}
+
+/// Serial restore: newest epoch that validates, with the same
+/// fall-back-to-previous behaviour as the coordinated path.
+pub fn restore_latest_serial(
+    cfg: &CkptConfig,
+    state: &mut dyn Checkpointable,
+) -> Result<RestoreInfo, CkptError> {
+    let sp = nkt_trace::span("ckpt.restore", "ckpt");
+    let result = (|| {
+        let mut tried = Vec::new();
+        let mut last_cause = None;
+        let mut fell_back = false;
+        for epoch in cfg.list_epochs() {
+            tried.push(epoch);
+            let attempt: Result<(CkptFile, u64), CkptError> = (|| {
+                let (step, man_ranks) = read_manifest(cfg, epoch)?;
+                if man_ranks != 1 {
+                    return Err(CkptError::Manifest {
+                        what: format!("epoch {epoch} was written by {man_ranks} ranks, expected 1"),
+                    });
+                }
+                let (f, shard_step) = open_shard(&cfg.shard_path(epoch, 0), state.kind(), epoch, 0, 1)?;
+                if shard_step != step {
+                    return Err(CkptError::Manifest {
+                        what: format!("epoch {epoch}: shard records step {shard_step}, manifest {step}"),
+                    });
+                }
+                Ok((f, step))
+            })();
+            match attempt {
+                Ok((f, step)) => {
+                    state.read_sections(&f)?;
+                    nkt_trace::counter_add("ckpt.restore.bytes", f.payload_bytes());
+                    nkt_trace::counter_add("ckpt.restore.shards", 1);
+                    if fell_back {
+                        nkt_trace::counter_add("ckpt.restore.fallbacks", 1);
+                    }
+                    return Ok(RestoreInfo { epoch, step, fell_back });
+                }
+                Err(e) => {
+                    last_cause.get_or_insert_with(|| e.to_string());
+                    fell_back = true;
+                }
+            }
+        }
+        Err(CkptError::NoValidEpoch { tried, last_cause })
+    })();
+    sp.end();
+    result
+}

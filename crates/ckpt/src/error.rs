@@ -1,0 +1,150 @@
+//! Typed checkpoint errors. The restore path **never panics**: every
+//! malformed byte a reader can encounter — bad magic, an unknown format
+//! version, a truncated header, a CRC mismatch, a section that decodes
+//! short — maps to a [`CkptError`] variant naming the section and offset
+//! where the damage was found, so an operator staring at a failed restart
+//! knows which file (and which bytes of it) to inspect.
+
+use std::fmt;
+
+/// Everything that can go wrong writing or (much more importantly)
+/// reading a checkpoint.
+#[derive(Debug)]
+pub enum CkptError {
+    /// An OS-level I/O failure, with the path and operation that failed.
+    Io {
+        /// What the operation was doing (`"write shard"`, `"rename"`, ...).
+        op: String,
+        /// File involved.
+        path: String,
+        /// The underlying error, stringified.
+        err: String,
+    },
+    /// The file does not start with the `NKTC` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file's format version is not one this reader understands.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The file ended before a structure could be read in full.
+    Truncated {
+        /// Which structure was being read (`"header"`, a section name, ...).
+        section: String,
+        /// Absolute file offset at which reading stopped.
+        offset: u64,
+        /// Bytes needed to finish the structure.
+        needed: u64,
+        /// Bytes actually available.
+        have: u64,
+    },
+    /// A section's payload failed its CRC-32 check.
+    Crc {
+        /// Section name from the header table.
+        section: String,
+        /// Absolute file offset of the section payload.
+        offset: u64,
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC computed over the payload as read.
+        found: u32,
+    },
+    /// A section named by the reader is not present in the file.
+    MissingSection {
+        /// The requested section.
+        name: String,
+    },
+    /// A section's bytes did not decode as the expected values.
+    Decode {
+        /// Section being decoded.
+        section: String,
+        /// Absolute file offset of the failing read.
+        offset: u64,
+        /// What the decoder expected there.
+        what: String,
+    },
+    /// The checkpoint is internally valid but does not fit the state it
+    /// is being restored into (wrong solver kind, dof count, rank
+    /// layout, ...).
+    StateMismatch {
+        /// Human description of the disagreement.
+        what: String,
+    },
+    /// The epoch manifest is malformed or inconsistent with its shards.
+    Manifest {
+        /// Description of the inconsistency.
+        what: String,
+    },
+    /// A peer rank failed its part of a coordinated checkpoint; this
+    /// rank's shard (if any) was discarded from the epoch.
+    PeerFailed {
+        /// The epoch being written.
+        epoch: u64,
+    },
+    /// No checkpoint epoch in the directory survived validation.
+    NoValidEpoch {
+        /// Epochs that were tried, newest first.
+        tried: Vec<u64>,
+        /// Why the newest candidate was rejected (when one existed).
+        last_cause: Option<String>,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io { op, path, err } => {
+                write!(f, "checkpoint I/O: {op} {path}: {err}")
+            }
+            CkptError::BadMagic { found } => {
+                write!(f, "not a checkpoint file: magic {found:02x?} (want \"NKTC\")")
+            }
+            CkptError::BadVersion { found, expected } => {
+                write!(f, "unsupported checkpoint format version {found} (this build reads {expected})")
+            }
+            CkptError::Truncated { section, offset, needed, have } => write!(
+                f,
+                "truncated checkpoint: section '{section}' at offset {offset} needs {needed} bytes, only {have} available"
+            ),
+            CkptError::Crc { section, offset, expected, found } => write!(
+                f,
+                "corrupted checkpoint: section '{section}' at offset {offset} CRC {found:#010x} != recorded {expected:#010x}"
+            ),
+            CkptError::MissingSection { name } => {
+                write!(f, "checkpoint has no section '{name}'")
+            }
+            CkptError::Decode { section, offset, what } => write!(
+                f,
+                "undecodable checkpoint: section '{section}' at offset {offset}: expected {what}"
+            ),
+            CkptError::StateMismatch { what } => {
+                write!(f, "checkpoint does not match the running solver: {what}")
+            }
+            CkptError::Manifest { what } => write!(f, "bad checkpoint manifest: {what}"),
+            CkptError::PeerFailed { epoch } => {
+                write!(f, "a peer rank failed while writing checkpoint epoch {epoch}")
+            }
+            CkptError::NoValidEpoch { tried, last_cause } => {
+                write!(f, "no valid checkpoint epoch (tried {tried:?}")?;
+                if let Some(c) = last_cause {
+                    write!(f, "; newest rejected because: {c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl CkptError {
+    /// Wraps an [`std::io::Error`] with the operation and path context.
+    pub fn io(op: &str, path: &std::path::Path, err: std::io::Error) -> CkptError {
+        CkptError::Io { op: op.to_string(), path: path.display().to_string(), err: err.to_string() }
+    }
+}

@@ -667,6 +667,170 @@ impl NektarAle {
     pub fn steps(&self) -> usize {
         self.steps_taken
     }
+
+    /// Collective restore from the newest valid checkpoint epoch.
+    ///
+    /// Wraps [`nkt_ckpt::restore_latest`] because rebuilding the moving
+    /// mesh needs the communicator: after the sections are read back
+    /// (vertex positions, per-element scales), the Helmholtz diagonal
+    /// preconditioners that [`NektarAle::step`] keeps in sync with the
+    /// mesh must be recomputed — a collective [`HexHelmholtz::rebuild_diag`]
+    /// on the velocity, pressure and mesh operators. The mass operator's
+    /// diagonal deliberately stays as built: `step` never refreshes it
+    /// either, and bitwise restart fidelity means doing exactly what the
+    /// uninterrupted run does.
+    pub fn restore_ckpt(
+        &mut self,
+        comm: &mut Comm,
+        cfg: &nkt_ckpt::CkptConfig,
+    ) -> Result<nkt_ckpt::RestoreInfo, nkt_ckpt::CkptError> {
+        let info = nkt_ckpt::restore_latest(comm, cfg, self)?;
+        if self.cfg.motion_amp != 0.0 {
+            self.vel_op.rebuild_diag(comm);
+            self.press_op.rebuild_diag(comm);
+            self.mesh_op.rebuild_diag(comm);
+        }
+        Ok(info)
+    }
+}
+
+impl nkt_ckpt::Checkpointable for NektarAle {
+    fn kind(&self) -> &'static str {
+        "ale"
+    }
+
+    fn write_sections(&self, w: &mut nkt_ckpt::CkptWriter) {
+        // "fields": dof-count guards, then velocity and pressure modal
+        // coefficients.
+        let mut e = nkt_ckpt::Enc::new();
+        e.usize(self.vel_op.nlocal());
+        e.usize(self.press_op.nlocal());
+        for c in &self.u {
+            e.f64s(c);
+        }
+        e.f64s(&self.p);
+        w.section("fields", e.into_bytes());
+
+        // "hist": stiffly-stable history (velocity and nonlinear terms
+        // at quadrature points, newest first).
+        let mut e = nkt_ckpt::Enc::new();
+        e.usize(self.hist_vel.len());
+        for level in &self.hist_vel {
+            for c in level {
+                e.f64s(c);
+            }
+        }
+        e.usize(self.hist_n.len());
+        for level in &self.hist_n {
+            for c in level {
+                e.f64s(c);
+            }
+        }
+        w.section("hist", e.into_bytes());
+
+        // "mesh": the moving-mesh state — simulated time, vertex
+        // positions, per-element scales (shared by every operator), and
+        // the last solve iteration counts (observability only, but kept
+        // so a restored run reports what the interrupted one would).
+        let mut e = nkt_ckpt::Enc::new();
+        e.f64(self.time);
+        e.usize(self.mesh.verts.len());
+        for v in &self.mesh.verts {
+            e.f64(v[0]);
+            e.f64(v[1]);
+            e.f64(v[2]);
+        }
+        e.usize(self.vel_op.scales.len());
+        for s in &self.vel_op.scales {
+            e.f64(s[0]);
+            e.f64(s[1]);
+            e.f64(s[2]);
+        }
+        e.usize(self.last_iters.0);
+        e.usize(self.last_iters.1);
+        e.usize(self.last_iters.2);
+        w.section("mesh", e.into_bytes());
+
+        let mut e = nkt_ckpt::Enc::new();
+        e.usize(self.steps_taken);
+        w.section("steps", e.into_bytes());
+
+        let mut e = nkt_ckpt::Enc::new();
+        for t in self.clock.totals {
+            e.f64(t);
+        }
+        w.section(nkt_ckpt::CLOCK_SECTION, e.into_bytes());
+    }
+
+    fn read_sections(&mut self, f: &nkt_ckpt::CkptFile) -> Result<(), nkt_ckpt::CkptError> {
+        let mut d = f.dec("fields")?;
+        d.expect_u64(self.vel_op.nlocal() as u64, "ale velocity dof count")?;
+        d.expect_u64(self.press_op.nlocal() as u64, "ale pressure dof count")?;
+        for c in self.u.iter_mut() {
+            *c = d.f64s()?;
+        }
+        self.p = d.f64s()?;
+        d.finish()?;
+
+        let mut d = f.dec("hist")?;
+        let n_vel = d.len_prefix(64)?;
+        self.hist_vel.clear();
+        for _ in 0..n_vel {
+            let mut level: [Vec<f64>; 3] = Default::default();
+            for c in level.iter_mut() {
+                *c = d.f64s()?;
+            }
+            self.hist_vel.push_back(level);
+        }
+        let n_n = d.len_prefix(64)?;
+        self.hist_n.clear();
+        for _ in 0..n_n {
+            let mut level: [Vec<f64>; 3] = Default::default();
+            for c in level.iter_mut() {
+                *c = d.f64s()?;
+            }
+            self.hist_n.push_back(level);
+        }
+        d.finish()?;
+
+        let mut d = f.dec("mesh")?;
+        self.time = d.f64()?;
+        d.expect_u64(self.mesh.verts.len() as u64, "ale vertex count")?;
+        for v in self.mesh.verts.iter_mut() {
+            v[0] = d.f64()?;
+            v[1] = d.f64()?;
+            v[2] = d.f64()?;
+        }
+        d.expect_u64(self.vel_op.scales.len() as u64, "ale element count")?;
+        for le in 0..self.vel_op.scales.len() {
+            let s = [d.f64()?, d.f64()?, d.f64()?];
+            self.vel_op.scales[le] = s;
+            self.press_op.scales[le] = s;
+            self.mass_op.scales[le] = s;
+            self.mesh_op.scales[le] = s;
+            for r in &mut self.ramp_ops {
+                r.scales[le] = s;
+            }
+        }
+        self.last_iters =
+            (d.u64()? as usize, d.u64()? as usize, d.u64()? as usize);
+        d.finish()?;
+
+        let mut d = f.dec("steps")?;
+        self.steps_taken = d.u64()? as usize;
+        d.finish()?;
+
+        let mut d = f.dec(nkt_ckpt::CLOCK_SECTION)?;
+        for t in self.clock.totals.iter_mut() {
+            *t = d.f64()?;
+        }
+        d.finish()?;
+        Ok(())
+    }
+
+    fn ckpt_step(&self) -> u64 {
+        self.steps_taken as u64
+    }
 }
 
 /// Sum-factorized modal → quadrature evaluation (B ⊗ B ⊗ B).

@@ -759,6 +759,114 @@ impl NektarF {
     }
 }
 
+fn write_planes(e: &mut nkt_ckpt::Enc, levels: &VecDeque<Vec<[ModePlane; 3]>>) {
+    e.usize(levels.len());
+    for level in levels {
+        e.usize(level.len());
+        for comps in level {
+            for mp in comps {
+                e.f64s(&mp.a);
+                e.f64s(&mp.b);
+            }
+        }
+    }
+}
+
+fn read_planes(
+    d: &mut nkt_ckpt::Dec<'_>,
+    nmodes: usize,
+) -> Result<VecDeque<Vec<[ModePlane; 3]>>, nkt_ckpt::CkptError> {
+    let nlevels = d.len_prefix(64)?;
+    let mut out = VecDeque::with_capacity(nlevels);
+    for _ in 0..nlevels {
+        d.expect_u64(nmodes as u64, "fourier history mode count")?;
+        let mut level = Vec::with_capacity(nmodes);
+        for _ in 0..nmodes {
+            let mut comps: [ModePlane; 3] = Default::default();
+            for mp in comps.iter_mut() {
+                mp.a = d.f64s()?;
+                mp.b = d.f64s()?;
+            }
+            level.push(comps);
+        }
+        out.push_back(level);
+    }
+    Ok(out)
+}
+
+impl nkt_ckpt::Checkpointable for NektarF {
+    fn kind(&self) -> &'static str {
+        "fourier"
+    }
+
+    fn write_sections(&self, w: &mut nkt_ckpt::CkptWriter) {
+        // "fields": rank-layout guards (mode block, dof count, plane
+        // size), then per-mode cos/sin modal coefficients for u, v, w.
+        let mut e = nkt_ckpt::Enc::new();
+        e.usize(self.my_modes.start);
+        e.usize(self.my_modes.len());
+        e.usize(self.viscous[0].asm.ndof);
+        e.usize(self.nq_total);
+        for comps in &self.fields {
+            for mc in comps {
+                e.f64s(&mc.a);
+                e.f64s(&mc.b);
+            }
+        }
+        w.section("fields", e.into_bytes());
+
+        let mut e = nkt_ckpt::Enc::new();
+        write_planes(&mut e, &self.hist_vel);
+        write_planes(&mut e, &self.hist_n);
+        w.section("hist", e.into_bytes());
+
+        let mut e = nkt_ckpt::Enc::new();
+        e.usize(self.steps_taken);
+        w.section("steps", e.into_bytes());
+
+        let mut e = nkt_ckpt::Enc::new();
+        for t in self.clock.totals {
+            e.f64(t);
+        }
+        w.section(nkt_ckpt::CLOCK_SECTION, e.into_bytes());
+    }
+
+    fn read_sections(&mut self, f: &nkt_ckpt::CkptFile) -> Result<(), nkt_ckpt::CkptError> {
+        let mut d = f.dec("fields")?;
+        d.expect_u64(self.my_modes.start as u64, "fourier mode-block start")?;
+        d.expect_u64(self.my_modes.len() as u64, "fourier mode-block length")?;
+        d.expect_u64(self.viscous[0].asm.ndof as u64, "fourier dof count")?;
+        d.expect_u64(self.nq_total as u64, "fourier plane quadrature size")?;
+        for comps in self.fields.iter_mut() {
+            for mc in comps.iter_mut() {
+                mc.a = d.f64s()?;
+                mc.b = d.f64s()?;
+            }
+        }
+        d.finish()?;
+
+        let mut d = f.dec("hist")?;
+        self.hist_vel = read_planes(&mut d, self.my_modes.len())?;
+        self.hist_n = read_planes(&mut d, self.my_modes.len())?;
+        d.finish()?;
+
+        let mut d = f.dec("steps")?;
+        self.steps_taken = d.u64()? as usize;
+        d.finish()?;
+
+        let mut d = f.dec(nkt_ckpt::CLOCK_SECTION)?;
+        for t in self.clock.totals.iter_mut() {
+            *t = d.f64()?;
+        }
+        d.finish()?;
+        Ok(())
+    }
+
+    fn ckpt_step(&self) -> u64 {
+        self.steps_taken as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -508,6 +508,95 @@ impl Serial2dSolver {
     }
 }
 
+impl nkt_ckpt::Checkpointable for Serial2dSolver {
+    fn kind(&self) -> &'static str {
+        "serial2d"
+    }
+
+    fn write_sections(&self, w: &mut nkt_ckpt::CkptWriter) {
+        // "fields": dof-count guard, then the modal coefficient vectors.
+        // The Dirichlet value vectors ride along: they are fixed by the
+        // boundary data at construction, but persisting them makes the
+        // shard self-describing about what the run was solving.
+        let mut e = nkt_ckpt::Enc::new();
+        e.usize(self.viscous.asm.ndof);
+        e.f64s(&self.u);
+        e.f64s(&self.v);
+        e.f64s(&self.p);
+        e.f64s(&self.ud_u);
+        e.f64s(&self.ud_v);
+        w.section("fields", e.into_bytes());
+
+        // "hist": the stiffly-stable history ring (velocity and
+        // nonlinear-term quadrature fields, newest first).
+        let mut e = nkt_ckpt::Enc::new();
+        e.usize(self.hist_uq.len());
+        for (uq, vq) in &self.hist_uq {
+            e.vecs(uq);
+            e.vecs(vq);
+        }
+        e.usize(self.hist_n.len());
+        for (nu, nv) in &self.hist_n {
+            e.vecs(nu);
+            e.vecs(nv);
+        }
+        w.section("hist", e.into_bytes());
+
+        let mut e = nkt_ckpt::Enc::new();
+        e.usize(self.steps_taken);
+        w.section("steps", e.into_bytes());
+
+        let mut e = nkt_ckpt::Enc::new();
+        for t in self.clock.totals {
+            e.f64(t);
+        }
+        w.section(nkt_ckpt::CLOCK_SECTION, e.into_bytes());
+    }
+
+    fn read_sections(&mut self, f: &nkt_ckpt::CkptFile) -> Result<(), nkt_ckpt::CkptError> {
+        let mut d = f.dec("fields")?;
+        d.expect_u64(self.viscous.asm.ndof as u64, "serial2d dof count")?;
+        self.u = d.f64s()?;
+        self.v = d.f64s()?;
+        self.p = d.f64s()?;
+        self.ud_u = d.f64s()?;
+        self.ud_v = d.f64s()?;
+        d.finish()?;
+
+        let mut d = f.dec("hist")?;
+        let n_uq = d.len_prefix(64)?;
+        self.hist_uq.clear();
+        for _ in 0..n_uq {
+            let uq = d.vecs()?;
+            let vq = d.vecs()?;
+            self.hist_uq.push_back((uq, vq));
+        }
+        let n_n = d.len_prefix(64)?;
+        self.hist_n.clear();
+        for _ in 0..n_n {
+            let nu = d.vecs()?;
+            let nv = d.vecs()?;
+            self.hist_n.push_back((nu, nv));
+        }
+        d.finish()?;
+
+        let mut d = f.dec("steps")?;
+        self.steps_taken = d.u64()? as usize;
+        d.finish()?;
+
+        let mut d = f.dec(nkt_ckpt::CLOCK_SECTION)?;
+        for t in self.clock.totals.iter_mut() {
+            *t = d.f64()?;
+        }
+        d.finish()?;
+        Ok(())
+    }
+
+    fn ckpt_step(&self) -> u64 {
+        self.steps_taken as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

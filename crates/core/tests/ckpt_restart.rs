@@ -1,0 +1,286 @@
+//! The checkpoint/restart contract, as properties: a run interrupted at
+//! step `k` and restored from its `CKPT_*` files continues **bitwise
+//! identically** to the run that was never interrupted — the FNV state
+//! hash (all sections except the wall-clock ledger) matches step for
+//! step, on every rank, for all three solvers. The kill step and (for
+//! NekTar-F) the rank count are drawn by `prop_check!`, so the property
+//! covers checkpoints taken at ramp-up steps (partial multistep
+//! history) as well as steady-state ones.
+
+use nektar::ale::{AleConfig, NektarAle};
+use nektar::fourier::{FourierConfig, NektarF};
+use nektar::{Serial2dSolver, SolverConfig};
+use nkt_ckpt::{
+    restore_latest, restore_latest_serial, write_epoch, write_epoch_serial, Checkpointable,
+    CkptConfig,
+};
+use nkt_mesh::{box_hexes, rect_quads, Mesh2d, Mesh3d};
+use nkt_mpi::run;
+use nkt_net::{cluster, ClusterNetwork, NetId};
+use nkt_partition::{partition_kway, Graph, PartitionOptions};
+use nkt_testkit::{one_of, prop_check, prop_assert, prop_assert_eq};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn net() -> ClusterNetwork {
+    cluster(NetId::T3e)
+}
+
+/// A fresh checkpoint directory per property case: cases within one
+/// test (and tests within one binary) must not see each other's epochs.
+fn fresh_dir(label: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!("nkt_ckpt_{label}_{}_{n}", std::process::id()))
+}
+
+// ---------------------------------------------------------------- serial2d
+
+fn mesh2d() -> Mesh2d {
+    rect_quads(0.0, 1.0, 0.0, 1.0, 2, 2)
+}
+
+fn serial_solver() -> Serial2dSolver {
+    let cfg = SolverConfig { order: 4, dt: 2e-3, nu: 0.05, scheme_order: 2, advect: true };
+    let pi = std::f64::consts::PI;
+    let mut s = Serial2dSolver::new(mesh2d(), cfg, |_| 0.0, |_| 0.0);
+    s.set_initial(
+        |x| (pi * x[0]).sin() * (pi * x[1]).cos(),
+        |x| -(pi * x[0]).cos() * (pi * x[1]).sin(),
+    );
+    s
+}
+
+// ---------------------------------------------------------------- fourier
+
+fn fourier_cfg() -> FourierConfig {
+    FourierConfig {
+        order: 4,
+        dt: 1e-3,
+        nu: 0.05,
+        nz: 8,
+        lz: 2.0 * std::f64::consts::PI,
+        scheme_order: 2,
+    }
+}
+
+fn fourier_init(x: [f64; 3]) -> [f64; 3] {
+    let pi = std::f64::consts::PI;
+    [
+        (pi * x[0]).sin() * (pi * x[1]).cos() * x[2].cos(),
+        -(pi * x[0]).cos() * (pi * x[1]).sin() * x[2].cos(),
+        0.0,
+    ]
+}
+
+// ---------------------------------------------------------------- ale
+
+fn mesh3d() -> Mesh3d {
+    box_hexes(0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 2, 2, 2)
+}
+
+fn ale_cfg() -> AleConfig {
+    AleConfig {
+        order: 2,
+        dt: 2e-3,
+        nu: 0.05,
+        scheme_order: 2,
+        advect: true,
+        // Nonzero so the checkpoint's "mesh" section (vertex positions,
+        // per-op scales, mesh velocity history) actually varies and the
+        // restore path's rebuild_diag runs.
+        motion_amp: 0.02,
+        ..Default::default()
+    }
+}
+
+fn psi_field(x: [f64; 3]) -> [f64; 3] {
+    let pi = std::f64::consts::PI;
+    let (sx, cx) = (pi * x[0]).sin_cos();
+    let (sy, cy) = (pi * x[1]).sin_cos();
+    let gz = (pi * x[2]).sin().powi(2);
+    [2.0 * pi * sx * sx * sy * cy * gz, -2.0 * pi * sx * cx * sy * sy * gz, 0.0]
+}
+
+fn partition_for(mesh: &Mesh3d, p: usize) -> Vec<u8> {
+    let g = Graph::from_edges(mesh.nelems(), &mesh.dual_edges());
+    partition_kway(&g, p, &PartitionOptions::default())
+}
+
+prop_check! {
+    #![cases(3)]
+
+    /// Serial 2-D solver: checkpoint at step `kill` (which lands inside
+    /// the BDF ramp for small `kill`), restore into a FRESH solver, and
+    /// the state hash matches the uninterrupted run at every step.
+    fn serial2d_restore_is_bitwise(kill in 1usize..5) {
+        const NSTEPS: usize = 5;
+        let dir = fresh_dir("s2d");
+        let cfg = CkptConfig::new(&dir, "prop_s2d", None);
+
+        // Uninterrupted reference: hash after every step.
+        let mut reference = serial_solver();
+        let ref_hashes: Vec<u64> = (0..NSTEPS)
+            .map(|_| {
+                reference.step();
+                reference.state_hash()
+            })
+            .collect();
+
+        // Interrupted run: step to `kill`, checkpoint, "crash".
+        let mut victim = serial_solver();
+        for _ in 0..kill {
+            victim.step();
+        }
+        write_epoch_serial(&cfg, kill, &victim).expect("write_epoch_serial");
+        drop(victim);
+
+        // Restore into a fresh solver and continue.
+        let mut restored = serial_solver();
+        let info = restore_latest_serial(&cfg, &mut restored).expect("restore_latest_serial");
+        prop_assert_eq!(info.step, kill as u64);
+        prop_assert!(!info.fell_back, "single-epoch restore must not fall back");
+        prop_assert_eq!(restored.state_hash(), ref_hashes[kill - 1],
+            "hash diverges at the restore point (kill={kill})");
+        for step in kill..NSTEPS {
+            restored.step();
+            prop_assert_eq!(restored.state_hash(), ref_hashes[step],
+                "hash diverges at step {} after restoring from {kill}", step + 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// NekTar-F at np ∈ {1, 2, 4}: the coordinated epoch (quiesce →
+    /// per-rank shard → manifest) restores every rank's mode block
+    /// bitwise, and all subsequent steps hash identically per rank.
+    fn fourier_restore_is_bitwise(np in one_of(&[1usize, 2, 4]), kill in 1usize..4) {
+        const NSTEPS: usize = 4;
+        let dir = fresh_dir("fou");
+        let cfg = CkptConfig::new(&dir, "prop_fou", None);
+        let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, 2, 2);
+
+        // Reference: per-rank hash vectors of the uninterrupted run.
+        let ref_hashes: Vec<Vec<u64>> = run(np, net(), |c| {
+            let mut s = NektarF::new(c, &mesh, fourier_cfg());
+            s.set_initial(fourier_init);
+            (0..NSTEPS)
+                .map(|_| {
+                    s.step(c);
+                    s.state_hash()
+                })
+                .collect()
+        });
+
+        // Interrupted: step to `kill`, write the coordinated epoch.
+        run(np, net(), |c| {
+            let mut s = NektarF::new(c, &mesh, fourier_cfg());
+            s.set_initial(fourier_init);
+            for _ in 0..kill {
+                s.step(c);
+            }
+            write_epoch(c, &cfg, kill, &s).expect("write_epoch");
+        });
+
+        // Restored world: fresh solvers, restore, continue, hash.
+        let got: Vec<(u64, bool, Vec<u64>)> = run(np, net(), |c| {
+            let mut s = NektarF::new(c, &mesh, fourier_cfg());
+            let info = restore_latest(c, &cfg, &mut s).expect("restore_latest");
+            let mut hashes = vec![s.state_hash()];
+            for _ in kill..NSTEPS {
+                s.step(c);
+                hashes.push(s.state_hash());
+            }
+            (info.step, info.fell_back, hashes)
+        });
+
+        for (rank, (step, fell_back, hashes)) in got.iter().enumerate() {
+            prop_assert_eq!(*step, kill as u64, "rank {rank} restored wrong epoch");
+            prop_assert!(!*fell_back, "rank {rank} fell back with only one epoch on disk");
+            prop_assert_eq!(hashes[0], ref_hashes[rank][kill - 1],
+                "np={np} rank {rank}: hash diverges at the restore point");
+            for (i, step_idx) in (kill..NSTEPS).enumerate() {
+                prop_assert_eq!(hashes[i + 1], ref_hashes[rank][step_idx],
+                    "np={np} rank {rank}: hash diverges at step {}", step_idx + 1);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// NekTar-ALE with a moving mesh (`motion_amp` ≠ 0) on 2 ranks: the
+    /// checkpoint carries vertex positions, operator scales, and mesh
+    /// history; `restore_ckpt` rebuilds the Helmholtz diagonals; the
+    /// continued run hashes identically to the uninterrupted one.
+    fn ale_restore_is_bitwise(kill in 1usize..3) {
+        const NSTEPS: usize = 3;
+        const P: usize = 2;
+        let dir = fresh_dir("ale");
+        let cfg = CkptConfig::new(&dir, "prop_ale", None);
+        let mesh = mesh3d();
+        let part = partition_for(&mesh, P);
+
+        let ref_hashes: Vec<Vec<u64>> = run(P, net(), |c| {
+            let mut s = NektarAle::new(c, mesh.clone(), &part, ale_cfg());
+            s.set_initial(c, psi_field);
+            (0..NSTEPS)
+                .map(|_| {
+                    s.step(c);
+                    s.state_hash()
+                })
+                .collect()
+        });
+
+        run(P, net(), |c| {
+            let mut s = NektarAle::new(c, mesh.clone(), &part, ale_cfg());
+            s.set_initial(c, psi_field);
+            for _ in 0..kill {
+                s.step(c);
+            }
+            write_epoch(c, &cfg, kill, &s).expect("write_epoch");
+        });
+
+        let got: Vec<(u64, Vec<u64>)> = run(P, net(), |c| {
+            let mut s = NektarAle::new(c, mesh.clone(), &part, ale_cfg());
+            let info = s.restore_ckpt(c, &cfg).expect("restore_ckpt");
+            let mut hashes = vec![s.state_hash()];
+            for _ in kill..NSTEPS {
+                s.step(c);
+                hashes.push(s.state_hash());
+            }
+            (info.step, hashes)
+        });
+
+        for (rank, (step, hashes)) in got.iter().enumerate() {
+            prop_assert_eq!(*step, kill as u64, "rank {rank} restored wrong epoch");
+            prop_assert_eq!(hashes[0], ref_hashes[rank][kill - 1],
+                "rank {rank}: hash diverges at the restore point (kill={kill})");
+            for (i, step_idx) in (kill..NSTEPS).enumerate() {
+                prop_assert_eq!(hashes[i + 1], ref_hashes[rank][step_idx],
+                    "rank {rank}: hash diverges at step {}", step_idx + 1);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Restoring into a solver built with a DIFFERENT discretisation is a
+/// typed `StateMismatch`, never a panic or a silently wrong state: the
+/// "fields" section's leading dof-count guard catches it.
+#[test]
+fn serial2d_restore_into_wrong_discretisation_is_typed_error() {
+    let dir = fresh_dir("s2d_wrong");
+    let cfg = CkptConfig::new(&dir, "wrong_disc", None);
+    let mut donor = serial_solver();
+    donor.step();
+    write_epoch_serial(&cfg, 1, &donor).expect("write");
+
+    // Same mesh, higher order: different ndof.
+    let scfg = SolverConfig { order: 6, dt: 2e-3, nu: 0.05, scheme_order: 2, advect: true };
+    let mut other = Serial2dSolver::new(mesh2d(), scfg, |_| 0.0, |_| 0.0);
+    let err = restore_latest_serial(&cfg, &mut other)
+        .expect_err("dof mismatch must be detected");
+    assert!(
+        matches!(err, nkt_ckpt::CkptError::StateMismatch { .. }),
+        "expected StateMismatch, got: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -273,6 +273,45 @@ impl Comm {
         self.stats.recvd_bytes += 8 * msg.data.len() as u64;
     }
 
+    /// Pulls every already-delivered message off the channel into the
+    /// pending queue without blocking, and returns how many messages are
+    /// now buffered. After [`Comm::barrier`] this captures every message
+    /// any rank sent before entering the barrier (the channel is FIFO
+    /// and the barrier orders all pre-barrier sends before all
+    /// post-barrier receives), which is what the checkpoint protocol
+    /// needs: nothing left "on the wire".
+    pub fn drain_in_flight(&mut self) -> usize {
+        while let Ok(msg) = self.rx.try_recv() {
+            self.pending.push_back(msg);
+        }
+        self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len() as u64);
+        self.pending.len()
+    }
+
+    /// Messages received but not yet matched by a `recv`.
+    pub fn pending_msgs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Quiesces the world for a consistent global cut: a full barrier,
+    /// then a drain of any delivered-but-unmatched messages into the
+    /// pending queue. On return, across all ranks, every send issued
+    /// before any rank called `quiesce` is either matched or sitting in
+    /// its receiver's pending queue — no message is in flight between
+    /// ranks. Returns this rank's buffered-message count (zero at a
+    /// step-boundary checkpoint).
+    pub fn quiesce(&mut self) -> usize {
+        let prev = self.op_label;
+        self.op_label = "quiesce";
+        nkt_trace::counter_add("mpi.coll.quiesce", 1);
+        let sp = nkt_trace::span_v("quiesce", "mpi", self.wtime());
+        self.barrier();
+        let n = self.drain_in_flight();
+        sp.end_v(self.wtime());
+        self.op_label = prev;
+        n
+    }
+
     /// Traffic totals so far.
     pub fn stats(&self) -> CommStats {
         self.stats

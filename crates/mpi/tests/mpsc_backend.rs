@@ -52,6 +52,30 @@ fn same_src_same_tag_is_fifo() {
     assert_eq!(out[1], expect);
 }
 
+/// `quiesce()` (the checkpoint protocol's global cut): after the
+/// barrier + drain, every pre-quiesce send sits in its receiver's
+/// pending queue — visible via the returned count — and is still
+/// received in order afterwards. Nothing is lost, nothing is in flight.
+#[test]
+fn quiesce_captures_in_flight_messages() {
+    let out = run(2, net(), |c| {
+        if c.rank() == 0 {
+            c.send(1, 9, &[1.0, 2.0]);
+            c.send(1, 9, &[3.0]);
+            let buffered = c.quiesce();
+            (buffered, Vec::new())
+        } else {
+            let buffered = c.quiesce();
+            let a = c.recv(Some(0), Some(9)).data;
+            let b = c.recv(Some(0), Some(9)).data;
+            (buffered, vec![a, b])
+        }
+    });
+    assert_eq!(out[0].0, 0, "sender has nothing buffered");
+    assert_eq!(out[1].0, 2, "receiver holds both pre-quiesce sends");
+    assert_eq!(out[1].1, vec![vec![1.0, 2.0], vec![3.0]], "FIFO survives the drain");
+}
+
 /// Tag matching skips non-matching messages without losing them: a
 /// receiver asking for tag B first still gets tag A afterwards, even
 /// though A was sent first and sits buffered ahead of B.

@@ -7,8 +7,10 @@
 //!
 //! * [`Rng`] — deterministic SplitMix64-seeded xoshiro256** PRNG;
 //! * [`prop_check!`] — property testing with strategy-driven case
-//!   generation, seed reporting, and single-level shrinking (see
-//!   [`Strategy`] / [`vec_in`] / [`one_of`]);
+//!   generation, seed reporting, and recursive multi-pass shrinking
+//!   (budgeted descent to a minimal counterexample; vectors also shrink
+//!   their length — see [`Strategy`] / [`vec_in`] / [`vec_len_in`] /
+//!   [`one_of`]);
 //! * [`Bench`] — micro-bench harness (warmup, calibrated iteration
 //!   counts, median/MAD) emitting `results/BENCH_<name>.json`.
 //!
@@ -23,4 +25,4 @@ pub mod strategy;
 pub use bench::{Bench, Group, Throughput};
 pub use prop::{base_seed, case_count, pin_prop, run_prop, CaseOutcome, DEFAULT_CASES};
 pub use rng::{splitmix64, Rng};
-pub use strategy::{one_of, vec_in, OneOf, Strategy, TupleStrategy, VecIn};
+pub use strategy::{one_of, vec_in, vec_len_in, OneOf, Strategy, TupleStrategy, VecIn, VecLenIn};

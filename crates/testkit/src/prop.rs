@@ -16,11 +16,15 @@
 //!
 //! Every property runs `cases` times with inputs drawn from a per-test
 //! deterministic seed (hash of the test path, overridable with
-//! `NKT_PROP_SEED`). On failure the inputs are shrunk (greedy,
-//! single-level, bounded passes) and the report prints the seed, the case
-//! seed, and the shrunk inputs so the failure replays exactly.
-//! `NKT_PROP_CASES` overrides the case count globally (e.g. a nightly
-//! deep run with 10× cases).
+//! `NKT_PROP_SEED`). On failure the inputs are shrunk — recursive
+//! multi-pass descent: each adopted simplification is itself re-shrunk
+//! until no candidate still fails, under a global evaluation budget —
+//! and the report prints the seed, the case seed, and the shrunk inputs
+//! so the failure replays exactly. Integer shrinking bisects toward the
+//! range floor; vector strategies additionally shrink their *length*
+//! (see [`crate::vec_len_in`]), so minimal counterexamples come out both
+//! short and small. `NKT_PROP_CASES` overrides the case count globally
+//! (e.g. a nightly deep run with 10× cases).
 
 use crate::rng::{splitmix64, Rng};
 use crate::strategy::TupleStrategy;
@@ -156,8 +160,19 @@ where
     f
 }
 
-/// Greedy single-level shrink: repeatedly adopt the first candidate that
-/// still fails, for a bounded number of passes.
+/// Cap on property-body evaluations spent shrinking one failure. A
+/// bisecting integer descent costs ~log₂(range) adoptions plus the
+/// rejected siblings tried along the way; 4096 evaluations comfortably
+/// covers 64-bit ranges and multi-kilobyte vectors while bounding the
+/// worst case (a slow body shrinking a wide tuple).
+const MAX_SHRINK_EVALS: usize = 4096;
+
+/// Recursive multi-pass shrink: adopt the first candidate that still
+/// fails, then re-shrink *the adopted value* from scratch — so a chain
+/// of simplifications (halve, halve, …, step down) is followed to its
+/// fixpoint rather than stopping after a fixed number of passes. The
+/// descent ends when no candidate of the current value fails or the
+/// evaluation budget is spent.
 fn shrink_failure<S, F>(
     strats: &S,
     prop: &F,
@@ -169,9 +184,14 @@ where
     F: Fn(&S::Value) -> CaseOutcome,
 {
     let mut steps = 0usize;
-    for _pass in 0..16 {
+    let mut evals = 0usize;
+    loop {
         let mut improved = false;
         for cand in strats.shrink(&vals) {
+            if evals >= MAX_SHRINK_EVALS {
+                return (vals, msg, steps);
+            }
+            evals += 1;
             if let CaseOutcome::Fail(m) = run_case(prop, &cand) {
                 vals = cand;
                 msg = m;
@@ -181,10 +201,9 @@ where
             }
         }
         if !improved {
-            break;
+            return (vals, msg, steps);
         }
     }
-    (vals, msg, steps)
 }
 
 /// Defines property tests. See the [module docs](self) for the syntax.

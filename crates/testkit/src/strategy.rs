@@ -2,10 +2,14 @@
 //! [`Strategy`] trait, range implementations, and combinators.
 //!
 //! A strategy knows how to *generate* a value from an [`Rng`] and how to
-//! *shrink* a failing value toward something simpler. Shrinking is
-//! single-level: `shrink` returns a batch of candidate simplifications of
-//! one value and the runner greedily adopts any candidate that still
-//! fails (bounded number of passes, no recursive exploration).
+//! *shrink* a failing value toward something simpler. `shrink` returns a
+//! batch of candidate simplifications of one value, simplest first; the
+//! runner adopts the first candidate that still fails and then re-shrinks
+//! the adopted value recursively (multi-pass descent under an evaluation
+//! budget — see `prop::shrink_failure`), so a chain of candidates such as
+//! the integer midpoint bisection converges to a minimal counterexample.
+//! Variable-length vectors ([`vec_len_in`]) shrink their length as well
+//! as their elements.
 
 use crate::rng::Rng;
 use std::fmt::Debug;
@@ -83,7 +87,10 @@ pub struct VecIn<S> {
     len: usize,
 }
 
-impl<S: Strategy> Strategy for VecIn<S> {
+impl<S: Strategy> Strategy for VecIn<S>
+where
+    S::Value: PartialEq,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut Rng) -> Self::Value {
@@ -97,13 +104,81 @@ impl<S: Strategy> Strategy for VecIn<S> {
             .iter()
             .map(|e| self.elem.shrink(e).into_iter().next().unwrap_or_else(|| e.clone()))
             .collect();
-        out.push(simplest);
-        // …then element-wise on a budget of positions.
-        for i in 0..v.len().min(8) {
-            if let Some(cand) = self.elem.shrink(&v[i]).into_iter().next() {
+        if simplest != *v {
+            out.push(simplest);
+        }
+        // …then element-wise over every position, offering each of the
+        // element's candidates (the runner's recursive descent revisits
+        // us after every adoption, so this converges to the per-element
+        // minimum).
+        for i in 0..v.len() {
+            for cand in self.elem.shrink(&v[i]) {
                 let mut w = v.clone();
                 w[i] = cand;
                 out.push(w);
+            }
+        }
+        out
+    }
+}
+
+/// Variable-length vector: length drawn from `len` (half-open, like the
+/// integer range strategies), elements from `elem`. Unlike [`vec_in`],
+/// shrinking reduces the **length** first — drop to the minimum, halve,
+/// drop the tail element, delete interior elements one at a time — and
+/// only then simplifies elements, so a failing case comes out as the
+/// shortest vector that still fails.
+pub fn vec_len_in<S: Strategy>(elem: S, len: Range<usize>) -> VecLenIn<S> {
+    assert!(len.start < len.end, "vec_len_in: empty length range");
+    VecLenIn { elem, len }
+}
+
+/// See [`vec_len_in`].
+pub struct VecLenIn<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecLenIn<S>
+where
+    S::Value: PartialEq,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let min = self.len.start;
+        let mut out: Vec<Self::Value> = Vec::new();
+        let mut push = |cand: Self::Value| {
+            if cand.len() >= min && cand != *v && !out.contains(&cand) {
+                out.push(cand);
+            }
+        };
+        // Length shrinks, most aggressive first.
+        push(v[..min].to_vec());
+        push(v[..v.len() / 2].to_vec());
+        if !v.is_empty() {
+            push(v[..v.len() - 1].to_vec());
+        }
+        // Deleting each element in turn catches "the failure needs
+        // element i" cases that pure truncation misses.
+        for i in 0..v.len() {
+            let mut w = v.clone();
+            w.remove(i);
+            push(w);
+        }
+        // Element simplification once the length resists shrinking —
+        // every candidate per position, so the recursive descent can
+        // bisect element values down as well.
+        for i in 0..v.len() {
+            for cand in self.elem.shrink(&v[i]) {
+                let mut w = v.clone();
+                w[i] = cand;
+                push(w);
             }
         }
         out
@@ -226,6 +301,44 @@ mod tests {
         let v = s.generate(&mut rng);
         for cand in s.shrink(&v) {
             assert_eq!(cand.len(), 4);
+        }
+    }
+
+    #[test]
+    fn vec_len_in_generates_within_length_range() {
+        let s = vec_len_in(0u64..50, 2..9);
+        let mut rng = Rng::new(7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..9).contains(&v.len()), "bad length {}", v.len());
+            assert!(v.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn vec_len_in_shrinks_length_and_elements() {
+        let s = vec_len_in(0u64..100, 1..10);
+        let v = vec![40, 50, 60, 70];
+        let cands = s.shrink(&v);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.len() >= 1, "candidate below minimum length: {c:?}");
+            assert_ne!(*c, v, "candidate equals the input");
+        }
+        // Length reductions come before element simplifications.
+        assert!(cands[0].len() < v.len(), "first candidate should be shorter: {:?}", cands[0]);
+        // Some candidate deletes an interior element.
+        assert!(cands.iter().any(|c| *c == vec![40, 60, 70]));
+        // Some candidate simplifies an element in place.
+        assert!(cands.iter().any(|c| c.len() == 4 && c != &v));
+    }
+
+    #[test]
+    fn vec_len_in_minimum_length_has_no_shorter_candidates() {
+        let s = vec_len_in(0u64..100, 3..10);
+        let v = vec![5, 6, 7];
+        for c in s.shrink(&v) {
+            assert!(c.len() >= 3);
         }
     }
 

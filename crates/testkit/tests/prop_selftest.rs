@@ -2,7 +2,7 @@
 //! failing properties fail with shrunk, reproducible reports, and
 //! discards/case counts behave.
 
-use nkt_testkit::{prop_check, prop_assert, prop_assert_eq, prop_assume, vec_in};
+use nkt_testkit::{prop_check, prop_assert, prop_assert_eq, prop_assume, vec_in, vec_len_in};
 use nkt_testkit::{CaseOutcome, Rng, Strategy, TupleStrategy};
 
 prop_check! {
@@ -54,6 +54,56 @@ fn failing_property_reports_and_shrinks() {
     // must be in the minimal failing region, not a random large draw.
     assert!(msg.contains("input: (10,)") || msg.contains("input: (11,)"),
         "shrinking did not reach the boundary: {msg}");
+}
+
+/// The recursive multi-pass shrinker reaches the exact failure boundary
+/// even across a wide range: fails iff n >= 577, so the minimal witness
+/// is precisely 577 (bisection descent, then unit steps).
+#[test]
+fn recursive_shrink_finds_exact_boundary() {
+    let strats = (0u64..1_000_000,);
+    let prop = |vals: &(u64,)| -> CaseOutcome {
+        let (n,) = *vals;
+        if n >= 577 {
+            CaseOutcome::Fail(format!("boundary crossed at {n}"))
+        } else {
+            CaseOutcome::Pass
+        }
+    };
+    let result = std::panic::catch_unwind(|| {
+        nkt_testkit::run_prop("selftest::exact_boundary", 50, &strats, &prop);
+    });
+    let err = result.expect_err("property must fail");
+    let msg = err.downcast_ref::<String>().expect("string panic payload");
+    assert!(
+        msg.contains("input: (577,)"),
+        "shrinking stopped short of the 577 boundary: {msg}"
+    );
+}
+
+/// Vec-length shrinking: a property that fails whenever any element is
+/// >= 10 must shrink to the one-element vector [10] — shortest length,
+/// smallest failing element.
+#[test]
+fn vec_len_shrink_finds_minimal_witness() {
+    let strats = (vec_len_in(0u64..100, 1..20),);
+    let prop = |vals: &(Vec<u64>,)| -> CaseOutcome {
+        let (v,) = vals;
+        if v.iter().any(|&x| x >= 10) {
+            CaseOutcome::Fail("element out of tolerance".to_string())
+        } else {
+            CaseOutcome::Pass
+        }
+    };
+    let result = std::panic::catch_unwind(|| {
+        nkt_testkit::run_prop("selftest::vec_len_minimal", 50, &strats, &prop);
+    });
+    let err = result.expect_err("property must fail");
+    let msg = err.downcast_ref::<String>().expect("string panic payload");
+    assert!(
+        msg.contains("input: ([10],)"),
+        "vec shrinking did not reach the minimal witness [10]: {msg}"
+    );
 }
 
 /// Panics inside the body are caught and reported like failures.

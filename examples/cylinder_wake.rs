@@ -34,9 +34,25 @@ fn main() {
     solver.set_initial(|_| 1.0, |_| 0.0);
     println!("dofs per velocity component: {}", solver.ndof());
 
+    // NKT_CKPT_EVERY=<n> checkpoints every n steps (NKT_CKPT_DIR sets
+    // where); on startup the newest valid epoch, if any, is resumed.
+    let ckpt = nektar_repro::ckpt::CkptConfig::from_env("cylinder_wake");
+    if ckpt.enabled() {
+        match nektar_repro::ckpt::restore_latest_serial(&ckpt, &mut solver) {
+            Ok(info) => println!("resumed from checkpoint epoch {} (step {})", info.epoch, info.step),
+            Err(nektar_repro::ckpt::CkptError::NoValidEpoch { tried, .. }) if tried.is_empty() => {}
+            Err(e) => println!("checkpoint restore skipped: {e}"),
+        }
+    }
+
     let nsteps = 10;
-    for step in 1..=nsteps {
+    for step in (solver.steps() + 1)..=nsteps {
         solver.step();
+        if ckpt.should(step) {
+            if let Err(e) = nektar_repro::ckpt::write_epoch_serial(&ckpt, step, &solver) {
+                eprintln!("checkpoint write failed: {e}");
+            }
+        }
         if step % 5 == 0 {
             println!(
                 "step {:>3}: E = {:.4}, div = {:.2e}",

@@ -38,8 +38,23 @@ fn main() {
     let out = run(p, cluster(NetId::RoadRunnerMyr), move |c| {
         let mut solver = NektarAle::new(c, mesh.clone(), &part, cfg.clone());
         solver.set_initial(c, |_| [1.0, 0.0, 0.0]);
-        for _ in 0..2 {
+        // NKT_CKPT_EVERY=<n> enables coordinated checkpoint epochs; the
+        // ALE restore additionally rebuilds the moving-mesh operators.
+        let ckpt = nektar_repro::ckpt::CkptConfig::from_env("flapping_wing_ale");
+        if ckpt.enabled() {
+            if let Ok(info) = solver.restore_ckpt(c, &ckpt) {
+                if c.rank() == 0 {
+                    println!("resumed from checkpoint epoch {} (step {})", info.epoch, info.step);
+                }
+            }
+        }
+        for step in (solver.steps() + 1)..=2 {
             solver.step(c);
+            if ckpt.should(step) {
+                if let Err(e) = nektar_repro::ckpt::write_epoch(c, &ckpt, step, &solver) {
+                    eprintln!("checkpoint write failed: {e}");
+                }
+            }
         }
         (
             solver.kinetic_energy(c),

@@ -45,8 +45,23 @@ fn main() {
         let out = run(p, net, move |c| {
             let mut solver = NektarF::new(c, &mesh, cfg.clone());
             solver.set_initial(init);
-            for _ in 0..3 {
+            // NKT_CKPT_EVERY=<n> enables coordinated checkpoint epochs;
+            // a restart of this example resumes from the newest one.
+            let ckpt = nektar_repro::ckpt::CkptConfig::from_env(&format!("fourier_dns_{name}"));
+            if ckpt.enabled() {
+                if let Ok(info) = nektar_repro::ckpt::restore_latest(c, &ckpt, &mut solver) {
+                    if c.rank() == 0 {
+                        println!("   resumed from checkpoint epoch {} (step {})", info.epoch, info.step);
+                    }
+                }
+            }
+            for step in (solver.steps() + 1)..=3 {
                 solver.step(c);
+                if ckpt.should(step) {
+                    if let Err(e) = nektar_repro::ckpt::write_epoch(c, &ckpt, step, &solver) {
+                        eprintln!("checkpoint write failed: {e}");
+                    }
+                }
             }
             (solver.kinetic_energy(c), solver.clock.clone(), c.busy(), c.wtime())
         });

@@ -5,8 +5,15 @@
 # §3): --offline both enforces that invariant and proves the build needs
 # no registry. The example pass catches example bit-rot that `cargo
 # test` alone would miss (examples are binaries, not test targets).
+#
+# `scripts/verify.sh --deep` additionally reruns every property suite at
+# NKT_PROP_CASES=1000 (the ROADMAP's overnight hardening sweep; minutes,
+# not seconds — opt-in).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+deep=0
+[[ "${1:-}" == "--deep" ]] && deep=1
 
 echo "== tier-1: build (release, offline) =="
 cargo build --release --offline
@@ -22,6 +29,13 @@ for ex in quickstart cylinder_wake fourier_dns flapping_wing_ale cluster_compare
     echo "-- example: $ex"
     cargo run --release --offline --example "$ex" > /dev/null
 done
+
+echo "== checkpoint smoke (write -> corrupt -> detect -> fallback -> bitwise resume) =="
+# restart_dns runs the whole drill in-process: a 2-rank DNS checkpoints
+# epochs, a rank is killed and the run resumes bitwise; then a shard is
+# bit-flipped, the CRC rejects it, the world falls back one epoch
+# together, and the resumed run is still bitwise-identical.
+cargo run --release --offline --example restart_dns > /dev/null
 
 echo "== trace smoke pass (spans mode + exported-JSON round-trip) =="
 # quickstart under NKT_TRACE=spans exports TRACE_quickstart.json and
@@ -42,5 +56,10 @@ NKT_BENCH_FAST=1 NKT_RESULTS_DIR="$trace_dir" \
 # 3-MAD band. Gate deliberately with: scripts/bench_diff
 cargo run --release --offline -p nkt-bench --bin bench_diff -- \
     --fresh "$trace_dir" || echo "bench_diff: drift noted (dry run, not gating)"
+
+if [[ "$deep" == 1 ]]; then
+    echo "== deep property sweep (NKT_PROP_CASES=1000) =="
+    NKT_PROP_CASES=1000 cargo test -q --offline --workspace
+fi
 
 echo "verify: OK"
