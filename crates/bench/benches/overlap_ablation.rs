@@ -1,0 +1,85 @@
+//! Ablation: blocking vs pipelined (nonblocking, per-field) NekTar-F
+//! transpose at np = 8 on both RoadRunner fabrics (DESIGN.md §11).
+//!
+//! Unlike the kernel benches in this directory, the measurement here is
+//! the simulator's *virtual* clock — exact and repeatable — so results
+//! are recorded through [`nkt_testkit::bench::Group::report`] instead of
+//! host timing. `bench_diff` then gates on the modeled numbers
+//! themselves: any change to the request engine, the NIC-egress model or
+//! the transpose pipelining that shifts these figures shows up as a
+//! baseline diff.
+//!
+//! Invariants the unit tests already pin (fourier.rs): identical FNV
+//! state hash and identical busy between the two modes; this bench
+//! records the wall-clock side of that story.
+
+use nektar::fourier::{FourierConfig, NektarF};
+use nkt_mesh::rect_quads;
+use nkt_mpi::prelude::*;
+use nkt_net::{cluster, NetId};
+use nkt_testkit::Bench;
+
+const P: usize = 8;
+
+fn cfg() -> FourierConfig {
+    FourierConfig {
+        order: 4,
+        dt: 1e-3,
+        nu: 0.05,
+        nz: 16, // two modes per rank at P = 8, the paper's weak-scaling layout
+        lz: 2.0 * std::f64::consts::PI,
+        scheme_order: 2,
+    }
+}
+
+fn init_field(x: [f64; 3]) -> [f64; 3] {
+    let pi = std::f64::consts::PI;
+    [
+        (pi * x[0]).sin() * (pi * x[1]).cos() * x[2].cos(),
+        -(pi * x[0]).cos() * (pi * x[1]).sin() * x[2].cos(),
+        0.0,
+    ]
+}
+
+/// One NekTar-F step at np = 8; returns (max wall, max busy) in virtual
+/// seconds across ranks.
+fn step_times(nid: NetId, overlap: bool) -> (f64, f64) {
+    let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, 2, 2);
+    let out = World::builder().ranks(P).net(cluster(nid)).run(|c| {
+        let mut s = NektarF::new(c, &mesh, cfg());
+        s.set_overlap(overlap);
+        s.set_initial(init_field);
+        s.step(c);
+        (c.wtime(), c.busy())
+    });
+    out.iter().fold((0.0f64, 0.0f64), |(w, b), t| (w.max(t.0), b.max(t.1)))
+}
+
+fn main() {
+    let mut b = Bench::new("overlap");
+    for (nid, tag) in [(NetId::RoadRunnerEth, "eth"), (NetId::RoadRunnerMyr, "myr")] {
+        let (wall_block, busy_block) = step_times(nid, false);
+        let (wall_pipe, busy_pipe) = step_times(nid, true);
+        // The two modes charge the same advances, but at different
+        // virtual times, so the f64 accumulation order differs — allow
+        // ulp-level drift here (the eth unit test pins exact equality).
+        assert!(
+            (busy_block - busy_pipe).abs() <= 1e-12 * busy_block,
+            "{tag}: busy must not depend on NKT_OVERLAP ({busy_block} vs {busy_pipe})"
+        );
+        assert!(
+            wall_pipe < wall_block,
+            "{tag}: pipelined step should be faster ({wall_pipe} vs {wall_block})"
+        );
+        let mut g = b.group(&format!("np{P}/{tag}"));
+        g.report("step_wall/blocking", wall_block * 1e9);
+        g.report("step_wall/pipelined", wall_pipe * 1e9);
+        g.report("step_busy", busy_block * 1e9);
+        g.finish();
+        eprintln!(
+            "  np{P}/{tag}: overlap hides {:.1}% of the step's idle time",
+            100.0 * (wall_block - wall_pipe) / (wall_block - busy_block)
+        );
+    }
+    b.finish();
+}

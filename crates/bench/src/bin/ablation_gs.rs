@@ -4,11 +4,11 @@
 
 use nkt_bench::{header, row};
 use nkt_gs::{GsHandle, GsStrategy};
-use nkt_mpi::{run, ReduceOp};
+use nkt_mpi::prelude::*;
 use nkt_net::{cluster, NetId};
 
 fn gs_time(nid: NetId, p: usize, shared_per_nbr: usize, strategy: GsStrategy) -> f64 {
-    let out = run(p, cluster(nid), move |c| {
+    let out = World::from_env().ranks(p).net(cluster(nid)).run(move |c| {
         let r = c.rank();
         // Chain topology: share `shared_per_nbr` dofs with each neighbour
         // plus one globally-shared corner dof.

@@ -37,7 +37,7 @@
 
 use std::path::Path;
 
-use nkt_mpi::{Comm, ReduceOp};
+use nkt_mpi::prelude::*;
 
 use crate::error::CkptError;
 use crate::format::{CkptFile, CkptWriter};

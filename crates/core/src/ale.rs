@@ -26,7 +26,7 @@ use crate::opstream::{Recorder, WorkItem};
 use crate::splitting::StifflyStable;
 use crate::timers::{Stage, StageClock, StageTimer};
 use nkt_mesh::{BoundaryTag, Mesh3d};
-use nkt_mpi::{Comm, ReduceOp};
+use nkt_mpi::prelude::*;
 use std::collections::VecDeque;
 
 /// ALE solver configuration.
@@ -972,9 +972,16 @@ fn tensor3_t(op: &crate::hex3d::Oper1d, fq: &[f64], dx: bool, dy: bool, dz: bool
 mod tests {
     use super::*;
     use nkt_mesh::box_hexes;
-    use nkt_mpi::run;
     use nkt_net::{cluster, NetId};
     use nkt_partition::{partition_kway, Graph, PartitionOptions};
+
+    fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
+        p: usize,
+        net: nkt_net::ClusterNetwork,
+        f: F,
+    ) -> Vec<R> {
+        World::builder().ranks(p).net(net).run(f)
+    }
 
     fn small_mesh() -> Mesh3d {
         box_hexes(0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 2, 2, 2)

@@ -16,7 +16,7 @@ use crate::opstream::{CommItem, Recorder, WorkItem};
 use crate::timers::Stage;
 use nkt_gs::{GsHandle, GsStrategy};
 use nkt_mesh::{BoundaryTag, Mesh3d};
-use nkt_mpi::{Comm, ReduceOp};
+use nkt_mpi::prelude::*;
 use nkt_spectral::basis1d::Basis1d;
 use std::collections::HashMap;
 
@@ -660,9 +660,16 @@ pub fn apply_elem_coef(
 mod tests {
     use super::*;
     use nkt_mesh::box_hexes;
-    use nkt_mpi::run;
     use nkt_net::{cluster, NetId};
     use nkt_partition::{partition_kway, Graph, PartitionOptions};
+
+    fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
+        p: usize,
+        net: nkt_net::ClusterNetwork,
+        f: F,
+    ) -> Vec<R> {
+        World::builder().ranks(p).net(net).run(f)
+    }
 
     #[test]
     fn oper1d_spd() {

@@ -59,6 +59,17 @@ pub enum CommItem {
         /// Bytes exchanged between each pair of ranks.
         block_bytes: usize,
     },
+    /// A transpose exchange split into `fields` back-to-back nonblocking
+    /// alltoalls of `block_bytes / fields` each, pipelined against the
+    /// per-field FFT work recorded in the same stage (DESIGN.md §11).
+    /// Replay may hide up to `(fields-1)/fields` of the wall time behind
+    /// that FFT work.
+    AlltoallPipelined {
+        /// Total bytes exchanged between each pair of ranks (all fields).
+        block_bytes: usize,
+        /// Number of per-field exchanges the transfer is split into.
+        fields: usize,
+    },
     /// Global reduction of `bytes` payload.
     Allreduce {
         /// Payload size in bytes.
@@ -114,11 +125,14 @@ impl OpRecording {
             .sum()
     }
 
-    /// Number of Alltoall calls recorded.
+    /// Number of Alltoall transposes recorded (blocking or pipelined —
+    /// a pipelined transpose counts once, not per field).
     pub fn alltoall_count(&self) -> usize {
         self.comm
             .iter()
-            .filter(|(_, c)| matches!(c, CommItem::Alltoall { .. }))
+            .filter(|(_, c)| {
+                matches!(c, CommItem::Alltoall { .. } | CommItem::AlltoallPipelined { .. })
+            })
             .count()
     }
 }
@@ -178,6 +192,17 @@ mod tests {
         assert_eq!(rec.work.len(), 2);
         assert_eq!(rec.alltoall_count(), 1);
         assert_eq!(rec.total_flops(), 100.0 + 4.0 * 10.0 * 3.0);
+    }
+
+    #[test]
+    fn pipelined_transpose_counts_as_one_alltoall() {
+        let mut r = Recorder::enabled();
+        r.comm(Stage::NonLinear, CommItem::Alltoall { block_bytes: 4096 });
+        r.comm(
+            Stage::NonLinear,
+            CommItem::AlltoallPipelined { block_bytes: 4096, fields: 12 },
+        );
+        assert_eq!(r.take().unwrap().alltoall_count(), 2);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! parallel solvers.
 
 use crate::fourier::NektarF;
-use nkt_mpi::{Comm, ReduceOp};
+use nkt_mpi::prelude::*;
 
 /// Global min/max/mean of a rank-local sample set (three allreduces, the
 /// paper's pattern).
@@ -47,8 +47,15 @@ mod tests {
     use super::*;
     use crate::fourier::FourierConfig;
     use nkt_mesh::rect_quads;
-    use nkt_mpi::run;
     use nkt_net::{cluster, NetId};
+
+    fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
+        p: usize,
+        net: nkt_net::ClusterNetwork,
+        f: F,
+    ) -> Vec<R> {
+        World::builder().ranks(p).net(net).run(f)
+    }
 
     #[test]
     fn min_max_mean_across_ranks() {

@@ -15,7 +15,6 @@ use nkt_ckpt::{
     CkptConfig,
 };
 use nkt_mesh::{box_hexes, rect_quads, Mesh2d, Mesh3d};
-use nkt_mpi::run;
 use nkt_net::{cluster, ClusterNetwork, NetId};
 use nkt_partition::{partition_kway, Graph, PartitionOptions};
 use nkt_testkit::{one_of, prop_check, prop_assert, prop_assert_eq};
@@ -24,6 +23,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn net() -> ClusterNetwork {
     cluster(NetId::T3e)
+}
+
+fn run<R: Send, F: Fn(&mut nkt_mpi::Comm) -> R + Sync>(
+    p: usize,
+    net: ClusterNetwork,
+    f: F,
+) -> Vec<R> {
+    nkt_mpi::World::from_env().ranks(p).net(net).run(f)
 }
 
 /// A fresh checkpoint directory per property case: cases within one

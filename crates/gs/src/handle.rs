@@ -1,6 +1,6 @@
 //! Gather-scatter setup and exchange.
 
-use nkt_mpi::{Comm, ReduceOp};
+use nkt_mpi::prelude::*;
 use std::collections::HashMap;
 
 const TAG_GS_PAIR: u64 = (1 << 61) + 200;
@@ -207,8 +207,15 @@ fn apply(op: ReduceOp, a: f64, b: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nkt_mpi::run;
     use nkt_net::{cluster, NetId};
+
+    fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
+        p: usize,
+        net: nkt_net::ClusterNetwork,
+        f: F,
+    ) -> Vec<R> {
+        World::builder().ranks(p).net(net).run(f)
+    }
 
     fn testnet() -> nkt_net::ClusterNetwork {
         cluster(NetId::Sp2Silver)

@@ -6,6 +6,7 @@
 //! their limit"); the ablation bench compares them.
 
 use crate::comm::{Comm, Tag};
+use crate::request::Request;
 
 /// Tags reserved for collectives (top bits set, out of user range).
 const TAG_BARRIER: Tag = 1 << 62;
@@ -13,6 +14,7 @@ const TAG_REDUCE: Tag = (1 << 62) + (1 << 20);
 const TAG_BCAST: Tag = (1 << 62) + (2 << 20);
 const TAG_GATHER: Tag = (1 << 62) + (3 << 20);
 const TAG_A2A: Tag = (1 << 62) + (4 << 20);
+const TAG_IA2A: Tag = (1 << 62) + (5 << 20);
 
 /// Reduction operator for [`Comm::allreduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +39,31 @@ impl ReduceOp {
     }
 }
 
+/// An in-flight nonblocking alltoall posted by [`Comm::ialltoall`];
+/// complete it with [`Comm::alltoall_finish`].
+pub struct AlltoallHandle {
+    /// Receive requests, one per partner, in posting (= waiting) order.
+    reqs: Vec<Request>,
+    /// Source rank matching each request.
+    partners: Vec<usize>,
+    /// This rank's own block, copied at post time so the caller may
+    /// reuse the send buffer immediately.
+    own: Vec<f64>,
+    block: usize,
+}
+
+impl AlltoallHandle {
+    /// Block size (f64s per rank) of the posted exchange.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Number of outstanding partner exchanges.
+    pub fn partners(&self) -> usize {
+        self.reqs.len()
+    }
+}
+
 /// `MPI_Alltoall` algorithm selector (the ablation axis of
 /// `bench/benches/alltoall_algos.rs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +77,18 @@ pub enum AlltoallAlgo {
     /// Bruck's algorithm: ⌈log₂P⌉ rounds of aggregated blocks — fewer,
     /// larger messages; wins in the latency-bound regime.
     Bruck,
+}
+
+impl AlltoallAlgo {
+    /// Parses `pairwise` / `ring` / `bruck` (case-insensitive).
+    pub fn parse(s: &str) -> Option<AlltoallAlgo> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "pairwise" => Some(AlltoallAlgo::Pairwise),
+            "ring" => Some(AlltoallAlgo::Ring),
+            "bruck" => Some(AlltoallAlgo::Bruck),
+            _ => None,
+        }
+    }
 }
 
 impl Comm {
@@ -270,6 +309,87 @@ impl Comm {
             }
             AlltoallAlgo::Bruck => self.alltoall_bruck(send, block, recv),
         }
+    }
+
+    /// Posts a nonblocking alltoall and returns a handle to complete it
+    /// with [`Comm::alltoall_finish`]. Built on pairwise requests: one
+    /// `irecv` + `isend` per partner (XOR order for power-of-two worlds,
+    /// ring order otherwise), all posted up front.
+    ///
+    /// Network charges accrue from post time under the same
+    /// full-exchange contention derate a blocking round pays
+    /// ([`nkt_net::ClusterNetwork::exchange_derate`]), so compute
+    /// performed between posting and finishing genuinely overlaps the
+    /// wire time in `wtime` while `busy` matches the blocking pairwise
+    /// path message for message. Several exchanges may be in flight at
+    /// once; each call gets a fresh tag generation.
+    ///
+    /// # Panics
+    /// Panics if `send` is shorter than `size() * block`.
+    pub fn ialltoall(&mut self, send: &[f64], block: usize) -> AlltoallHandle {
+        let p = self.size();
+        assert!(send.len() >= p * block, "ialltoall: send buffer too short");
+        nkt_trace::counter_add("mpi.coll.ialltoall", 1);
+        let r = self.rank();
+        let own = send[r * block..(r + 1) * block].to_vec();
+        let gen = self.ia2a_gen;
+        self.ia2a_gen = (self.ia2a_gen + 1) % (1 << 20);
+        let tag = TAG_IA2A + gen;
+        let mut reqs = Vec::with_capacity(p.saturating_sub(1));
+        let mut partners = Vec::with_capacity(p.saturating_sub(1));
+        if p > 1 {
+            // Post every receive first (so arriving payloads bind
+            // directly), then every send under the exchange derate.
+            if p.is_power_of_two() {
+                for step in 1..p {
+                    let partner = r ^ step;
+                    reqs.push(self.irecv(Some(partner), Some(tag)));
+                    partners.push(partner);
+                }
+                let derate = self.network().exchange_derate(p, 8 * block);
+                self.set_contention(derate);
+                for step in 1..p {
+                    let partner = r ^ step;
+                    self.isend(partner, tag, &send[partner * block..(partner + 1) * block]);
+                }
+                self.clear_contention();
+            } else {
+                for step in 1..p {
+                    let src = (r + p - step) % p;
+                    reqs.push(self.irecv(Some(src), Some(tag)));
+                    partners.push(src);
+                }
+                let derate = self.network().exchange_derate(p, 8 * block);
+                self.set_contention(derate);
+                for step in 1..p {
+                    let dest = (r + step) % p;
+                    self.isend(dest, tag, &send[dest * block..(dest + 1) * block]);
+                }
+                self.clear_contention();
+            }
+        }
+        AlltoallHandle { reqs, partners, own, block }
+    }
+
+    /// Completes a posted [`Comm::ialltoall`], scattering the received
+    /// blocks into `recv` (block `i` from rank `i`). Waits partner by
+    /// partner in posting order, which keeps the virtual-time charges
+    /// deterministic; interleave overlapped compute *before* this call.
+    ///
+    /// # Panics
+    /// Panics if `recv` is shorter than `size() * block`.
+    pub fn alltoall_finish(&mut self, h: AlltoallHandle, recv: &mut [f64]) {
+        let p = self.size();
+        let block = h.block;
+        assert!(recv.len() >= p * block, "alltoall_finish: recv buffer too short");
+        let r = self.rank();
+        recv[r * block..(r + 1) * block].copy_from_slice(&h.own);
+        self.traced("ialltoall", "mpi.coll.ialltoall.wait", |c| {
+            for (req, &src) in h.reqs.iter().zip(&h.partners) {
+                let msg = c.wait(req);
+                recv[src * block..(src + 1) * block].copy_from_slice(&msg.data);
+            }
+        });
     }
 
     /// Bruck's log-round alltoall.

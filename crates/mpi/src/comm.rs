@@ -1,7 +1,9 @@
 //! Per-rank communicator: point-to-point messaging with virtual-time
-//! accounting.
+//! accounting, blocking and nonblocking.
 
 use crate::diag::{BlockSite, BlockTable};
+use crate::error::MpiError;
+use crate::request::{Request, SendRequest};
 use nkt_net::ClusterNetwork;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -42,10 +44,38 @@ pub struct CommStats {
     pub pending_peak: u64,
 }
 
+/// Lifecycle of one posted receive in the request table.
+enum ReqState {
+    /// Posted, no matching message yet.
+    Posted,
+    /// A matching message is physically buffered; virtual completion
+    /// (time charge) has not happened yet.
+    Bound(Message),
+    /// Completed: waited (or tested true) and charged. Kept so repeat
+    /// waits on the same handle stay idempotent.
+    Done(Message),
+}
+
+/// One posted receive: the match pattern plus its state.
+struct ReqSlot {
+    id: u64,
+    src: Option<usize>,
+    tag: Option<Tag>,
+    state: ReqState,
+}
+
+/// Completed requests are retained (for idempotent re-waits) until the
+/// table grows past this many slots, at which point old `Done` entries
+/// are compacted away deterministically.
+const REQ_TABLE_CAP: usize = 8192;
+/// How many of the newest requests survive a compaction regardless of
+/// state.
+const REQ_KEEP_NEWEST: u64 = 1024;
+
 /// The per-rank communicator handle.
 ///
-/// Created by [`crate::run`]; one per rank thread. All timing is virtual:
-/// [`Comm::wtime`] only moves when messages are charged or
+/// Created by [`crate::World`]; one per rank thread. All timing is
+/// virtual: [`Comm::wtime`] only moves when messages are charged or
 /// [`Comm::advance`] is called.
 pub struct Comm {
     rank: usize,
@@ -60,10 +90,22 @@ pub struct Comm {
     poison: Arc<AtomicBool>,
     /// Unmatched messages already pulled off the channel.
     pending: VecDeque<Message>,
+    /// Posted nonblocking receives, in post order (the matching order).
+    reqs: Vec<ReqSlot>,
+    /// Next request id (send and receive requests share the sequence).
+    next_req_id: u64,
+    /// Tag generation for `ialltoall`, so several exchanges between the
+    /// same pair can be in flight without aliasing (all ranks post
+    /// collectives in the same order, so generations agree globally).
+    pub(crate) ia2a_gen: Tag,
     /// Virtual wall clock, seconds.
     clock: f64,
     /// Virtual CPU (busy) time, seconds.
     busy: f64,
+    /// Virtual time until which this rank's egress link is busy
+    /// serializing earlier sends (see `Channel::completion_at`). A burst
+    /// of posted sends drains progressively instead of arriving at once.
+    nic_free: f64,
     /// Bandwidth derating applied to sends while inside a collective whose
     /// round uses more aggregate bandwidth than the fabric has (set by the
     /// collective implementations).
@@ -72,7 +114,7 @@ pub struct Comm {
     stats: CommStats,
     /// World-shared table of per-rank blocking sites.
     blocked: Arc<BlockTable>,
-    /// Host-time cap on a single `recv` wait (None = wait forever).
+    /// Host-time cap on a single `recv`/`wait` (None = wait forever).
     recv_deadline: Option<Duration>,
     /// Which communication operation the current recv belongs to; the
     /// collectives set this around their exchanges so blocking-site dumps
@@ -81,6 +123,7 @@ pub struct Comm {
 }
 
 impl Comm {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         size: usize,
@@ -99,8 +142,12 @@ impl Comm {
             rx,
             poison,
             pending: VecDeque::new(),
+            reqs: Vec::new(),
+            next_req_id: 0,
+            ia2a_gen: 0,
             clock: 0.0,
             busy: 0.0,
+            nic_free: 0.0,
             contention: 1.0,
             stats: CommStats::default(),
             blocked,
@@ -144,33 +191,250 @@ impl Comm {
         self.busy += seconds;
     }
 
-    /// Transfer time for `len` f64s to `dest` under the current contention
-    /// setting.
-    fn charge(&self, dest: usize, len: usize) -> (f64, f64) {
-        let bytes = 8 * len;
-        let ch = self.net.channel_between(self.rank, dest);
-        let wire = ch.time(bytes) * self.contention;
-        let overhead = ch.overhead_us * 1e-6;
-        (wire, overhead)
+    fn matches(src: Option<usize>, tag: Option<Tag>, msg: &Message) -> bool {
+        src.is_none_or(|s| s == msg.src) && tag.is_none_or(|t| t == msg.tag)
     }
 
     /// Sends `data` to `dest` with `tag`. Non-blocking eager semantics:
     /// the payload is buffered at the destination; the sender is charged
-    /// its CPU overhead only.
+    /// its CPU overhead only. The arrival time accrues from now: the
+    /// message departs when the egress link frees up and crosses the wire
+    /// under the current contention derate.
     ///
     /// # Panics
     /// Panics if `dest` is out of range or the destination has hung up.
     pub fn send(&mut self, dest: usize, tag: Tag, data: &[f64]) {
         assert!(dest < self.size, "send: bad destination {dest}");
-        let (wire, overhead) = self.charge(dest, data.len());
-        // Sender CPU pays the protocol overhead; the wire time determines
+        let bytes = 8 * data.len();
+        let ch = self.net.channel_between(self.rank, dest);
+        let overhead = ch.overhead_us * 1e-6;
+        // Sender CPU pays the protocol overhead; the wire determines
         // arrival at the destination.
         self.clock += overhead;
         self.busy += overhead;
+        let (arrival, nic_free) =
+            ch.completion_at(self.clock, self.nic_free, bytes, self.contention);
+        self.nic_free = nic_free;
         self.stats.sent_msgs += 1;
-        self.stats.sent_bytes += 8 * data.len() as u64;
-        let msg = Message { src: self.rank, tag, data: data.to_vec(), arrival: self.clock + wire };
+        self.stats.sent_bytes += bytes as u64;
+        let msg = Message { src: self.rank, tag, data: data.to_vec(), arrival };
         self.txs[dest].send(msg).expect("send: destination rank terminated");
+    }
+
+    /// Posts a nonblocking send. Under the runtime's eager semantics the
+    /// payload is buffered at the destination immediately, so the request
+    /// is born complete; time charges are identical to [`Comm::send`].
+    pub fn isend(&mut self, dest: usize, tag: Tag, data: &[f64]) -> SendRequest {
+        self.send(dest, tag, data);
+        nkt_trace::counter_add("mpi.req.isend", 1);
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        SendRequest { id }
+    }
+
+    /// Posts a nonblocking receive matching `src`/`tag` (None = wildcard)
+    /// and returns its typed handle. Posting charges no time; the
+    /// receiver-side overhead is charged at completion ([`Comm::wait`] or
+    /// a successful [`Comm::test`]).
+    ///
+    /// Matching follows MPI's non-overtaking rule: an incoming message
+    /// binds to the *oldest* posted receive it matches; a message already
+    /// sitting in the unmatched queue binds here immediately.
+    pub fn irecv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Request {
+        nkt_trace::counter_add("mpi.req.irecv", 1);
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        let state = match self
+            .pending
+            .iter()
+            .position(|m| Self::matches(src, tag, m))
+        {
+            Some(pos) => {
+                let msg = self.pending.remove(pos).expect("position came from iter");
+                ReqState::Bound(msg)
+            }
+            None => ReqState::Posted,
+        };
+        self.reqs.push(ReqSlot { id, src, tag, state });
+        self.compact_reqs();
+        Request { id }
+    }
+
+    /// Number of posted-but-incomplete receives (diagnostics; shows up in
+    /// blocking-site dumps and the quiesce accounting).
+    pub fn posted_requests(&self) -> usize {
+        self.reqs.iter().filter(|s| matches!(s.state, ReqState::Posted)).count()
+    }
+
+    /// Tests a posted receive for completion without blocking. Returns
+    /// `true` — and performs the completion, charging the receiver
+    /// overhead — once a matching message has both physically arrived
+    /// *and* its virtual arrival time is ≤ this rank's clock. A `false`
+    /// result charges nothing. Testing an already-completed request
+    /// returns `true` without re-charging.
+    ///
+    /// Note the clock condition makes `test` order-sensitive by design:
+    /// interleaving compute (`advance`) lets later tests succeed. For
+    /// deterministic timing, complete requests in a fixed order (see
+    /// [`Comm::waitall`]).
+    pub fn test(&mut self, req: &Request) -> bool {
+        nkt_trace::counter_add("mpi.req.test", 1);
+        self.poll_channel();
+        let i = self.slot_index(req.id);
+        match &self.reqs[i].state {
+            ReqState::Done(_) => true,
+            ReqState::Bound(m) if m.arrival <= self.clock => {
+                self.complete_slot(i);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Waits for a posted receive and returns its message, charging the
+    /// same receiver overhead as a blocking [`Comm::recv`] and dragging
+    /// the clock to the arrival time if it is still behind. Waiting again
+    /// on a completed request returns the cached message free of charge.
+    ///
+    /// # Panics
+    /// Panics — with the world's blocking-site dump — on peer panic or an
+    /// exceeded world recv deadline, exactly like [`Comm::recv`].
+    pub fn wait(&mut self, req: &Request) -> Message {
+        match self.wait_deadline(req, self.recv_deadline) {
+            Ok(m) => m,
+            Err(e) => self.abort_wait(&e, "wait"),
+        }
+    }
+
+    /// Fallible twin of [`Comm::wait`]: gives up after `timeout` of host
+    /// time and returns [`MpiError::DeadlineExceeded`] (or
+    /// [`MpiError::Poisoned`] if a peer died) instead of panicking.
+    pub fn wait_timeout(&mut self, req: &Request, timeout: Duration) -> Result<Message, MpiError> {
+        self.wait_deadline(req, Some(timeout))
+    }
+
+    /// Completes every request **in slice order**, returning the messages
+    /// in the same order. In-order completion keeps the virtual-time
+    /// charges deterministic no matter how physical delivery interleaved.
+    pub fn waitall(&mut self, reqs: &[Request]) -> Vec<Message> {
+        reqs.iter().map(|r| self.wait(r)).collect()
+    }
+
+    fn wait_deadline(
+        &mut self,
+        req: &Request,
+        deadline: Option<Duration>,
+    ) -> Result<Message, MpiError> {
+        nkt_trace::counter_add("mpi.req.wait", 1);
+        let i = self.slot_index(req.id);
+        if let ReqState::Done(m) = &self.reqs[i].state {
+            return Ok(m.clone());
+        }
+        if matches!(self.reqs[i].state, ReqState::Posted) {
+            let (src, tag) = (self.reqs[i].src, self.reqs[i].tag);
+            let wait_start = Instant::now();
+            let mut published = false;
+            let mut ever_published = false;
+            while matches!(self.reqs[i].state, ReqState::Posted) {
+                match self.rx.recv_timeout(Duration::from_millis(10)) {
+                    Ok(msg) => {
+                        if let Some(msg) = self.intake(msg) {
+                            self.pending.push_back(msg);
+                            self.stats.pending_peak =
+                                self.stats.pending_peak.max(self.pending.len() as u64);
+                            published = false;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if !published {
+                            self.publish_block_site(src, tag);
+                            published = true;
+                            ever_published = true;
+                        }
+                        if self.poison.load(Ordering::SeqCst) {
+                            return Err(MpiError::Poisoned);
+                        }
+                        if let Some(d) = deadline {
+                            if wait_start.elapsed() >= d {
+                                return Err(MpiError::DeadlineExceeded(self.block_site(src, tag)));
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("wait: world torn down while waiting")
+                    }
+                }
+            }
+            if ever_published {
+                self.blocked.clear(self.rank);
+            }
+        }
+        Ok(self.complete_slot(i))
+    }
+
+    /// Completes slot `i` (must be `Bound`): charges the receiver-side
+    /// overhead, drags the clock to the arrival time, and caches the
+    /// message for idempotent re-waits.
+    fn complete_slot(&mut self, i: usize) -> Message {
+        let state = std::mem::replace(&mut self.reqs[i].state, ReqState::Posted);
+        let ReqState::Bound(msg) = state else {
+            unreachable!("complete_slot on a non-bound request");
+        };
+        self.note_recvd(&msg);
+        self.absorb_arrival(&msg);
+        nkt_trace::counter_add("mpi.req.complete", 1);
+        self.reqs[i].state = ReqState::Done(msg.clone());
+        msg
+    }
+
+    /// Routes a just-arrived message: binds it to the oldest matching
+    /// posted receive, else hands it back to the caller.
+    fn intake(&mut self, msg: Message) -> Option<Message> {
+        match self
+            .reqs
+            .iter_mut()
+            .find(|s| matches!(s.state, ReqState::Posted) && Self::matches(s.src, s.tag, &msg))
+        {
+            Some(slot) => {
+                slot.state = ReqState::Bound(msg);
+                None
+            }
+            None => Some(msg),
+        }
+    }
+
+    /// Pulls every physically-delivered message off the channel without
+    /// blocking, binding to posted receives where possible.
+    fn poll_channel(&mut self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            if let Some(msg) = self.intake(msg) {
+                self.pending.push_back(msg);
+            }
+        }
+        self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len() as u64);
+    }
+
+    fn slot_index(&self, id: u64) -> usize {
+        self.reqs
+            .iter()
+            .position(|s| s.id == id)
+            .unwrap_or_else(|| {
+                panic!(
+                    "rank {}: unknown request id {id} (completed request compacted away?)",
+                    self.rank
+                )
+            })
+    }
+
+    /// Bounds the request table: once it exceeds [`REQ_TABLE_CAP`] slots,
+    /// `Done` entries older than the newest [`REQ_KEEP_NEWEST`] ids are
+    /// dropped (deterministically — same schedule on every run).
+    fn compact_reqs(&mut self) {
+        if self.reqs.len() > REQ_TABLE_CAP {
+            let keep_from = self.next_req_id.saturating_sub(REQ_KEEP_NEWEST);
+            self.reqs
+                .retain(|s| !(matches!(s.state, ReqState::Done(_)) && s.id < keep_from));
+        }
     }
 
     /// Receives a message matching `src`/`tag` (None = wildcard). Blocks
@@ -180,18 +444,26 @@ impl Comm {
     /// # Panics
     /// Panics — with a dump of every rank's blocking site — if a peer rank
     /// panics while this rank waits, or if the wait exceeds the world's
-    /// recv deadline ([`crate::WorldOpts::recv_deadline`]).
+    /// recv deadline ([`crate::WorldOpts::recv_deadline`]). Use
+    /// [`Comm::try_recv`] to observe those failures instead.
     pub fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Message {
+        match self.try_recv(src, tag) {
+            Ok(m) => m,
+            Err(e) => self.abort_wait(&e, "recv"),
+        }
+    }
+
+    /// Fallible twin of [`Comm::recv`]: returns
+    /// [`MpiError::DeadlineExceeded`] when the wait exceeds the world's
+    /// recv deadline and [`MpiError::Poisoned`] when a peer rank dies,
+    /// leaving this rank's blocking site published for the next dump.
+    pub fn try_recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Result<Message, MpiError> {
         // First scan messages already buffered.
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| src.is_none_or(|s| s == m.src) && tag.is_none_or(|t| t == m.tag))
-        {
+        if let Some(pos) = self.pending.iter().position(|m| Self::matches(src, tag, m)) {
             let msg = self.pending.remove(pos).expect("position came from iter");
             self.note_recvd(&msg);
             self.absorb_arrival(&msg);
-            return msg;
+            return Ok(msg);
         }
         let wait_start = Instant::now();
         let mut published = false;
@@ -210,24 +482,11 @@ impl Comm {
                         ever_published = true;
                     }
                     if self.poison.load(Ordering::SeqCst) {
-                        panic!(
-                            "recv: a peer rank panicked while rank {} was waiting\n{}",
-                            self.rank,
-                            self.blocked.dump()
-                        );
+                        return Err(MpiError::Poisoned);
                     }
                     if let Some(d) = self.recv_deadline {
                         if wait_start.elapsed() >= d {
-                            panic!(
-                                "recv: rank {} exceeded the {:.0?} recv deadline in \
-                                 {} recv (peer {}, tag {}) — likely deadlock\n{}",
-                                self.rank,
-                                d,
-                                self.op_label,
-                                src.map_or("any".to_string(), |s| s.to_string()),
-                                tag.map_or("any".to_string(), |t| t.to_string()),
-                                self.blocked.dump()
-                            );
+                            return Err(MpiError::DeadlineExceeded(self.block_site(src, tag)));
                         }
                     }
                     continue;
@@ -236,15 +495,16 @@ impl Comm {
                     panic!("recv: world torn down while waiting")
                 }
             };
-            let matches =
-                src.is_none_or(|s| s == msg.src) && tag.is_none_or(|t| t == msg.tag);
-            if matches {
+            // A message that matches an older posted irecv belongs to it,
+            // not to this blocking recv (non-overtaking matching).
+            let Some(msg) = self.intake(msg) else { continue };
+            if Self::matches(src, tag, &msg) {
                 if ever_published {
                     self.blocked.clear(self.rank);
                 }
                 self.note_recvd(&msg);
                 self.absorb_arrival(&msg);
-                return msg;
+                return Ok(msg);
             }
             self.pending.push_back(msg);
             self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len() as u64);
@@ -254,18 +514,42 @@ impl Comm {
         }
     }
 
+    /// Panics with the world dump after a failed wait, preserving the
+    /// historical abort-message format.
+    fn abort_wait(&mut self, e: &MpiError, what: &str) -> ! {
+        match e {
+            MpiError::Poisoned => panic!(
+                "{what}: a peer rank panicked while rank {} was waiting\n{}",
+                self.rank,
+                self.blocked.dump()
+            ),
+            MpiError::DeadlineExceeded(site) => panic!(
+                "{what}: rank {} exceeded the {:.0?} recv deadline in \
+                 {} recv (peer {}, tag {}) — likely deadlock\n{}",
+                self.rank,
+                self.recv_deadline.unwrap_or_default(),
+                site.op,
+                site.peer.map_or("any".to_string(), |s| s.to_string()),
+                site.tag.map_or("any".to_string(), |t| t.to_string()),
+                self.blocked.dump()
+            ),
+        }
+    }
+
+    fn block_site(&self, src: Option<usize>, tag: Option<Tag>) -> BlockSite {
+        BlockSite {
+            op: self.op_label,
+            peer: src,
+            tag,
+            queued_bytes: self.pending.iter().map(|m| 8 * m.data.len()).sum(),
+            queued_msgs: self.pending.len(),
+            posted_reqs: self.posted_requests(),
+        }
+    }
+
     /// Records this rank's blocking site in the world-shared table.
     fn publish_block_site(&self, src: Option<usize>, tag: Option<Tag>) {
-        self.blocked.publish(
-            self.rank,
-            BlockSite {
-                op: self.op_label,
-                peer: src,
-                tag,
-                queued_bytes: self.pending.iter().map(|m| 8 * m.data.len()).sum(),
-                queued_msgs: self.pending.len(),
-            },
-        );
+        self.blocked.publish(self.rank, self.block_site(src, tag));
     }
 
     fn note_recvd(&mut self, msg: &Message) {
@@ -274,32 +558,34 @@ impl Comm {
     }
 
     /// Pulls every already-delivered message off the channel into the
-    /// pending queue without blocking, and returns how many messages are
-    /// now buffered. After [`Comm::barrier`] this captures every message
-    /// any rank sent before entering the barrier (the channel is FIFO
-    /// and the barrier orders all pre-barrier sends before all
-    /// post-barrier receives), which is what the checkpoint protocol
-    /// needs: nothing left "on the wire".
+    /// pending queue (binding those that match posted irecvs) without
+    /// blocking, and returns how many messages are now buffered —
+    /// unmatched plus bound-but-uncompleted. After [`Comm::barrier`] this
+    /// captures every message any rank sent before entering the barrier
+    /// (the channel is FIFO and the barrier orders all pre-barrier sends
+    /// before all post-barrier receives), which is what the checkpoint
+    /// protocol needs: nothing left "on the wire".
     pub fn drain_in_flight(&mut self) -> usize {
-        while let Ok(msg) = self.rx.try_recv() {
-            self.pending.push_back(msg);
-        }
-        self.stats.pending_peak = self.stats.pending_peak.max(self.pending.len() as u64);
-        self.pending.len()
+        self.poll_channel();
+        let bound = self.reqs.iter().filter(|s| matches!(s.state, ReqState::Bound(_))).count();
+        self.pending.len() + bound
     }
 
-    /// Messages received but not yet matched by a `recv`.
+    /// Messages received but not yet matched by a `recv` or bound to a
+    /// posted irecv.
     pub fn pending_msgs(&self) -> usize {
         self.pending.len()
     }
 
     /// Quiesces the world for a consistent global cut: a full barrier,
     /// then a drain of any delivered-but-unmatched messages into the
-    /// pending queue. On return, across all ranks, every send issued
-    /// before any rank called `quiesce` is either matched or sitting in
-    /// its receiver's pending queue — no message is in flight between
-    /// ranks. Returns this rank's buffered-message count (zero at a
-    /// step-boundary checkpoint).
+    /// pending queue and of any messages destined for posted irecvs into
+    /// their request slots. On return, across all ranks, every send
+    /// issued before any rank called `quiesce` is matched, bound to its
+    /// posted receive, or sitting in its receiver's pending queue — no
+    /// message is in flight between ranks. Returns this rank's
+    /// buffered-message count (zero at a step-boundary checkpoint with no
+    /// outstanding requests).
     pub fn quiesce(&mut self) -> usize {
         let prev = self.op_label;
         self.op_label = "quiesce";

@@ -26,6 +26,9 @@ pub struct BlockSite {
     pub queued_bytes: usize,
     /// Number of unmatched messages queued.
     pub queued_msgs: usize,
+    /// Posted-but-incomplete nonblocking receives at the time of
+    /// publication (a stuck `waitall` shows up here).
+    pub posted_reqs: usize,
 }
 
 /// One slot per rank; `None` = not (yet) observed blocking.
@@ -62,8 +65,8 @@ impl BlockTable {
                     let tag = s.tag.map_or("any".to_string(), |t| t.to_string());
                     out.push_str(&format!(
                         "  rank {rank}: blocked in {} recv (peer {peer}, tag {tag}), \
-                         {} B queued in {} unmatched msg(s)\n",
-                        s.op, s.queued_bytes, s.queued_msgs
+                         {} B queued in {} unmatched msg(s), {} posted irecv(s)\n",
+                        s.op, s.queued_bytes, s.queued_msgs, s.posted_reqs
                     ));
                 }
                 None => out.push_str(&format!(
@@ -84,12 +87,19 @@ mod tests {
         let t = BlockTable::new(3);
         t.publish(
             1,
-            BlockSite { op: "alltoall", peer: Some(2), tag: Some(7), queued_bytes: 16, queued_msgs: 2 },
+            BlockSite {
+                op: "alltoall",
+                peer: Some(2),
+                tag: Some(7),
+                queued_bytes: 16,
+                queued_msgs: 2,
+                posted_reqs: 3,
+            },
         );
         let d = t.dump();
         assert!(d.contains("rank 0: not blocked"));
         assert!(d.contains("rank 1: blocked in alltoall recv (peer 2, tag 7)"));
-        assert!(d.contains("16 B queued in 2 unmatched msg(s)"));
+        assert!(d.contains("16 B queued in 2 unmatched msg(s), 3 posted irecv(s)"));
         assert!(d.contains("rank 2: not blocked"));
     }
 
@@ -98,7 +108,14 @@ mod tests {
         let t = BlockTable::new(1);
         t.publish(
             0,
-            BlockSite { op: "p2p", peer: None, tag: None, queued_bytes: 0, queued_msgs: 0 },
+            BlockSite {
+                op: "p2p",
+                peer: None,
+                tag: None,
+                queued_bytes: 0,
+                queued_msgs: 0,
+                posted_reqs: 0,
+            },
         );
         assert!(t.dump().contains("peer any, tag any"));
         t.clear(0);

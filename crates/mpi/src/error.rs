@@ -1,0 +1,67 @@
+//! Typed errors for the fallible communication surface.
+//!
+//! The abort-only deadline handling of the original `recv` is still the
+//! right default for solver code (a stuck transpose *is* a bug), but
+//! supervisory code — checkpoint coordinators, drills, tests probing
+//! deadlock behaviour — needs to observe a failed wait without dying.
+//! [`Comm::try_recv`](crate::Comm::try_recv) and
+//! [`Comm::wait_timeout`](crate::Comm::wait_timeout) return these; the
+//! panicking twins route through them and attach the world-wide
+//! blocking-site dump.
+
+use crate::diag::BlockSite;
+use std::fmt;
+
+/// Why a fallible wait could not complete.
+#[derive(Debug, Clone)]
+pub enum MpiError {
+    /// The wait exceeded its deadline. Carries this rank's blocking site
+    /// at the moment it gave up: the comm op, the expected peer and tag,
+    /// and the unmatched backlog sitting in its queue.
+    DeadlineExceeded(BlockSite),
+    /// A peer rank panicked while this rank was waiting; the expected
+    /// message will never arrive.
+    Poisoned,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::DeadlineExceeded(site) => {
+                let peer = site.peer.map_or("any".to_string(), |p| p.to_string());
+                let tag = site.tag.map_or("any".to_string(), |t| t.to_string());
+                write!(
+                    f,
+                    "deadline exceeded in {} recv (peer {peer}, tag {tag}), \
+                     {} B queued in {} unmatched msg(s), {} posted irecv(s)",
+                    site.op, site.queued_bytes, site.queued_msgs, site.posted_reqs
+                )
+            }
+            MpiError::Poisoned => write!(f, "a peer rank panicked while this rank was waiting"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_site() {
+        let e = MpiError::DeadlineExceeded(BlockSite {
+            op: "alltoall",
+            peer: Some(3),
+            tag: Some(9),
+            queued_bytes: 80,
+            queued_msgs: 2,
+            posted_reqs: 1,
+        });
+        let s = e.to_string();
+        assert!(s.contains("alltoall"), "{s}");
+        assert!(s.contains("peer 3, tag 9"), "{s}");
+        assert!(s.contains("1 posted irecv(s)"), "{s}");
+        assert!(MpiError::Poisoned.to_string().contains("panicked"));
+    }
+}

@@ -17,16 +17,45 @@
 //! * [`Comm::busy`] — CPU ledger: compute charges + protocol overheads;
 //! * [`Comm::wtime`] — wall clock: busy time **plus** waiting on messages.
 //!
+//! Point-to-point comes in blocking ([`Comm::send`]/[`Comm::recv`]) and
+//! nonblocking flavors: [`Comm::isend`]/[`Comm::irecv`] return typed
+//! [`Request`] handles completed by [`Comm::wait`]/[`Comm::test`]/
+//! [`Comm::waitall`]. A nonblocking message's network charge accrues from
+//! post time, so compute between post and completion hides wire time in
+//! `wtime` while `busy` stays honest (DESIGN.md §11).
+//!
 //! Collectives: barrier (dissemination), broadcast (binomial tree),
-//! allreduce (recursive doubling + fallback), gather, and three
-//! `MPI_Alltoall` algorithms ([`AlltoallAlgo`]) for the ablation bench.
+//! allreduce (recursive doubling + fallback), gather, three
+//! `MPI_Alltoall` algorithms ([`AlltoallAlgo`]) for the ablation bench,
+//! and a nonblocking [`Comm::ialltoall`] built on pairwise requests.
+//!
+//! Downstream code should import through [`prelude`]:
+//!
+//! ```
+//! use nkt_mpi::prelude::*;
+//! ```
 
 pub mod collectives;
 pub mod comm;
 pub mod diag;
+pub mod error;
+pub mod request;
 pub mod world;
 
-pub use collectives::{AlltoallAlgo, ReduceOp};
+/// The one-line import surface: everything a rank program needs.
+pub mod prelude {
+    pub use crate::collectives::{AlltoallAlgo, AlltoallHandle, ReduceOp};
+    pub use crate::comm::{Comm, CommStats, Message, Tag};
+    pub use crate::error::MpiError;
+    pub use crate::request::{Request, SendRequest};
+    pub use crate::world::{World, WorldBuilder, WorldOpts};
+}
+
+pub use collectives::{AlltoallAlgo, AlltoallHandle, ReduceOp};
 pub use comm::{Comm, CommStats, Message, Tag};
 pub use diag::{BlockSite, BlockTable};
-pub use world::{run, run_cfg, WorldOpts};
+pub use error::MpiError;
+pub use request::{Request, SendRequest};
+#[allow(deprecated)]
+pub use world::{run, run_cfg};
+pub use world::{World, WorldBuilder, WorldOpts};

@@ -1,4 +1,21 @@
 //! World harness: spawns one thread per rank and runs a closure on each.
+//!
+//! The canonical entry point is the builder:
+//!
+//! ```
+//! use nkt_mpi::prelude::*;
+//! use nkt_net::{cluster, NetId};
+//!
+//! let out = World::builder()
+//!     .ranks(4)
+//!     .net(cluster(NetId::T3e))
+//!     .run(|c| c.rank());
+//! assert_eq!(out, vec![0, 1, 2, 3]);
+//! ```
+//!
+//! [`World::from_env`] is the same builder preseeded from the
+//! environment (`NKT_MPI_DEADLINE_MS`). The free functions [`run`] and
+//! [`run_cfg`] survive as thin deprecated shims.
 
 use crate::comm::{Comm, Message};
 use crate::diag::BlockTable;
@@ -8,12 +25,13 @@ use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// World-level knobs for [`run_cfg`].
+/// World-level knobs (carried inside [`WorldBuilder`]; kept public for
+/// the deprecated [`run_cfg`] shim and for callers that store options).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WorldOpts {
-    /// Host-time cap on any single `recv` wait. When a rank waits longer
-    /// — a lost message, a mismatched tag, a deadlocked collective — it
-    /// panics with a dump of every rank's blocking site instead of
+    /// Host-time cap on any single `recv`/`wait`. When a rank waits
+    /// longer — a lost message, a mismatched tag, a deadlocked collective
+    /// — it panics with a dump of every rank's blocking site instead of
     /// hanging the test run forever. `None` (default) waits indefinitely.
     pub recv_deadline: Option<Duration>,
 }
@@ -26,6 +44,163 @@ impl WorldOpts {
             .and_then(|v| v.trim().parse::<u64>().ok())
             .map(Duration::from_millis);
         WorldOpts { recv_deadline }
+    }
+}
+
+/// Per-rank hook invoked by the harness around the rank closure (e.g. a
+/// checkpoint restore on entry, a final flush/quiesce on exit).
+type RankHook = Arc<dyn Fn(&mut Comm) + Send + Sync>;
+
+/// A virtual-time MPI world. Construct one run at a time through
+/// [`World::builder`] (or the [`World::from_env`] preset).
+pub struct World;
+
+impl World {
+    /// A builder with defaults: 1 rank, no network (must be set), no
+    /// recv deadline, no hooks.
+    pub fn builder() -> WorldBuilder {
+        WorldBuilder {
+            ranks: 1,
+            net: None,
+            opts: WorldOpts::default(),
+            on_rank_start: None,
+            on_rank_exit: None,
+        }
+    }
+
+    /// [`World::builder`] preseeded with environment-derived options
+    /// (`NKT_MPI_DEADLINE_MS`).
+    pub fn from_env() -> WorldBuilder {
+        World::builder().opts(WorldOpts::from_env())
+    }
+}
+
+/// Configures and launches a [`World`]; see [`World::builder`].
+pub struct WorldBuilder {
+    ranks: usize,
+    net: Option<ClusterNetwork>,
+    opts: WorldOpts,
+    on_rank_start: Option<RankHook>,
+    on_rank_exit: Option<RankHook>,
+}
+
+impl WorldBuilder {
+    /// Number of ranks (threads) to spawn. Default 1.
+    pub fn ranks(mut self, p: usize) -> Self {
+        self.ranks = p;
+        self
+    }
+
+    /// The network model the world runs on. Required.
+    pub fn net(mut self, net: ClusterNetwork) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Replaces the option block wholesale (used by the deprecated
+    /// [`run_cfg`] shim; prefer the individual setters).
+    pub fn opts(mut self, opts: WorldOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Host-time cap on any single `recv`/`wait`; see
+    /// [`WorldOpts::recv_deadline`].
+    pub fn recv_deadline(mut self, d: Duration) -> Self {
+        self.opts.recv_deadline = Some(d);
+        self
+    }
+
+    /// Hook run on every rank after its [`Comm`] is created and before
+    /// the rank closure — the checkpoint-restore seam: restore solver
+    /// state from the newest epoch here so every entry path resumes
+    /// identically.
+    pub fn on_rank_start(mut self, f: impl Fn(&mut Comm) + Send + Sync + 'static) -> Self {
+        self.on_rank_start = Some(Arc::new(f));
+        self
+    }
+
+    /// Hook run on every rank after the rank closure returns — e.g.
+    /// flush a final checkpoint epoch or assert quiescence
+    /// ([`Comm::quiesce`]) before the world tears down.
+    pub fn on_rank_exit(mut self, f: impl Fn(&mut Comm) + Send + Sync + 'static) -> Self {
+        self.on_rank_exit = Some(Arc::new(f));
+        self
+    }
+
+    /// Spawns the world and runs `f` on every rank, returning each
+    /// rank's result in rank order.
+    ///
+    /// Data exchange is real (`std::sync::mpsc` channels — unbounded, so
+    /// eager sends never block); time is virtual (see [`Comm`]). The
+    /// closure gets a mutable [`Comm`] bound to its rank.
+    ///
+    /// # Panics
+    /// Panics if no network was set; propagates a panic from any rank
+    /// thread with its original payload, so deadline/poison diagnostics
+    /// (which rank blocked where) survive the join.
+    pub fn run<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        let p = self.ranks;
+        assert!(p >= 1, "World: need at least one rank");
+        let net = Arc::new(self.net.expect("World: no network set — call .net(...)"));
+        let opts = self.opts;
+        let on_start = self.on_rank_start;
+        let on_exit = self.on_rank_exit;
+        let poison = Arc::new(AtomicBool::new(false));
+        let blocked = Arc::new(BlockTable::new(p));
+        let mut txs = Vec::with_capacity(p);
+        let mut rxs = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = channel::<Message>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, rx) in rxs.into_iter().enumerate() {
+                let txs = txs.clone();
+                let net = Arc::clone(&net);
+                let poison = Arc::clone(&poison);
+                let blocked = Arc::clone(&blocked);
+                let on_start = on_start.clone();
+                let on_exit = on_exit.clone();
+                handles.push(scope.spawn(move || {
+                    // If this rank unwinds, poison the world so peers blocked
+                    // in recv panic too instead of deadlocking (every rank
+                    // holds sender clones to every rank, itself included, so
+                    // channel disconnection alone cannot wake them).
+                    let _guard = PoisonOnPanic(Arc::clone(&poison));
+                    nkt_trace::set_thread_meta(format!("rank {rank}"), Some(rank));
+                    let mut comm =
+                        Comm::new(rank, p, net, txs, rx, poison, blocked, opts.recv_deadline);
+                    if let Some(hook) = &on_start {
+                        hook(&mut comm);
+                    }
+                    let out = f(&mut comm);
+                    if let Some(hook) = &on_exit {
+                        hook(&mut comm);
+                    }
+                    comm.publish_trace_counters();
+                    nkt_trace::flush_thread();
+                    out
+                }));
+            }
+            drop(txs);
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    // Re-raise with the original payload: the blocking-site
+                    // dump inside a deadline panic must reach the caller.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
     }
 }
 
@@ -44,77 +219,23 @@ impl Drop for PoisonOnPanic {
 
 /// Runs `f` on `p` rank threads over the given network model and returns
 /// each rank's result in rank order.
-///
-/// Data exchange is real (`std::sync::mpsc` channels — unbounded, so
-/// eager sends never block); time is virtual (see [`Comm`]). The closure
-/// gets a mutable [`Comm`] bound to its rank.
-///
-/// # Panics
-/// Propagates a panic from any rank thread.
+#[deprecated(note = "use World::from_env().ranks(p).net(net).run(f)")]
 pub fn run<R, F>(p: usize, net: ClusterNetwork, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&mut Comm) -> R + Sync,
 {
-    run_cfg(p, net, WorldOpts::from_env(), f)
+    World::from_env().ranks(p).net(net).run(f)
 }
 
 /// [`run`] with explicit [`WorldOpts`] instead of the environment.
-///
-/// # Panics
-/// Propagates a panic from any rank thread with its original payload, so
-/// deadline/poison diagnostics (which rank blocked where) survive the
-/// join.
+#[deprecated(note = "use World::builder().ranks(p).net(net).opts(opts).run(f)")]
 pub fn run_cfg<R, F>(p: usize, net: ClusterNetwork, opts: WorldOpts, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&mut Comm) -> R + Sync,
 {
-    assert!(p >= 1, "run: need at least one rank");
-    let net = Arc::new(net);
-    let poison = Arc::new(AtomicBool::new(false));
-    let blocked = Arc::new(BlockTable::new(p));
-    let mut txs = Vec::with_capacity(p);
-    let mut rxs = Vec::with_capacity(p);
-    for _ in 0..p {
-        let (tx, rx) = channel::<Message>();
-        txs.push(tx);
-        rxs.push(rx);
-    }
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(p);
-        for (rank, rx) in rxs.into_iter().enumerate() {
-            let txs = txs.clone();
-            let net = Arc::clone(&net);
-            let poison = Arc::clone(&poison);
-            let blocked = Arc::clone(&blocked);
-            handles.push(scope.spawn(move || {
-                // If this rank unwinds, poison the world so peers blocked
-                // in recv panic too instead of deadlocking (every rank
-                // holds sender clones to every rank, itself included, so
-                // channel disconnection alone cannot wake them).
-                let _guard = PoisonOnPanic(Arc::clone(&poison));
-                nkt_trace::set_thread_meta(format!("rank {rank}"), Some(rank));
-                let mut comm =
-                    Comm::new(rank, p, net, txs, rx, poison, blocked, opts.recv_deadline);
-                let out = f(&mut comm);
-                comm.publish_trace_counters();
-                nkt_trace::flush_thread();
-                out
-            }));
-        }
-        drop(txs);
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                // Re-raise with the original payload: the blocking-site
-                // dump inside a deadline panic must reach the caller.
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    })
+    World::builder().ranks(p).net(net).opts(opts).run(f)
 }
 
 #[cfg(test)]
@@ -127,6 +248,14 @@ mod tests {
         cluster(NetId::T3e)
     }
 
+    fn run<R, F>(p: usize, net: ClusterNetwork, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        World::from_env().ranks(p).net(net).run(f)
+    }
+
     #[test]
     fn single_rank_world() {
         let out = run(1, testnet(), |c| {
@@ -136,6 +265,43 @@ mod tests {
             (c.rank(), v[0])
         });
         assert_eq!(out, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn deprecated_shims_still_run() {
+        #[allow(deprecated)]
+        let out = super::run(2, testnet(), |c| c.rank());
+        assert_eq!(out, vec![0, 1]);
+        #[allow(deprecated)]
+        let out = super::run_cfg(2, testnet(), WorldOpts::default(), |c| c.size());
+        assert_eq!(out, vec![2, 2]);
+    }
+
+    #[test]
+    fn rank_hooks_bracket_the_closure() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let started = Arc::new(AtomicUsize::new(0));
+        let exited = Arc::new(AtomicUsize::new(0));
+        let (s, e) = (Arc::clone(&started), Arc::clone(&exited));
+        let out = World::builder()
+            .ranks(3)
+            .net(testnet())
+            .on_rank_start(move |c| {
+                s.fetch_add(1 + c.rank(), Ordering::SeqCst);
+            })
+            .on_rank_exit(move |c| {
+                // All ranks' closures ran before any exit hook can see a
+                // quiesced world; just count.
+                e.fetch_add(1, Ordering::SeqCst);
+                c.barrier();
+            })
+            .run(|c| {
+                c.barrier();
+                c.rank()
+            });
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(started.load(Ordering::SeqCst), 1 + 2 + 3);
+        assert_eq!(exited.load(Ordering::SeqCst), 3);
     }
 
     #[test]
@@ -243,6 +409,31 @@ mod tests {
         }
     }
 
+    fn check_ialltoall(p: usize, block: usize) {
+        let out = run(p, testnet(), move |c| {
+            let r = c.rank();
+            let send: Vec<f64> = (0..p * block)
+                .map(|i| (r * 1000 + (i / block) * 100 + i % block) as f64)
+                .collect();
+            let mut recv = vec![0.0; p * block];
+            let h = c.ialltoall(&send, block);
+            c.advance(1e-6); // a little overlapped "compute"
+            c.alltoall_finish(h, &mut recv);
+            recv
+        });
+        for (r, recv) in out.iter().enumerate() {
+            for src in 0..p {
+                for k in 0..block {
+                    let expect = (src * 1000 + r * 100 + k) as f64;
+                    assert_eq!(
+                        recv[src * block + k], expect,
+                        "ialltoall p={p} rank {r} from {src} elem {k}"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn alltoall_pairwise_pow2() {
         check_alltoall(8, 3, AlltoallAlgo::Pairwise);
@@ -267,6 +458,40 @@ mod tests {
     }
 
     #[test]
+    fn ialltoall_delivers_like_alltoall() {
+        check_ialltoall(1, 3);
+        check_ialltoall(4, 2);
+        check_ialltoall(6, 2); // non-power-of-two ring order
+        check_ialltoall(8, 5);
+    }
+
+    #[test]
+    fn overlapping_ialltoalls_do_not_alias() {
+        // Two exchanges in flight at once: distinct tag generations and
+        // post-order matching must keep them separate.
+        let p = 4;
+        let out = run(p, testnet(), move |c| {
+            let r = c.rank();
+            let a: Vec<f64> = (0..p).map(|j| (r * 10 + j) as f64).collect();
+            let b: Vec<f64> = (0..p).map(|j| (100 + r * 10 + j) as f64).collect();
+            let ha = c.ialltoall(&a, 1);
+            let hb = c.ialltoall(&b, 1);
+            let mut ra = vec![0.0; p];
+            let mut rb = vec![0.0; p];
+            // Finish in reverse order of posting, to stress matching.
+            c.alltoall_finish(hb, &mut rb);
+            c.alltoall_finish(ha, &mut ra);
+            (ra, rb)
+        });
+        for (r, (ra, rb)) in out.iter().enumerate() {
+            for src in 0..p {
+                assert_eq!(ra[src], (src * 10 + r) as f64);
+                assert_eq!(rb[src], (100 + src * 10 + r) as f64);
+            }
+        }
+    }
+
+    #[test]
     fn barrier_synchronizes_clocks() {
         let out = run(4, testnet(), |c| {
             // Rank 2 does a lot of local work before the barrier.
@@ -288,6 +513,9 @@ mod tests {
                 let send: Vec<f64> = vec![1.0; 4 * 64];
                 let mut recv = vec![0.0; 4 * 64];
                 c.alltoall(&send, 64, &mut recv);
+                let h = c.ialltoall(&send, 64);
+                c.advance(1e-5);
+                c.alltoall_finish(h, &mut recv);
                 c.barrier();
                 c.wtime()
             })

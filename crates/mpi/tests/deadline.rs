@@ -2,7 +2,7 @@
 //! never comes must abort with a report naming the blocked rank, the
 //! communication op, the expected peer, and the tag.
 
-use nkt_mpi::{run_cfg, WorldOpts};
+use nkt_mpi::prelude::*;
 use nkt_net::{cluster, NetId};
 use std::time::Duration;
 
@@ -22,16 +22,15 @@ fn deadline_report_names_blocked_rank_and_site() {
     // Rank 0 waits for a tag-42 message from rank 1; rank 1 returns
     // without sending (the injected stall).
     let result = std::panic::catch_unwind(|| {
-        run_cfg(
-            2,
-            cluster(NetId::T3e),
-            WorldOpts { recv_deadline: Some(Duration::from_millis(150)) },
-            |c| {
+        World::builder()
+            .ranks(2)
+            .net(cluster(NetId::T3e))
+            .recv_deadline(Duration::from_millis(150))
+            .run(|c| {
                 if c.rank() == 0 {
                     c.recv(Some(1), Some(42));
                 }
-            },
-        )
+            })
     });
     let text = panic_text(result.expect_err("stalled recv must abort"));
     assert!(text.contains("recv deadline"), "mentions the deadline: {text}");
@@ -53,16 +52,15 @@ fn deadline_report_names_collective_op() {
     // Rank 0 enters a barrier alone; rank 1 never does. The dump must
     // attribute rank 0's wait to the barrier, not generic p2p.
     let result = std::panic::catch_unwind(|| {
-        run_cfg(
-            2,
-            cluster(NetId::T3e),
-            WorldOpts { recv_deadline: Some(Duration::from_millis(150)) },
-            |c| {
+        World::builder()
+            .ranks(2)
+            .net(cluster(NetId::T3e))
+            .recv_deadline(Duration::from_millis(150))
+            .run(|c| {
                 if c.rank() == 0 {
                     c.barrier();
                 }
-            },
-        )
+            })
     });
     let text = panic_text(result.expect_err("half-entered barrier must abort"));
     assert!(
@@ -73,25 +71,24 @@ fn deadline_report_names_collective_op() {
 
 #[test]
 fn deadline_does_not_fire_on_healthy_traffic() {
-    let out = run_cfg(
-        2,
-        cluster(NetId::T3e),
-        WorldOpts { recv_deadline: Some(Duration::from_millis(500)) },
-        |c| {
+    let out = World::builder()
+        .ranks(2)
+        .net(cluster(NetId::T3e))
+        .recv_deadline(Duration::from_millis(500))
+        .run(|c| {
             if c.rank() == 0 {
                 c.send(1, 7, &[1.0, 2.0]);
                 0.0
             } else {
                 c.recv(Some(0), Some(7)).data.iter().sum::<f64>()
             }
-        },
-    );
+        });
     assert_eq!(out, vec![0.0, 3.0]);
 }
 
 #[test]
 fn comm_stats_count_traffic() {
-    let out = run_cfg(2, cluster(NetId::T3e), WorldOpts::default(), |c| {
+    let out = World::builder().ranks(2).net(cluster(NetId::T3e)).run(|c| {
         if c.rank() == 0 {
             c.send(1, 1, &[0.0; 16]);
         } else {

@@ -6,13 +6,17 @@
 //! disconnection alone cannot wake them, since every rank holds sender
 //! clones to every rank — itself included).
 
-use nkt_mpi::{run, AlltoallAlgo, Comm, ReduceOp};
+use nkt_mpi::prelude::*;
 use nkt_net::{cluster, ClusterNetwork, NetId};
 use std::sync::mpsc;
 use std::time::Duration;
 
 fn net() -> ClusterNetwork {
     cluster(NetId::T3e)
+}
+
+fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(p: usize, net: ClusterNetwork, f: F) -> Vec<R> {
+    World::builder().ranks(p).net(net).run(f)
 }
 
 /// Runs `f` as a world on a watchdog thread: if the world does not

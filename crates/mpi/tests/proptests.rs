@@ -1,12 +1,20 @@
 //! Property-based tests for the simulated MPI runtime: collective
 //! semantics over random rank counts, payloads and algorithms.
 
-use nkt_mpi::{run, AlltoallAlgo, ReduceOp};
+use nkt_mpi::prelude::*;
 use nkt_net::{cluster, NetId};
 use nkt_testkit::{prop_assert, prop_assert_eq, prop_check};
 
 fn net() -> nkt_net::ClusterNetwork {
     cluster(NetId::T3e)
+}
+
+fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
+    p: usize,
+    net: nkt_net::ClusterNetwork,
+    f: F,
+) -> Vec<R> {
+    World::builder().ranks(p).net(net).run(f)
 }
 
 prop_check! {
@@ -23,6 +31,29 @@ prop_check! {
                 .collect();
             let mut recv = vec![-1.0; p * block];
             c.alltoall_with(algo, &send, block, &mut recv);
+            recv
+        });
+        for (dst, recv) in out.iter().enumerate() {
+            for src in 0..p {
+                for s in 0..block {
+                    let expect = (src * 10000 + dst * block + s) as f64;
+                    prop_assert_eq!(recv[src * block + s], expect);
+                }
+            }
+        }
+    }
+
+    /// The nonblocking alltoall (post + finish) delivers exactly like
+    /// the blocking one for any P/block combo.
+    fn ialltoall_semantics(p in 1usize..9, block in 1usize..7) {
+        let out = run(p, net(), move |c| {
+            let r = c.rank();
+            let send: Vec<f64> = (0..p * block)
+                .map(|i| (r * 10000 + i) as f64)
+                .collect();
+            let h = c.ialltoall(&send, block);
+            let mut recv = vec![-1.0; p * block];
+            c.alltoall_finish(h, &mut recv);
             recv
         });
         for (dst, recv) in out.iter().enumerate() {

@@ -40,6 +40,28 @@ impl Channel {
     pub fn latency_for(&self, bytes: usize) -> f64 {
         self.time(bytes) * 1e6
     }
+
+    /// Completion time for a message handed to this channel at virtual
+    /// time `ready`, on a sender whose egress link is busy until
+    /// `link_free`, with a bandwidth derate (`≥ 1` under contention).
+    ///
+    /// Returns `(arrival, new_link_free)`. Latency pipelines across
+    /// back-to-back messages, but the serialization component
+    /// (`bytes / bandwidth`) occupies the egress link, so a burst of
+    /// posted sends drains progressively instead of all arriving at
+    /// once — the effect a pipelined transpose overlaps compute with.
+    pub fn completion_at(
+        &self,
+        ready: f64,
+        link_free: f64,
+        bytes: usize,
+        derate: f64,
+    ) -> (f64, f64) {
+        let depart = ready.max(link_free);
+        let arrival = depart + self.time(bytes) * derate;
+        let occupancy = bytes as f64 / (self.bandwidth_mbs * 1e6) * derate;
+        (arrival, depart + occupancy)
+    }
 }
 
 /// A cluster's communication fabric: intra-node and inter-node channels
@@ -111,6 +133,37 @@ impl ClusterNetwork {
             max_pair.max(aggregate)
         } else {
             max_pair
+        }
+    }
+
+    /// Bandwidth derate for one full-exchange round at `p` ranks with
+    /// `bytes` per message: the factor by which fabric contention
+    /// stretches a single message relative to an uncontended transfer.
+    ///
+    /// The representative round is the maximally-distant permutation a
+    /// blocking alltoall would issue (XOR pairs at distance `p/2` for
+    /// power-of-two worlds, a ring shift of `p/2` otherwise), so a
+    /// pipelined exchange pays the same per-message contention as its
+    /// blocking twin's worst round.
+    pub fn exchange_derate(&self, p: usize, bytes: usize) -> f64 {
+        if p < 2 || bytes == 0 {
+            return 1.0;
+        }
+        let step = p / 2;
+        let pairs: Vec<(usize, usize)> = if p.is_power_of_two() {
+            (0..p).filter(|&i| i < i ^ step).map(|i| (i, i ^ step)).collect()
+        } else {
+            (0..p).map(|i| (i, (i + step) % p)).collect()
+        };
+        let round = self.round_time(&pairs, bytes);
+        let single = pairs
+            .iter()
+            .map(|&(a, b)| self.channel_between(a, b).time(bytes))
+            .fold(0.0f64, f64::max);
+        if single > 0.0 {
+            (round / single).max(1.0)
+        } else {
+            1.0
         }
     }
 }
@@ -199,5 +252,33 @@ mod tests {
     #[test]
     fn empty_round_is_free() {
         assert_eq!(net(false, 1.0).round_time(&[], 100), 0.0);
+    }
+
+    #[test]
+    fn completion_pipelines_latency_but_serializes_bandwidth() {
+        let c = ch(50.0, 10.0); // 1000 B: 155 us total, 100 us on the wire
+        let (a1, free1) = c.completion_at(0.0, 0.0, 1000, 1.0);
+        assert!((a1 - 155e-6).abs() < 1e-12, "{a1}");
+        assert!((free1 - 100e-6).abs() < 1e-12, "{free1}");
+        // A second message posted immediately queues behind the first's
+        // serialization only, not its full latency.
+        let (a2, free2) = c.completion_at(0.0, free1, 1000, 1.0);
+        assert!((a2 - 255e-6).abs() < 1e-12, "{a2}");
+        assert!((free2 - 200e-6).abs() < 1e-12, "{free2}");
+        // An idle link does not time-travel: ready dominates link_free.
+        let (a3, _) = c.completion_at(1.0, free2, 1000, 1.0);
+        assert!((a3 - 1.000155).abs() < 1e-9, "{a3}");
+    }
+
+    #[test]
+    fn exchange_derate_reflects_fabric_sharing() {
+        // Switched fabric with ample bisection: no derating.
+        assert!((net(false, f64::INFINITY).exchange_derate(8, 100_000) - 1.0).abs() < 1e-12);
+        // Shared medium: concurrent inter-node messages serialize.
+        let d = net(true, f64::INFINITY).exchange_derate(8, 100_000);
+        assert!(d > 2.0, "{d}");
+        // Degenerate cases.
+        assert_eq!(net(true, f64::INFINITY).exchange_derate(1, 100), 1.0);
+        assert_eq!(net(true, f64::INFINITY).exchange_derate(8, 0), 1.0);
     }
 }

@@ -207,6 +207,30 @@ impl Group<'_> {
         });
     }
 
+    /// Records a precomputed, deterministic metric (already in
+    /// nanoseconds) under `<group>/<id>` without timing anything.
+    ///
+    /// Used by ablations whose measurement comes from the simulator's
+    /// virtual clock rather than host wall time: the value is exact and
+    /// repeatable, so it is stored with a single sample and zero MAD —
+    /// `bench_diff` then judges drift purely against its relative-floor
+    /// tolerance, which is what a modeled quantity should be held to.
+    pub fn report(&mut self, id: &str, ns: f64) {
+        let full_id = format!("{}/{}", self.name, id);
+        eprintln!("  {full_id}: reported {} (deterministic)", fmt_ns(ns));
+        self.bench.entries.push(Entry {
+            id: full_id,
+            iters_per_sample: 1,
+            samples: 1,
+            median_ns: ns,
+            mad_ns: 0.0,
+            mean_ns: ns,
+            min_ns: ns,
+            max_ns: ns,
+            throughput: self.throughput,
+        });
+    }
+
     /// Group end marker (bookkeeping happens per-bench; provided for
     /// call-site symmetry with the old criterion API).
     pub fn finish(self) {}
@@ -320,6 +344,7 @@ mod tests {
             let mut g = b.group("g");
             g.throughput(Throughput::Bytes(8));
             g.bench("noop", || std::hint::black_box(1 + 1));
+            g.report("modeled", 1234.5);
             g.finish();
         }
         let path = b.finish();
@@ -327,6 +352,8 @@ mod tests {
         assert!(text.contains("\"id\": \"g/noop\""));
         assert!(text.contains("\"median_ns\""));
         assert!(text.contains("\"mb_per_s\""));
+        assert!(text.contains("\"id\": \"g/modeled\""));
+        assert!(text.contains("\"median_ns\": 1234.500, \"mad_ns\": 0.000"));
         std::env::remove_var("NKT_RESULTS_DIR");
         let _ = std::fs::remove_dir_all(&dir);
     }

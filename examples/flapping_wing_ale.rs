@@ -7,10 +7,18 @@
 //! ```
 
 use nektar_repro::mesh::wing_box_mesh;
-use nektar_repro::mpi::run;
+use nektar_repro::mpi::prelude::*;
 use nektar_repro::nektar::ale::{AleConfig, NektarAle};
 use nektar_repro::net::{cluster, NetId};
 use nektar_repro::partition::{partition_kway, Graph, PartitionOptions};
+
+fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
+    p: usize,
+    net: nektar_repro::net::ClusterNetwork,
+    f: F,
+) -> Vec<R> {
+    World::from_env().ranks(p).net(net).run(f)
+}
 
 fn main() {
     let mesh = wing_box_mesh(1);

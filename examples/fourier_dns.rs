@@ -10,10 +10,18 @@
 //! ```
 
 use nektar_repro::mesh::rect_quads;
-use nektar_repro::mpi::run;
+use nektar_repro::mpi::prelude::*;
 use nektar_repro::nektar::fourier::{FourierConfig, NektarF};
 use nektar_repro::nektar::timers::Stage;
 use nektar_repro::net::{cluster, NetId};
+
+fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
+    p: usize,
+    net: nektar_repro::net::ClusterNetwork,
+    f: F,
+) -> Vec<R> {
+    World::from_env().ranks(p).net(net).run(f)
+}
 
 fn main() {
     let p = 4;
@@ -63,12 +71,16 @@ fn main() {
                     }
                 }
             }
-            (solver.kinetic_energy(c), solver.clock.clone(), c.busy(), c.wtime())
+            use nektar_repro::ckpt::Checkpointable;
+            (solver.kinetic_energy(c), solver.clock.clone(), c.busy(), c.wtime(), solver.state_hash())
         });
-        let (energy, clock, busy, wall) = &out[0];
+        let (energy, clock, busy, wall, hash) = &out[0];
         println!("== {name}: {p} ranks, one Fourier mode per rank ==");
         println!("   kinetic energy after 3 steps: {energy:.5}");
         println!("   rank-0 CPU {busy:.4}s vs wall {wall:.4}s (difference = network idle)");
+        // The FNV state hash is overlap-invariant: scripts/verify.sh
+        // reruns this example with NKT_OVERLAP=0 and diffs these lines.
+        println!("   rank-0 state hash: {hash:016x}");
         let pct = clock.percentages();
         println!(
             "   nonlinear step (Alltoall + FFTs) share: {:.0}%  (paper Fig 13-14: \

@@ -15,9 +15,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use nektar_repro::ckpt::{Checkpointable, CkptConfig};
 use nektar_repro::mesh::rect_quads;
-use nektar_repro::mpi::run;
+use nektar_repro::mpi::prelude::*;
 use nektar_repro::nektar::fourier::{FourierConfig, NektarF};
 use nektar_repro::net::{cluster, NetId};
+
+fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
+    p: usize,
+    net: nektar_repro::net::ClusterNetwork,
+    f: F,
+) -> Vec<R> {
+    World::from_env().ranks(p).net(net).run(f)
+}
 
 const P: usize = 2;
 const NSTEPS: usize = 6;

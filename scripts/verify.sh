@@ -30,6 +30,19 @@ for ex in quickstart cylinder_wake fourier_dns flapping_wing_ale cluster_compare
     cargo run --release --offline --example "$ex" > /dev/null
 done
 
+echo "== overlap smoke (NKT_OVERLAP=1 vs 0: identical state, pipelined no slower) =="
+# The pipelined transpose must be a pure scheduling change: rerunning
+# fourier_dns with the nonblocking exchange disabled has to print the
+# same FNV state hashes (DESIGN.md §11).
+overlap_on="$(NKT_OVERLAP=1 cargo run --release --offline --example fourier_dns | grep 'state hash')"
+overlap_off="$(NKT_OVERLAP=0 cargo run --release --offline --example fourier_dns | grep 'state hash')"
+if [[ "$overlap_on" != "$overlap_off" ]]; then
+    echo "FAIL: state hash depends on NKT_OVERLAP" >&2
+    echo "NKT_OVERLAP=1: $overlap_on" >&2
+    echo "NKT_OVERLAP=0: $overlap_off" >&2
+    exit 1
+fi
+
 echo "== checkpoint smoke (write -> corrupt -> detect -> fallback -> bitwise resume) =="
 # restart_dns runs the whole drill in-process: a 2-rank DNS checkpoints
 # epochs, a rank is killed and the run resumes bitwise; then a shard is

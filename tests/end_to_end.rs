@@ -4,7 +4,7 @@
 
 use nektar_repro::machine::{machine, Kernel, MachineId};
 use nektar_repro::mesh::{bluff_body_mesh, rect_quads, wing_box_mesh};
-use nektar_repro::mpi::run;
+use nektar_repro::mpi::prelude::*;
 use nektar_repro::nektar::fourier::{FourierConfig, NektarF};
 use nektar_repro::nektar::serial2d::{Serial2dSolver, SolverConfig};
 use nektar_repro::nektar::timers::Stage;
@@ -12,6 +12,14 @@ use nektar_repro::net::{cluster, NetId};
 use nektar_repro::partition::{edge_cut, imbalance, partition_kway, Graph, PartitionOptions};
 use nektar_repro::spectral::{HelmholtzProblem, SolveMethod};
 use nkt_mesh::BoundaryTag;
+
+fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
+    p: usize,
+    net: nektar_repro::net::ClusterNetwork,
+    f: F,
+) -> Vec<R> {
+    World::from_env().ranks(p).net(net).run(f)
+}
 
 /// Mesh generator → partitioner → balanced distribution with modest cut.
 #[test]
