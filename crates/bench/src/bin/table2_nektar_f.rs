@@ -115,6 +115,14 @@ fn main() {
         let net = cluster(nid);
         println!("== {label} ==");
         println!("{:>6} {:>16} {:>16}", "P", "paper cpu/wall", "model cpu/wall");
+        // NKT_PROF=1: lay each P column's replayed step on a rank-0
+        // virtual timeline; each replay span carries its CPU seconds, so
+        // the profile splits every stage into work vs network idle.
+        if nkt_prof::enabled() {
+            nkt_prof::prepare();
+            nkt_trace::set_thread_meta(format!("replay {label}"), Some(0));
+        }
+        let mut vt_end = 0.0;
         for (col, &p) in ps.iter().enumerate() {
             // Max 4 ranks on the 4-PC Muses.
             if label == "Muses" && p > 4 {
@@ -135,6 +143,9 @@ fn main() {
             };
             let rec = fourier_step_workload(&shape);
             let t = replay(&rec, &m, &net, p);
+            if nkt_prof::enabled() {
+                vt_end = t.record_trace_spans(vt_end);
+            }
             let paper_s = paper[col]
                 .map(|(c, w)| format!("{c:.2}/{w:.2}"))
                 .unwrap_or_else(|| "-".into());
@@ -147,6 +158,7 @@ fn main() {
             );
         }
         println!();
+        nkt_prof::profile_and_write(&format!("table2_nektar_f_{}", nkt_prof::slug(label)));
     }
     println!("paper shape checks: timings roughly constant for the fast networks");
     println!("(weak scaling); \"the ethernet-based network seems to saturate above");

@@ -65,6 +65,12 @@ fn main() {
         let net = cluster(nid);
         println!("== {label} ==");
         println!("{:>6} {:>16} {:>16}", "P", "paper cpu/wall", "model cpu/wall");
+        // NKT_PROF=1: same rank-0 replay-timeline wiring as Table 2.
+        if nkt_prof::enabled() {
+            nkt_prof::prepare();
+            nkt_trace::set_thread_meta(format!("replay {label}"), Some(0));
+        }
+        let mut vt_end = 0.0;
         for (col, &p) in ps.iter().enumerate() {
             let nelems_local = nelems_total / p;
             // Partition surface ~ 6 (V)^(2/3) element faces, (order+1)^2
@@ -86,6 +92,9 @@ fn main() {
             };
             let rec = ale_step_workload(&shape);
             let t = replay(&rec, &m, &net, p);
+            if nkt_prof::enabled() {
+                vt_end = t.record_trace_spans(vt_end);
+            }
             let paper_s = paper[col]
                 .map(|(c, w)| format!("{c:.2}/{w:.2}"))
                 .unwrap_or_else(|| "-".into());
@@ -98,6 +107,7 @@ fn main() {
             );
         }
         println!();
+        nkt_prof::profile_and_write(&format!("table3_nektar_ale_{}", nkt_prof::slug(label)));
     }
     println!("paper shape checks: fixed problem size, so \"the timings drop with");
     println!("increasing number of processors\"; \"for 16 processors, the PC cluster");

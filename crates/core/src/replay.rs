@@ -34,12 +34,15 @@ impl ReplayTimes {
     /// back-to-back from `vt0` (virtual seconds); returns the end time.
     /// Paper-scale replayed steps thereby render on the same Perfetto
     /// timeline as natively traced runs (no-op below `NKT_TRACE=spans`).
+    /// Each span carries the stage's CPU seconds as a `cpu` argument so
+    /// `nkt-prof` can split wall time into work vs network idle.
     pub fn record_trace_spans(&self, vt0: f64) -> f64 {
         let mut t = vt0;
         for s in Stage::ALL {
             let wall = self.wall.totals[s.index()];
             if wall > 0.0 {
-                nkt_trace::record_vspan(s.name(), "replay", t, t + wall);
+                let cpu = self.cpu.totals[s.index()];
+                nkt_trace::record_vspan_args(s.name(), "replay", t, t + wall, &[("cpu", cpu)]);
                 t += wall;
             }
         }

@@ -148,6 +148,13 @@ impl GsHandle {
     /// Makes every copy of every shared dof hold the reduction (`op`) of
     /// all copies across all ranks. Local duplicates are pre-reduced.
     pub fn exchange(&self, comm: &mut Comm, values: &mut [f64], op: ReduceOp) {
+        // One trace span (and blocking-site label) for the whole
+        // exchange, so profiles attribute the pairwise messages and the
+        // embedded tree allreduce to "gs" rather than raw p2p.
+        comm.traced("gs", "mpi.coll.gs", |comm| self.exchange_impl(comm, values, op))
+    }
+
+    fn exchange_impl(&self, comm: &mut Comm, values: &mut [f64], op: ReduceOp) {
         // Pre-reduce local duplicates into a per-group scalar.
         let mut group_val: Vec<f64> = self
             .local_of_global

@@ -97,7 +97,11 @@ impl Comm {
     /// labels this rank's recv blocking sites with the collective's name
     /// for the duration. All three are no-ops when tracing is off except
     /// for two field writes.
-    fn traced<T>(
+    ///
+    /// Public so higher-level communication layers (e.g. `nkt-gs`
+    /// gather-scatter) appear in profiles as first-class ops instead of
+    /// anonymous `p2p` traffic; `op` and `counter` must be static.
+    pub fn traced<T>(
         &mut self,
         op: &'static str,
         counter: &'static str,

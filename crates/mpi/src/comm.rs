@@ -21,6 +21,11 @@ pub struct Message {
     pub src: usize,
     /// User tag.
     pub tag: Tag,
+    /// Send sequence number on the `(src, dst)` edge: the sender's n-th
+    /// message to this destination. `(src, dst, seq)` names a message
+    /// globally — the happens-before edge key `nkt-prof` uses to match
+    /// send and receive spans when extracting the critical path.
+    pub seq: u64,
     /// Payload (f64s — the solver's currency; byte size is `8 × len`).
     pub data: Vec<f64>,
     /// Virtual time at which the message is fully delivered at the
@@ -62,6 +67,10 @@ struct ReqSlot {
     src: Option<usize>,
     tag: Option<Tag>,
     state: ReqState,
+    /// Virtual clock when the receive was posted (recv-span `posted`
+    /// argument; lets the profiler see how early the receive was
+    /// prepared relative to the message's arrival).
+    posted_at: f64,
 }
 
 /// Completed requests are retained (for idempotent re-waits) until the
@@ -112,6 +121,12 @@ pub struct Comm {
     pub(crate) contention: f64,
     /// Traffic totals for diagnostics and trace export.
     stats: CommStats,
+    /// Next send sequence number per destination (see [`Message::seq`]).
+    send_seq: Vec<u64>,
+    /// Per-peer `(msgs, bytes)` sent, for the profiler's comm matrix.
+    peer_sent: Vec<(u64, u64)>,
+    /// Per-peer `(msgs, bytes)` received.
+    peer_recvd: Vec<(u64, u64)>,
     /// World-shared table of per-rank blocking sites.
     blocked: Arc<BlockTable>,
     /// Host-time cap on a single `recv`/`wait` (None = wait forever).
@@ -150,6 +165,9 @@ impl Comm {
             nic_free: 0.0,
             contention: 1.0,
             stats: CommStats::default(),
+            send_seq: vec![0; size],
+            peer_sent: vec![(0, 0); size],
+            peer_recvd: vec![(0, 0); size],
             blocked,
             recv_deadline,
             op_label: "p2p",
@@ -210,6 +228,7 @@ impl Comm {
         let overhead = ch.overhead_us * 1e-6;
         // Sender CPU pays the protocol overhead; the wire determines
         // arrival at the destination.
+        let t0 = self.clock;
         self.clock += overhead;
         self.busy += overhead;
         let (arrival, nic_free) =
@@ -217,7 +236,24 @@ impl Comm {
         self.nic_free = nic_free;
         self.stats.sent_msgs += 1;
         self.stats.sent_bytes += bytes as u64;
-        let msg = Message { src: self.rank, tag, data: data.to_vec(), arrival };
+        self.peer_sent[dest].0 += 1;
+        self.peer_sent[dest].1 += bytes as u64;
+        let seq = self.send_seq[dest];
+        self.send_seq[dest] += 1;
+        nkt_trace::record_vspan_args(
+            self.op_label,
+            "mpi.p2p.send",
+            t0,
+            self.clock,
+            &[
+                ("peer", dest as f64),
+                ("bytes", bytes as f64),
+                ("seq", seq as f64),
+                ("tag", tag as f64),
+                ("arrival", arrival),
+            ],
+        );
+        let msg = Message { src: self.rank, tag, seq, data: data.to_vec(), arrival };
         self.txs[dest].send(msg).expect("send: destination rank terminated");
     }
 
@@ -255,7 +291,8 @@ impl Comm {
             }
             None => ReqState::Posted,
         };
-        self.reqs.push(ReqSlot { id, src, tag, state });
+        let posted_at = self.clock;
+        self.reqs.push(ReqSlot { id, src, tag, state, posted_at });
         self.compact_reqs();
         Request { id }
     }
@@ -380,8 +417,9 @@ impl Comm {
         let ReqState::Bound(msg) = state else {
             unreachable!("complete_slot on a non-bound request");
         };
+        let posted_at = self.reqs[i].posted_at;
         self.note_recvd(&msg);
-        self.absorb_arrival(&msg);
+        self.absorb_arrival(&msg, posted_at);
         nkt_trace::counter_add("mpi.req.complete", 1);
         self.reqs[i].state = ReqState::Done(msg.clone());
         msg
@@ -461,8 +499,9 @@ impl Comm {
         // First scan messages already buffered.
         if let Some(pos) = self.pending.iter().position(|m| Self::matches(src, tag, m)) {
             let msg = self.pending.remove(pos).expect("position came from iter");
+            let posted_at = self.clock;
             self.note_recvd(&msg);
-            self.absorb_arrival(&msg);
+            self.absorb_arrival(&msg, posted_at);
             return Ok(msg);
         }
         let wait_start = Instant::now();
@@ -502,8 +541,9 @@ impl Comm {
                 if ever_published {
                     self.blocked.clear(self.rank);
                 }
+                let posted_at = self.clock;
                 self.note_recvd(&msg);
-                self.absorb_arrival(&msg);
+                self.absorb_arrival(&msg, posted_at);
                 return Ok(msg);
             }
             self.pending.push_back(msg);
@@ -555,6 +595,8 @@ impl Comm {
     fn note_recvd(&mut self, msg: &Message) {
         self.stats.recvd_msgs += 1;
         self.stats.recvd_bytes += 8 * msg.data.len() as u64;
+        self.peer_recvd[msg.src].0 += 1;
+        self.peer_recvd[msg.src].1 += 8 * msg.data.len() as u64;
     }
 
     /// Pulls every already-delivered message off the channel into the
@@ -613,14 +655,67 @@ impl Comm {
         nkt_trace::counter_add("mpi.recv.msgs", self.stats.recvd_msgs);
         nkt_trace::counter_add("mpi.recv.bytes", self.stats.recvd_bytes);
         nkt_trace::gauge_set("mpi.recv.pending_peak", self.stats.pending_peak as f64);
+        // Per-peer traffic: the counter form of the comm matrix, so even
+        // counters-only traces (no spans) can reconstruct who talked to
+        // whom. Label families are bounded by the rank count.
+        for (peer, &(msgs, bytes)) in self.peer_sent.iter().enumerate() {
+            if msgs > 0 {
+                let m = nkt_trace::intern_label(&format!("mpi.p2p.to.{peer}.msgs"));
+                let b = nkt_trace::intern_label(&format!("mpi.p2p.to.{peer}.bytes"));
+                nkt_trace::counter_add(m, msgs);
+                nkt_trace::counter_add(b, bytes);
+            }
+        }
+        for (peer, &(msgs, bytes)) in self.peer_recvd.iter().enumerate() {
+            if msgs > 0 {
+                let m = nkt_trace::intern_label(&format!("mpi.p2p.from.{peer}.msgs"));
+                let b = nkt_trace::intern_label(&format!("mpi.p2p.from.{peer}.bytes"));
+                nkt_trace::counter_add(m, msgs);
+                nkt_trace::counter_add(b, bytes);
+            }
+        }
     }
 
-    fn absorb_arrival(&mut self, msg: &Message) {
+    /// Per-peer `(messages, bytes)` sent to each destination so far.
+    pub fn peer_sent(&self) -> &[(u64, u64)] {
+        &self.peer_sent
+    }
+
+    /// Per-peer `(messages, bytes)` received from each source so far.
+    pub fn peer_recvd(&self) -> &[(u64, u64)] {
+        &self.peer_recvd
+    }
+
+    /// Charges the virtual cost of accepting `msg` and records the
+    /// receive span. `wait` is the idle gap the receiver sat through
+    /// before the message landed (zero when the message was already
+    /// here): `wait > 0` is the mpiP "late sender" signature — the
+    /// receiver's critical path runs through the sender — while
+    /// `wait == 0` means the receiver itself arrived late.
+    fn absorb_arrival(&mut self, msg: &Message, posted_at: f64) {
         // Receiver-side protocol overhead is CPU work; waiting is not.
         let ch = self.net.channel_between(self.rank, msg.src);
         let overhead = ch.overhead_us * 1e-6;
+        let t0 = self.clock;
+        let wait = (msg.arrival - t0).max(0.0);
         self.clock = self.clock.max(msg.arrival) + overhead;
         self.busy += overhead;
+        nkt_trace::record_vspan_args(
+            self.op_label,
+            "mpi.p2p.recv",
+            t0,
+            self.clock,
+            &[
+                ("peer", msg.src as f64),
+                ("bytes", 8.0 * msg.data.len() as f64),
+                ("seq", msg.seq as f64),
+                ("tag", msg.tag as f64),
+                ("wait", wait),
+                ("late", if wait > 0.0 { 1.0 } else { 0.0 }),
+                ("arrival", msg.arrival),
+                ("posted", posted_at),
+            ],
+        );
     }
 
     /// Combined send + receive (deadlock-free under eager semantics).

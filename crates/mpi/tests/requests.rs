@@ -312,3 +312,53 @@ fn waitall_order_determines_deterministic_wtime() {
     };
     assert_eq!(once(), once());
 }
+
+#[test]
+fn p2p_spans_carry_peer_bytes_seq_and_wait_args() {
+    // Spans mode must be on before the world runs. The collector and
+    // mode are process-global, so this test filters its own spans out
+    // by a tag no other test uses, and tolerates unrelated data.
+    nkt_trace::set_mode(nkt_trace::TraceMode::Spans);
+    const TAG: u64 = 424242;
+    World::builder().ranks(2).net(testnet()).run(|c| {
+        if c.rank() == 0 {
+            c.send(1, TAG, &[1.0, 2.0, 3.0]);
+        } else {
+            // Receive immediately: the wire is still busy, so the
+            // receiver waits — the late-sender signature.
+            let m = c.recv(Some(0), Some(TAG));
+            assert_eq!(m.seq, 0, "first message on the 0->1 edge");
+        }
+    });
+    let threads = nkt_trace::take_collected();
+    let spans: Vec<&nkt_trace::SpanEvent> = threads
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| e.arg("tag") == Some(TAG as f64))
+        .collect();
+    nkt_trace::set_mode(nkt_trace::TraceMode::Off);
+
+    let send = spans
+        .iter()
+        .find(|e| e.cat == "mpi.p2p.send")
+        .expect("send span recorded");
+    assert_eq!(send.name, "p2p", "user-level send carries the p2p op label");
+    assert_eq!(send.arg("peer"), Some(1.0));
+    assert_eq!(send.arg("bytes"), Some(24.0));
+    assert_eq!(send.arg("seq"), Some(0.0));
+    let arrival = send.arg("arrival").expect("send span predicts arrival");
+    assert!(arrival > 0.0);
+
+    let recv = spans
+        .iter()
+        .find(|e| e.cat == "mpi.p2p.recv")
+        .expect("recv span recorded");
+    assert_eq!(recv.arg("peer"), Some(0.0));
+    assert_eq!(recv.arg("bytes"), Some(24.0));
+    assert_eq!(recv.arg("seq"), Some(0.0));
+    assert_eq!(recv.arg("arrival"), Some(arrival), "both sides agree on the arrival time");
+    let wait = recv.arg("wait").expect("recv span reports wait");
+    assert!(wait > 0.0, "receiver posted at t=0 and must wait for the wire");
+    assert_eq!(recv.arg("late"), Some(1.0), "wait > 0 is a late sender");
+    assert!(recv.vdur().unwrap() >= wait, "span covers the wait plus overhead");
+}

@@ -1,0 +1,267 @@
+//! Diffs a fresh profiler run against the committed baselines in
+//! `results/PROF_*.json` and fails (exit 1) when communication health
+//! regresses: the run-wide wait share (receiver idle / total rank-time)
+//! or any stage's imbalance ratio grows beyond tolerance.
+//!
+//! Profiles are built from deterministic virtual-time quantities, so —
+//! unlike bench medians — a baseline mismatch here means the *code
+//! path* changed, not the machine. The tolerance band exists for
+//! intentional small drifts (new message, reordered stage), not noise.
+//!
+//! ```sh
+//! NKT_PROF=1 NKT_TRACE_DIR=/tmp/fresh cargo run --release --example fourier_dns -- --np 4
+//! cargo run -p nkt-prof --bin prof_diff -- --fresh /tmp/fresh
+//! ```
+//!
+//! `scripts/prof_diff` wraps both steps.
+
+use nkt_trace::json::{parse, Value};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The gated health numbers read back from one `PROF_*.json`.
+#[derive(Debug, Clone)]
+struct Health {
+    wait_share: f64,
+    /// `(stage, imbalance)` rows, in file order (already name-sorted).
+    stages: Vec<(String, f64)>,
+}
+
+/// Comparison verdict for one gated metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Ok,
+    Better,
+    Regressed,
+}
+
+/// A metric regresses when the fresh value exceeds the baseline by more
+/// than `abs + rel * |baseline|`. Wait share and imbalance are both
+/// "lower is better" ratios, so one band fits both.
+fn judge(base: f64, fresh: f64, abs: f64, rel: f64) -> Verdict {
+    let tol = abs + rel * base.abs();
+    if fresh > base + tol {
+        Verdict::Regressed
+    } else if fresh < base - tol {
+        Verdict::Better
+    } else {
+        Verdict::Ok
+    }
+}
+
+fn load_health(path: &Path) -> Result<Health, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let wait_share = doc
+        .get("wait_share")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{}: no \"wait_share\"", path.display()))?;
+    let mut stages = Vec::new();
+    if let Some(arr) = doc.get("stages").and_then(Value::as_arr) {
+        for s in arr {
+            let name = s
+                .get("stage")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{}: stage without a name", path.display()))?;
+            let imb = s
+                .get("imbalance")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{}: stage {name} without \"imbalance\"", path.display()))?;
+            stages.push((name.to_string(), imb));
+        }
+    }
+    Ok(Health { wait_share, stages })
+}
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    abs: f64,
+    rel: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: prof_diff --fresh <dir> [--baseline <dir>] [--abs <frac>] [--rel <frac>]\n\
+         \n\
+         --fresh     directory holding the fresh PROF_*.json run (required)\n\
+         --baseline  committed baselines (default: <workspace>/results)\n\
+         --abs       absolute tolerance on gated ratios (default: 0.02)\n\
+         --rel       relative tolerance on gated ratios (default: 0.10 = 10%)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut abs = 0.02;
+    let mut rel = 0.10;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("prof_diff: {name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(val("--baseline"))),
+            "--fresh" => fresh = Some(PathBuf::from(val("--fresh"))),
+            "--abs" => abs = val("--abs").parse().unwrap_or_else(|_| usage()),
+            "--rel" => rel = val("--rel").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    Args {
+        baseline: baseline.unwrap_or_else(nkt_trace::results_dir),
+        fresh: fresh.unwrap_or_else(|| usage()),
+        abs,
+        rel,
+    }
+}
+
+fn prof_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("PROF_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    v.sort();
+    v
+}
+
+fn label(v: Verdict, regressions: &mut usize) -> &'static str {
+    match v {
+        Verdict::Ok => "ok",
+        Verdict::Better => "better",
+        Verdict::Regressed => {
+            *regressions += 1;
+            "REGRESSED"
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let fresh_files = prof_files(&args.fresh);
+    if fresh_files.is_empty() {
+        eprintln!("prof_diff: no PROF_*.json in {}", args.fresh.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "prof_diff: fresh {} vs baseline {} (tolerance: {:.3} abs + {:.0}% rel)",
+        args.fresh.display(),
+        args.baseline.display(),
+        args.abs,
+        100.0 * args.rel
+    );
+
+    let mut regressions = 0usize;
+    for fresh_path in &fresh_files {
+        let fname = fresh_path.file_name().unwrap().to_str().unwrap();
+        let base_path = args.baseline.join(fname);
+        let fresh = match load_health(fresh_path) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("prof_diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if !base_path.exists() {
+            println!("\n{fname}: no committed baseline — skipped");
+            continue;
+        }
+        let base = match load_health(&base_path) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("prof_diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("\n{fname}:");
+        println!("{:<32} {:>10} {:>10}  verdict", "metric", "base", "fresh");
+        let v = judge(base.wait_share, fresh.wait_share, args.abs, args.rel);
+        println!(
+            "{:<32} {:>10.4} {:>10.4}  {}",
+            "wait_share",
+            base.wait_share,
+            fresh.wait_share,
+            label(v, &mut regressions)
+        );
+        for (stage, base_imb) in &base.stages {
+            let Some((_, fresh_imb)) = fresh.stages.iter().find(|(s, _)| s == stage) else {
+                println!("{:<32} {:>10.4} {:>10}  MISSING from fresh run", format!("imbalance[{stage}]"), base_imb, "-");
+                continue;
+            };
+            let v = judge(*base_imb, *fresh_imb, args.abs, args.rel);
+            println!(
+                "{:<32} {:>10.4} {:>10.4}  {}",
+                format!("imbalance[{stage}]"),
+                base_imb,
+                fresh_imb,
+                label(v, &mut regressions)
+            );
+        }
+        for (stage, imb) in &fresh.stages {
+            if !base.stages.iter().any(|(s, _)| s == stage) {
+                println!("{:<32} {:>10} {:>10.4}  new (no baseline)", format!("imbalance[{stage}]"), "-", imb);
+            }
+        }
+    }
+
+    if regressions > 0 {
+        println!("\nprof_diff: {regressions} regression(s) beyond the tolerance band");
+        ExitCode::FAILURE
+    } else {
+        println!("\nprof_diff: OK — no regressions");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_combines_abs_and_rel() {
+        // base 0.10, abs 0.02, rel 10% → tol 0.03.
+        assert_eq!(judge(0.10, 0.129, 0.02, 0.10), Verdict::Ok);
+        assert_eq!(judge(0.10, 0.131, 0.02, 0.10), Verdict::Regressed);
+        assert_eq!(judge(0.10, 0.069, 0.02, 0.10), Verdict::Better);
+    }
+
+    #[test]
+    fn zero_baseline_still_has_an_absolute_band() {
+        // A perfectly balanced baseline (wait_share 0) must tolerate a
+        // hair of new communication without failing CI.
+        assert_eq!(judge(0.0, 0.019, 0.02, 0.10), Verdict::Ok);
+        assert_eq!(judge(0.0, 0.021, 0.02, 0.10), Verdict::Regressed);
+    }
+
+    #[test]
+    fn load_health_reads_the_prof_schema() {
+        let dir = std::env::temp_dir().join("nkt_prof_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("PROF_sample.json");
+        std::fs::write(
+            &p,
+            r#"{"schema":"nkt-prof-1","run":"sample","wait_share":0.125,
+                "stages":[{"stage":"NonLinear","imbalance":1.25},
+                          {"stage":"PressureSolve","imbalance":1.0}]}"#,
+        )
+        .unwrap();
+        let h = load_health(&p).unwrap();
+        assert_eq!(h.wait_share, 0.125);
+        assert_eq!(h.stages.len(), 2);
+        assert_eq!(h.stages[0], ("NonLinear".to_string(), 1.25));
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! # nkt-prof — cluster-wide post-run profiler over nkt-trace
+//!
+//! The paper's question — *is a PC/Linux cluster a real DNS platform?* —
+//! is answered with time attribution tables (Tables 2 and 3): where do
+//! the seconds of a NekTar-F or NekTar-ALE step actually go, and how
+//! much of that is the network's fault? This crate reproduces that kind
+//! of analysis automatically for every traced run:
+//!
+//! * **MPI time attribution** (mpiP-style): per-op virtual time split
+//!   into protocol overhead, wire latency, and receiver wait, with
+//!   late-sender / late-receiver classification per message.
+//! * **Communication matrix**: messages and bytes per `(src, dst)` rank
+//!   pair — the transpose-heavy NekTar-F pattern is visible at a glance.
+//! * **Load imbalance**: per-stage min/median/max/imbalance-ratio across
+//!   ranks on the virtual timeline, naming the slowest rank.
+//! * **Critical path**: the longest happens-before chain through the
+//!   span DAG (edges = matched send/receive pairs that waited),
+//!   decomposed into op/stage buckets.
+//!
+//! ## Data flow
+//!
+//! ```text
+//! nkt-mpi / solvers ──spans──▶ nkt-trace ──┬─ take_collected() ─▶ Profile::build      (in-process)
+//!                                          └─ TRACE_<run>.json ─▶ Profile::from_trace_json (offline)
+//!                                                                    │
+//!                                          results/PROF_<run>.json ◀─┴─▶ Profile::report()
+//! ```
+//!
+//! Everything serialized lives on the **virtual** timeline, so
+//! `PROF_<run>.json` is byte-identical across runs of the same seeded
+//! simulation; host wall times appear only in the printed report and in
+//! the [`Profile::stage_ledger_check`] self-check against `StageClock`
+//! ledgers.
+//!
+//! ## Configuration
+//!
+//! | env var    | values            | effect                                  |
+//! |------------|-------------------|-----------------------------------------|
+//! | `NKT_PROF` | `1` \| `on` \| `true` | solvers profile the run and write `PROF_<run>.json` |
+//!
+//! `NKT_PROF=1` implies span recording: [`prepare`] raises the trace
+//! mode to [`nkt_trace::TraceMode::Spans`] so the profiler's inputs
+//! exist even when `NKT_TRACE` was left off.
+
+pub mod attrib;
+pub mod critpath;
+pub mod model;
+pub mod profile;
+
+pub use attrib::{comm_matrix, op_stats, stage_stats, MatrixCell, OpStat, StageStat};
+pub use critpath::{critical_path, CpSegment, CriticalPath, MAX_SEGMENTS};
+pub use model::{from_threads, from_trace_json, PRank, PSpan};
+pub use profile::Profile;
+
+use std::sync::OnceLock;
+
+/// Whether profiling was requested via `NKT_PROF` (`1`, `on`, `true`;
+/// anything else — including unset — is off). Latched on first call so
+/// a run is profiled consistently end to end.
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("NKT_PROF")
+            .map(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "on" | "true"))
+            .unwrap_or(false)
+    })
+}
+
+/// Arms the trace layer for profiling: raises the recording mode to
+/// spans (the profiler needs p2p/collective/stage spans, not just
+/// counters). Call once at solver startup when [`enabled`] is true.
+pub fn prepare() {
+    if nkt_trace::mode() < nkt_trace::TraceMode::Spans {
+        nkt_trace::set_mode(nkt_trace::TraceMode::Spans);
+    }
+}
+
+/// Filesystem-safe run name: lowercase alphanumerics, everything else
+/// collapsed to single underscores (`"RoadRunner eth."` → `"roadrunner_eth"`).
+pub fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    out.trim_matches('_').to_string()
+}
+
+/// The solver-side convenience wrapper: when [`enabled`], drains the
+/// span collector, builds the profile for `run`, prints the report, and
+/// writes `PROF_<run>.json` (returning its path). A no-op returning
+/// `None` when `NKT_PROF` is off, so callers can wire it in
+/// unconditionally.
+pub fn profile_and_write(run: &str) -> Option<std::path::PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    let threads = nkt_trace::take_collected();
+    let p = Profile::build(run, &threads);
+    print!("{}", p.report());
+    match p.write() {
+        Ok(path) => {
+            println!("prof: wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("prof: cannot write PROF_{run}.json: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_raises_mode_to_spans() {
+        // Whatever the ambient mode, after prepare() spans are recorded.
+        prepare();
+        assert_eq!(nkt_trace::mode(), nkt_trace::TraceMode::Spans);
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        assert_eq!(slug("RoadRunner eth."), "roadrunner_eth");
+        assert_eq!(slug("Muses, MPICH"), "muses_mpich");
+        assert_eq!(slug("T3E"), "t3e");
+        assert_eq!(slug("  weird -- name  "), "weird_name");
+    }
+}

@@ -1,0 +1,343 @@
+//! The assembled profile: construction from either trace source, the
+//! deterministic `PROF_<run>.json` writer, the human-readable report,
+//! and the StageClock self-check.
+
+use crate::attrib::{comm_matrix, op_stats, stage_attributed, stage_stats, MatrixCell, OpStat, StageStat};
+use crate::critpath::{critical_path, CriticalPath};
+use crate::model::{from_threads, from_trace_json, PRank};
+use nkt_trace::{json_f64_exact, ThreadData};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A complete post-run profile of one traced run.
+///
+/// Everything serialized by [`Profile::to_json`] lives on the virtual
+/// timeline and is therefore byte-identical across runs of the same
+/// seeded simulation; host-time material (per-stage host sums) is kept
+/// only for [`Profile::report`] and [`Profile::stage_ledger_check`].
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Run name (`PROF_<run>.json`).
+    pub run: String,
+    /// Rank ids present, ascending.
+    pub ranks: Vec<usize>,
+    /// Final virtual time per rank (same order as `ranks`).
+    pub rank_ends: Vec<f64>,
+    /// Per-op MPI attribution, sorted by op.
+    pub ops: Vec<OpStat>,
+    /// Communication matrix, sorted by `(src, dst)`; empty edges omitted.
+    pub matrix: Vec<MatrixCell>,
+    /// Per-stage imbalance on the virtual timeline, sorted by stage.
+    pub stages: Vec<StageStat>,
+    /// The longest dependency chain through the run.
+    pub critical_path: CriticalPath,
+    /// Host+virtual attributed seconds per stage per rank (report and
+    /// ledger check only — **not** serialized).
+    pub stage_attrib: Vec<(String, Vec<f64>)>,
+}
+
+impl Profile {
+    /// Builds a profile from in-process collected thread data (the
+    /// in-memory twin of the offline JSON path).
+    pub fn build(run: &str, threads: &[ThreadData]) -> Profile {
+        Self::from_ranks(run, from_threads(threads))
+    }
+
+    /// Builds a profile from an exported `TRACE_<run>.json` document.
+    pub fn from_trace_json(run: &str, text: &str) -> Result<Profile, String> {
+        Ok(Self::from_ranks(run, from_trace_json(text)?))
+    }
+
+    fn from_ranks(run: &str, ranks: Vec<PRank>) -> Profile {
+        let rank_ends = ranks
+            .iter()
+            .map(|r| {
+                r.spans.iter().filter(|s| s.vt1.is_finite()).fold(0.0f64, |m, s| m.max(s.vt1))
+            })
+            .collect();
+        Profile {
+            run: run.to_string(),
+            rank_ends,
+            ops: op_stats(&ranks),
+            matrix: comm_matrix(&ranks),
+            stages: stage_stats(&ranks),
+            critical_path: critical_path(&ranks),
+            stage_attrib: stage_attributed(&ranks),
+            ranks: ranks.into_iter().map(|r| r.rank).collect(),
+        }
+    }
+
+    /// Σ receiver wait time across all ops (the mpiP headline number).
+    pub fn total_wait(&self) -> f64 {
+        // max(0) also normalizes the empty sum, which folds from -0.0.
+        self.ops.iter().map(|o| o.wait).sum::<f64>().max(0.0)
+    }
+
+    /// Wait share: total wait over total rank-time (0 when nothing ran).
+    pub fn wait_share(&self) -> f64 {
+        let total: f64 = self.rank_ends.iter().sum();
+        if total > 0.0 {
+            self.total_wait() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the deterministic part of the profile. The output is
+    /// valid JSON (parseable by `nkt_trace::json::parse`) with fixed key
+    /// order, sorted collections, and full-round-trip float formatting —
+    /// two runs of the same seeded simulation produce byte-identical
+    /// documents.
+    pub fn to_json(&self) -> String {
+        let f = json_f64_exact;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"nkt-prof-1\",");
+        let _ = writeln!(out, "  \"run\": {},", json_str(&self.run));
+        let _ = writeln!(out, "  \"ranks\": {},", self.ranks.len());
+        let _ = writeln!(out, "  \"total_wait\": {},", f(self.total_wait()));
+        let _ = writeln!(out, "  \"wait_share\": {},", f(self.wait_share()));
+        out.push_str("  \"rank_ends\": [");
+        for (i, (&r, &e)) in self.ranks.iter().zip(&self.rank_ends).enumerate() {
+            let c = if i + 1 < self.ranks.len() { ", " } else { "" };
+            let _ = write!(out, "{{\"rank\": {r}, \"end\": {}}}{c}", f(e));
+        }
+        out.push_str("],\n  \"ops\": [\n");
+        for (i, o) in self.ops.iter().enumerate() {
+            let c = if i + 1 < self.ops.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"op\": {}, \"calls\": {}, \"vtime\": {}, \"sends\": {}, \"send_bytes\": {}, \"send_time\": {}, \"recvs\": {}, \"recv_time\": {}, \"wait\": {}, \"wire\": {}, \"late\": {}}}{c}",
+                json_str(&o.op),
+                o.calls,
+                f(o.vtime),
+                o.sends,
+                o.send_bytes,
+                f(o.send_time),
+                o.recvs,
+                f(o.recv_time),
+                f(o.wait),
+                f(o.wire),
+                o.late,
+            );
+        }
+        out.push_str("  ],\n  \"matrix\": [\n");
+        for (i, m) in self.matrix.iter().enumerate() {
+            let c = if i + 1 < self.matrix.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"src\": {}, \"dst\": {}, \"msgs\": {}, \"bytes\": {}}}{c}",
+                m.src, m.dst, m.msgs, m.bytes
+            );
+        }
+        out.push_str("  ],\n  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            let c = if i + 1 < self.stages.len() { "," } else { "" };
+            let per_rank: Vec<String> = s.per_rank.iter().map(|&v| f(v)).collect();
+            let _ = writeln!(
+                out,
+                "    {{\"stage\": {}, \"min\": {}, \"median\": {}, \"max\": {}, \"mean\": {}, \"imbalance\": {}, \"cpu\": {}, \"per_rank\": [{}]}}{c}",
+                json_str(&s.stage),
+                f(s.min),
+                f(s.median),
+                f(s.max),
+                f(s.mean),
+                f(s.imbalance),
+                f(s.cpu),
+                per_rank.join(", "),
+            );
+        }
+        let cp = &self.critical_path;
+        out.push_str("  ],\n  \"critical_path\": {\n");
+        let _ = writeln!(out, "    \"length\": {},", f(cp.length));
+        let _ = writeln!(out, "    \"end_rank\": {},", cp.end_rank);
+        out.push_str("    \"segments\": [\n");
+        for (i, s) in cp.segments.iter().enumerate() {
+            let c = if i + 1 < cp.segments.len() { "," } else { "" };
+            let from = s.from.map_or("null".to_string(), |r| r.to_string());
+            let _ = writeln!(
+                out,
+                "      {{\"rank\": {}, \"kind\": {}, \"from\": {from}, \"t0\": {}, \"t1\": {}}}{c}",
+                s.rank,
+                json_str(s.kind),
+                f(s.t0),
+                f(s.t1),
+            );
+        }
+        out.push_str("    ],\n    \"composition\": [");
+        for (i, (label, t)) in cp.composition.iter().enumerate() {
+            let c = if i + 1 < cp.composition.len() { ", " } else { "" };
+            let _ = write!(out, "{{\"label\": {}, \"time\": {}}}{c}", json_str(label), f(*t));
+        }
+        out.push_str("]\n  }\n}\n");
+        out
+    }
+
+    /// Writes `PROF_<run>.json` into `dir`, returning the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("PROF_{}.json", self.run));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes `PROF_<run>.json` into the configured results directory
+    /// (`NKT_TRACE_DIR` if set, else `<workspace>/results`).
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("NKT_TRACE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| nkt_trace::results_dir());
+        self.write_to(&dir)
+    }
+
+    /// Cross-checks the per-stage attributed times (host + virtual span
+    /// sums across ranks) against an externally kept ledger (e.g. merged
+    /// `StageClock` totals). Returns the worst relative error over
+    /// ledger entries above `min_secs`; stages the spans never saw count
+    /// as 100% error.
+    pub fn stage_ledger_check(&self, ledger: &[(&str, f64)], min_secs: f64) -> f64 {
+        let mut worst = 0.0f64;
+        for &(name, want) in ledger {
+            if want <= min_secs {
+                continue;
+            }
+            let got: f64 = self
+                .stage_attrib
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, per_rank)| per_rank.iter().sum())
+                .unwrap_or(0.0);
+            worst = worst.max((got - want).abs() / want);
+        }
+        worst
+    }
+
+    /// Renders the human-readable report: the Table-2/3-style MPI
+    /// attribution table, the comm matrix, stage imbalance, and the
+    /// critical-path composition.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "nkt-prof — run '{}', {} rank(s)", self.run, self.ranks.len());
+        let total_rank_time: f64 = self.rank_ends.iter().sum();
+        let _ = writeln!(
+            out,
+            "total rank-time {:.6} s, wait {:.6} s ({:.1}% of rank-time)",
+            total_rank_time,
+            self.total_wait(),
+            100.0 * self.wait_share(),
+        );
+
+        if !self.ops.is_empty() {
+            let _ = writeln!(out, "\nMPI time attribution (virtual seconds, all ranks)");
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>7} {:>12} {:>12} {:>7} {:>12} {:>8} {:>10} {:>6}",
+                "op", "calls", "time", "wait", "wait%", "wire", "msgs", "KB", "late"
+            );
+            for o in &self.ops {
+                let waitpct = if o.vtime > 0.0 { 100.0 * o.wait / o.vtime } else { 0.0 };
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:>7} {:>12.6} {:>12.6} {:>6.1}% {:>12.6} {:>8} {:>10.1} {:>6}",
+                    o.op,
+                    o.calls,
+                    o.vtime,
+                    o.wait,
+                    waitpct,
+                    o.wire,
+                    o.sends,
+                    o.send_bytes as f64 / 1024.0,
+                    o.late,
+                );
+            }
+        }
+
+        if !self.matrix.is_empty() {
+            let _ = writeln!(out, "\nCommunication matrix (KB sent, src rows -> dst cols)");
+            let _ = write!(out, "  {:>5}", "");
+            for &d in &self.ranks {
+                let _ = write!(out, " {d:>9}");
+            }
+            out.push('\n');
+            for &s in &self.ranks {
+                let _ = write!(out, "  {s:>5}");
+                for &d in &self.ranks {
+                    match self.matrix.iter().find(|c| c.src == s && c.dst == d) {
+                        Some(c) => {
+                            let _ = write!(out, " {:>9.1}", c.bytes as f64 / 1024.0);
+                        }
+                        None => {
+                            let _ = write!(out, " {:>9}", "-");
+                        }
+                    }
+                }
+                out.push('\n');
+            }
+        }
+
+        if !self.stages.is_empty() {
+            let _ = writeln!(out, "\nStage imbalance (virtual timeline, seconds per rank)");
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>12} {:>12} {:>12} {:>8} {:>8}",
+                "stage", "min", "median", "max", "imb", "slowest"
+            );
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>12.6} {:>12.6} {:>12.6} {:>8.3} {:>8}",
+                    s.stage,
+                    s.min,
+                    s.median,
+                    s.max,
+                    s.imbalance,
+                    self.ranks[s.slowest_index()],
+                );
+            }
+        }
+
+        if !self.stage_attrib.is_empty() {
+            let _ = writeln!(out, "\nStage attributed time (host+virtual, summed over ranks)");
+            for (name, per_rank) in &self.stage_attrib {
+                let _ = writeln!(out, "  {:<16} {:>12.6}", name, per_rank.iter().sum::<f64>());
+            }
+        }
+
+        let cp = &self.critical_path;
+        if !cp.segments.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nCritical path: {:.6} s ending on rank {} ({} segment(s))",
+                cp.length,
+                cp.end_rank,
+                cp.segments.len(),
+            );
+            for (label, t) in &cp.composition {
+                let pct = if cp.length > 0.0 { 100.0 * t / cp.length } else { 0.0 };
+                let _ = writeln!(out, "  {label:<16} {t:>12.6} s  {pct:>5.1}%");
+            }
+        }
+        out
+    }
+}
+
+/// JSON string escape (same rules as the trace exporter).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -14,7 +14,7 @@
 //! on pid 0 ("host"); virtual-only spans (model replay) on pid 1
 //! ("virtual"), whose microseconds are *model* microseconds.
 
-use crate::metrics::merge_counters;
+use crate::metrics::{merge_counters, merge_gauges};
 use crate::span::{with_buf, SpanEvent, ThreadData};
 use crate::{mode, TraceMode};
 use std::fmt::Write as _;
@@ -39,9 +39,18 @@ pub fn flush_thread() {
 
 /// Flushes the current thread, then drains and returns everything
 /// collected so far (tests; [`export`] uses it internally).
+///
+/// The result is sorted by tid: threads land in the collector in exit
+/// order, which races between runs, so any consumer that merges
+/// last-write-wins state (gauges) across threads would otherwise be
+/// order-dependent. Within a thread, entries are already in write order
+/// (host-timestamp order), so tid-then-position is a total, reproducible
+/// order.
 pub fn take_collected() -> Vec<ThreadData> {
     flush_thread();
-    std::mem::take(&mut COLLECTOR.lock().unwrap())
+    let mut threads = std::mem::take(&mut *COLLECTOR.lock().unwrap());
+    threads.sort_by_key(|t| t.tid);
+    threads
 }
 
 /// Exports everything recorded so far to `TRACE_<run>.json` in the
@@ -124,10 +133,13 @@ fn event_json(e: &SpanEvent, tid: u64) -> String {
     };
     let mut args = format!("{{\"depth\":{}", e.depth);
     if e.vt0.is_finite() {
-        let _ = write!(args, ",\"vt0\":{}", json_f64(e.vt0));
+        let _ = write!(args, ",\"vt0\":{}", json_f64_exact(e.vt0));
     }
     if e.vt1.is_finite() {
-        let _ = write!(args, ",\"vt1\":{}", json_f64(e.vt1));
+        let _ = write!(args, ",\"vt1\":{}", json_f64_exact(e.vt1));
+    }
+    for (n, v) in &e.args {
+        let _ = write!(args, ",{}:{}", json_str(n), json_f64_exact(*v));
     }
     args.push('}');
     format!(
@@ -169,6 +181,20 @@ fn metrics_json(threads: &[ThreadData]) -> String {
         let c = if j + 1 < totals.len() { ", " } else { "" };
         let _ = write!(out, "{}: {v}{c}", json_str(n));
     }
+    // Cross-thread gauge merge is last-write-wins in tid order (threads
+    // are pre-sorted by take_collected; entries within a thread are in
+    // write order), so the totals are independent of thread exit order.
+    out.push_str("},\n    \"gauge_totals\": {");
+    let mut gtotals: Vec<(&'static str, f64)> = Vec::new();
+    let mut by_tid: Vec<&ThreadData> = threads.iter().collect();
+    by_tid.sort_by_key(|t| t.tid);
+    for t in by_tid {
+        merge_gauges(&mut gtotals, &t.gauges);
+    }
+    for (j, (n, v)) in gtotals.iter().enumerate() {
+        let c = if j + 1 < gtotals.len() { ", " } else { "" };
+        let _ = write!(out, "{}: {}{c}", json_str(n), json_f64_exact(*v));
+    }
     out.push_str("}\n  }\n");
     out
 }
@@ -198,6 +224,18 @@ pub(crate) fn json_str(s: &str) -> String {
 pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Finite-checked JSON number at full round-trip precision (shortest
+/// decimal that parses back to the same `f64`). Used for virtual times
+/// and structured span args, where millisecond-rounded values would make
+/// offline profiles disagree with in-process ones.
+pub fn json_f64_exact(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
     } else {
         "null".to_string()
     }
@@ -253,6 +291,7 @@ mod tests {
                 vt0: 0.5,
                 vt1: 0.75,
                 depth: 1,
+                args: vec![("peer", 2.0), ("bytes", 4096.0)],
             }],
             counters: vec![("mpi.send.bytes", 1024)],
             gauges: vec![("mpi.recv.pending_peak", 2.0)],
@@ -261,10 +300,45 @@ mod tests {
         assert!(s.contains("\"traceEvents\""));
         assert!(s.contains("\"name\":\"NonLinear\""));
         assert!(s.contains("\"cat\":\"stage\""));
-        assert!(s.contains("\"vt0\":0.500"));
+        assert!(s.contains("\"vt0\":0.5"));
+        assert!(s.contains("\"peer\":2"), "{s}");
+        assert!(s.contains("\"bytes\":4096"), "{s}");
         assert!(s.contains("\"mpi.send.bytes\": 1024"));
         assert!(s.contains("\"counter_totals\""));
+        assert!(s.contains("\"gauge_totals\""));
         assert!(s.contains("\"rank 3\""));
+    }
+
+    #[test]
+    fn gauge_totals_are_exit_order_independent() {
+        // Two threads set the same gauge; whichever exits (collects)
+        // last must NOT win — the higher tid must, in both collection
+        // orders.
+        let mk = |tid: u64, v: f64| ThreadData {
+            tid,
+            gauges: vec![("g", v)],
+            ..ThreadData::default()
+        };
+        let a = chrome_json(&[mk(2, 20.0), mk(5, 50.0)]);
+        let b = chrome_json(&[mk(5, 50.0), mk(2, 20.0)]);
+        assert!(a.contains("\"gauge_totals\": {\"g\": 50}"), "{a}");
+        assert_eq!(
+            a.lines().filter(|l| l.contains("gauge_totals")).next(),
+            b.lines().filter(|l| l.contains("gauge_totals")).next()
+        );
+    }
+
+    #[test]
+    fn take_collected_returns_tid_sorted_threads() {
+        // Drain any residue, then park data for two synthetic tids in
+        // reverse order; take_collected must hand them back sorted.
+        let _ = take_collected();
+        collect(ThreadData { tid: u64::MAX, ..ThreadData::default() });
+        collect(ThreadData { tid: u64::MAX - 1, ..ThreadData::default() });
+        let got = take_collected();
+        let big: Vec<u64> =
+            got.iter().map(|t| t.tid).filter(|&t| t >= u64::MAX - 1).collect();
+        assert_eq!(big, vec![u64::MAX - 1, u64::MAX]);
     }
 
     #[test]
@@ -277,6 +351,7 @@ mod tests {
             vt0: 1.0,
             vt1: 2.0,
             depth: 0,
+            args: Vec::new(),
         };
         let s = event_json(&e, 4);
         assert!(s.contains("\"pid\":1"), "{s}");

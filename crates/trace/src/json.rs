@@ -66,9 +66,19 @@ impl Value {
     }
 }
 
+/// Maximum container nesting depth. The recursive-descent parser uses
+/// one stack frame per `[`/`{` level; without a cap, `"[[[[…"` input
+/// overflows the thread stack (an abort, not an `Err`). Our writers
+/// nest a handful of levels; 512 is three orders of magnitude of slack.
+const MAX_DEPTH: usize = 512;
+
 /// Parses a complete JSON document.
+///
+/// Total for any input: malformed or hostile documents (bad escapes,
+/// unterminated strings, nesting beyond [`MAX_DEPTH`]) return `Err`,
+/// never panic — property-tested in `tests/json_prop.rs`.
 pub fn parse(text: &str) -> Result<Value, String> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -81,6 +91,7 @@ pub fn parse(text: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -129,12 +140,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, String> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(fields));
         }
         loop {
@@ -150,6 +171,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -158,11 +180,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -173,6 +197,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -293,6 +318,22 @@ mod tests {
     #[test]
     fn unicode_escape() {
         assert_eq!(parse("\"\\u0041\"").unwrap(), Value::Str("A".to_string()));
+        // Unpaired surrogates (never emitted by our writers) degrade to
+        // the replacement character instead of panicking.
+        assert_eq!(parse("\"\\ud800\"").unwrap(), Value::Str("\u{fffd}".to_string()));
+        assert!(parse("\"\\u00g1\"").is_err());
+        assert!(parse("\"\\u00\"").is_err());
+    }
+
+    #[test]
+    fn nesting_beyond_the_cap_errors_instead_of_overflowing() {
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep_ok).is_ok());
+        let too_deep = "[".repeat(100_000);
+        let err = parse(&too_deep).expect_err("must reject, not abort");
+        assert!(err.contains("nesting too deep"), "{err}");
+        let mixed = "[{\"k\":".repeat(50_000);
+        assert!(parse(&mixed).is_err());
     }
 
     #[test]

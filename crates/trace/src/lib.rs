@@ -40,10 +40,11 @@ pub mod json;
 pub mod metrics;
 pub mod span;
 
-pub use export::{export, flush_thread, results_dir, take_collected};
-pub use metrics::{counter_add, gauge_set, merge_counters};
+pub use export::{export, flush_thread, json_f64_exact, results_dir, take_collected};
+pub use metrics::{counter_add, gauge_set, intern_label, merge_counters, merge_gauges};
 pub use span::{
-    current_tid, record_vspan, set_thread_meta, span, span_v, Span, SpanEvent, ThreadData,
+    current_tid, record_vspan, record_vspan_args, set_thread_meta, span, span_v, Span, SpanArgs,
+    SpanEvent, ThreadData,
 };
 
 use std::path::PathBuf;

@@ -12,6 +12,7 @@
 
 use crate::span::with_buf;
 use crate::{mode, TraceMode};
+use std::sync::Mutex;
 
 /// Adds `delta` to the named counter of the current thread (saturating).
 #[inline]
@@ -53,6 +54,44 @@ pub fn merge_counters(into: &mut Vec<(&'static str, u64)>, from: &[(&'static str
     }
 }
 
+/// Hard cap on distinct interned labels; beyond it every new label
+/// collapses to `"label.overflow"` so a runaway caller cannot leak
+/// unboundedly.
+const INTERN_CAP: usize = 4096;
+
+/// Interns a dynamically-built metric label, returning a `'static`
+/// string usable with [`counter_add`] / [`gauge_set`]. Intended for
+/// small bounded families (per-peer counters like `mpi.p2p.to.3.bytes`
+/// — one per rank pair); entries are deduplicated and leaked once.
+pub fn intern_label(s: &str) -> &'static str {
+    static TABLE: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut t = TABLE.lock().unwrap();
+    if let Some(&hit) = t.iter().find(|&&n| n == s) {
+        return hit;
+    }
+    if t.len() >= INTERN_CAP {
+        return "label.overflow";
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    t.push(leaked);
+    leaked
+}
+
+/// Merges a gauge slice into an accumulator: last write wins per name.
+///
+/// Entries within one thread's slice are in write (host-timestamp)
+/// order, so the *caller* fixes the cross-thread order — merge threads
+/// sorted by tid (as [`crate::take_collected`] returns them) and the
+/// result is independent of thread exit order.
+pub fn merge_gauges(into: &mut Vec<(&'static str, f64)>, from: &[(&'static str, f64)]) {
+    for &(name, v) in from {
+        match into.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, g)) => *g = v,
+            None => into.push((name, v)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +108,25 @@ mod tests {
         let mut acc = vec![("a", u64::MAX - 1)];
         merge_counters(&mut acc, &[("a", 10)]);
         assert_eq!(acc, vec![("a", u64::MAX)]);
+    }
+
+    #[test]
+    fn intern_label_dedupes() {
+        let a = intern_label("test.intern.x");
+        let b = intern_label("test.intern.x");
+        assert!(std::ptr::eq(a, b), "same label must intern to the same str");
+        assert_eq!(a, "test.intern.x");
+    }
+
+    #[test]
+    fn gauge_merge_is_last_write_wins_in_merge_order() {
+        let mut acc = vec![("p", 1.0), ("q", 2.0)];
+        merge_gauges(&mut acc, &[("q", 9.0), ("r", 3.0)]);
+        assert_eq!(acc, vec![("p", 1.0), ("q", 9.0), ("r", 3.0)]);
+        // Merging the same slices in tid order is reproducible: a second
+        // identical pass leaves the accumulator unchanged.
+        let snapshot = acc.clone();
+        merge_gauges(&mut acc, &[("q", 9.0), ("r", 3.0)]);
+        assert_eq!(acc, snapshot);
     }
 }

@@ -13,6 +13,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+/// Structured numeric span arguments (`peer`, `bytes`, `wait`, ...).
+/// Names are static so recording stays allocation-free apart from the
+/// vector itself; values are `f64` (exact for counts below 2^53).
+pub type SpanArgs = Vec<(&'static str, f64)>;
+
 /// One completed span. Host times are microseconds since the process
 /// trace epoch; virtual times are model seconds. `NaN` marks an absent
 /// timestamp (host-only or virtual-only spans).
@@ -32,12 +37,20 @@ pub struct SpanEvent {
     pub vt1: f64,
     /// Nesting depth at entry (0 = top level on this thread).
     pub depth: u32,
+    /// Structured numeric arguments, exported into the Chrome `args`
+    /// object next to `vt0`/`vt1` (empty for plain spans).
+    pub args: SpanArgs,
 }
 
 impl SpanEvent {
     /// Virtual duration in seconds, when both endpoints are present.
     pub fn vdur(&self) -> Option<f64> {
         (self.vt0.is_finite() && self.vt1.is_finite()).then(|| self.vt1 - self.vt0)
+    }
+
+    /// Looks up a structured argument by name.
+    pub fn arg(&self, name: &str) -> Option<f64> {
+        self.args.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
     }
 }
 
@@ -169,7 +182,7 @@ pub fn span_v(name: &'static str, cat: &'static str, vt0: f64) -> Span {
 }
 
 impl Span {
-    fn finish(&mut self, vt1: f64) {
+    fn finish(&mut self, vt1: f64, args: SpanArgs) {
         if !self.live {
             return;
         }
@@ -186,6 +199,7 @@ impl Span {
                 vt0: self.vt0,
                 vt1,
                 depth,
+                args,
             });
         });
     }
@@ -195,19 +209,35 @@ impl Span {
 
     /// Ends the span, recording the virtual-clock end time.
     pub fn end_v(mut self, vt1: f64) {
-        self.finish(vt1);
+        self.finish(vt1, Vec::new());
+    }
+
+    /// Ends the span with a virtual end time plus structured arguments.
+    pub fn end_v_args(mut self, vt1: f64, args: &[(&'static str, f64)]) {
+        self.finish(vt1, args.to_vec());
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        self.finish(f64::NAN);
+        self.finish(f64::NAN, Vec::new());
     }
 }
 
 /// Records a completed virtual-time-only span (model replay timelines,
 /// where no meaningful host duration exists).
 pub fn record_vspan(name: &'static str, cat: &'static str, vt0: f64, vt1: f64) {
+    record_vspan_args(name, cat, vt0, vt1, &[]);
+}
+
+/// [`record_vspan`] with structured arguments (`peer`, `bytes`, ...).
+pub fn record_vspan_args(
+    name: &'static str,
+    cat: &'static str,
+    vt0: f64,
+    vt1: f64,
+    args: &[(&'static str, f64)],
+) {
     if mode() < TraceMode::Spans {
         return;
     }
@@ -221,6 +251,7 @@ pub fn record_vspan(name: &'static str, cat: &'static str, vt0: f64, vt1: f64) {
             vt0,
             vt1,
             depth,
+            args: args.to_vec(),
         });
     });
 }
@@ -251,8 +282,11 @@ mod tests {
             vt0: f64::NAN,
             vt1: f64::NAN,
             depth: 0,
+            args: vec![("peer", 3.0)],
         };
         assert_eq!(e.vdur(), None);
+        assert_eq!(e.arg("peer"), Some(3.0));
+        assert_eq!(e.arg("bytes"), None);
         e.vt0 = 1.0;
         assert_eq!(e.vdur(), None);
         e.vt1 = 3.5;

@@ -8,11 +8,21 @@
 //! ```sh
 //! cargo run --release --example cylinder_wake
 //! ```
+//!
+//! With `NKT_PROF=1` the run is profiled: the serial solver has no MPI
+//! traffic, so the report reduces to the per-stage attributed-time
+//! table, written to `results/PROF_cylinder_wake.json`.
 
 use nektar_repro::nektar::serial2d::{Serial2dSolver, SolverConfig};
 use nektar_repro::nektar::timers::Stage;
 
 fn main() {
+    if nektar_repro::prof::enabled() {
+        nektar_repro::prof::prepare();
+        // The serial solver runs on the main thread; tag it as rank 0 so
+        // its stage spans land on a profiled timeline.
+        nektar_repro::trace::set_thread_meta("serial".to_string(), Some(0));
+    }
     let mesh = nektar_repro::mesh::bluff_body_mesh(1);
     println!(
         "bluff-body domain [-15,25]x[-5,5], {} elements (paper: 902; scale with refine)",
@@ -82,4 +92,5 @@ fn main() {
         "\nmatrix inversions take {solves:.0}% (paper: \"the matrix inversions \
          account for 60% of the total CPU time\")"
     );
+    nektar_repro::prof::profile_and_write("cylinder_wake");
 }

@@ -5,6 +5,10 @@
 //! ```sh
 //! cargo run --release --example flapping_wing_ale
 //! ```
+//!
+//! With `NKT_PROF=1` the run is profiled — the gather-scatter exchanges
+//! show up as a first-class `gs` op in the MPI attribution table — and
+//! a deterministic `results/PROF_flapping_wing_ale.json` is written.
 
 use nektar_repro::mesh::wing_box_mesh;
 use nektar_repro::mpi::prelude::*;
@@ -21,6 +25,9 @@ fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
 }
 
 fn main() {
+    if nektar_repro::prof::enabled() {
+        nektar_repro::prof::prepare();
+    }
     let mesh = wing_box_mesh(1);
     println!(
         "flapping-wing domain 10x5x5, {} hex elements (paper: 15,870 at order 4)",
@@ -79,4 +86,5 @@ fn main() {
     println!("    a (steps 1-4,6)      {a:>5.1}%");
     println!("    b (pressure solve)   {b:>5.1}%");
     println!("    c (Helmholtz solves) {cgrp:>5.1}%");
+    nektar_repro::prof::profile_and_write("flapping_wing_ale");
 }

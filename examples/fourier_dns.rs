@@ -8,6 +8,10 @@
 //! ```sh
 //! cargo run --release --example fourier_dns
 //! ```
+//!
+//! With `NKT_PROF=1` each network's run is additionally profiled
+//! (MPI attribution, comm matrix, imbalance, critical path) and a
+//! deterministic `results/PROF_fourier_dns_<net>.json` is written.
 
 use nektar_repro::mesh::rect_quads;
 use nektar_repro::mpi::prelude::*;
@@ -24,6 +28,9 @@ fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
 }
 
 fn main() {
+    if nektar_repro::prof::enabled() {
+        nektar_repro::prof::prepare();
+    }
     let p = 4;
     let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, 3, 3);
     let cfg = FourierConfig {
@@ -92,5 +99,28 @@ fn main() {
             pct[Stage::PressureSolve.index()] + pct[Stage::ViscousSolve.index()]
         );
         println!();
+        if nektar_repro::prof::enabled() {
+            let run = format!("fourier_dns_{}", nektar_repro::prof::slug(name));
+            let threads = nektar_repro::trace::take_collected();
+            let prof = nektar_repro::prof::Profile::build(&run, &threads);
+            print!("{}", prof.report());
+            // Self-check: the profile's per-stage attributed times must
+            // agree with the solvers' own StageClock ledgers (merged
+            // over ranks) — the same 1% contract the trace smoke keeps.
+            let mut ledger = nektar_repro::nektar::timers::StageClock::new();
+            for (_, clock, ..) in &out {
+                ledger.merge(clock);
+            }
+            let rows: Vec<(&str, f64)> = Stage::ALL
+                .iter()
+                .map(|s| (s.name(), ledger.totals[s.index()]))
+                .collect();
+            let err = prof.stage_ledger_check(&rows, 1e-3);
+            println!("prof: stage ledger max rel err {:.4}%", 100.0 * err);
+            match prof.write() {
+                Ok(path) => println!("prof: wrote {}", path.display()),
+                Err(e) => eprintln!("prof: cannot write PROF_{run}.json: {e}"),
+            }
+        }
     }
 }

@@ -61,6 +61,43 @@ NKT_TRACE=spans NKT_TRACE_DIR="$trace_dir" \
 cargo run --release --offline --example trace_timeline -- \
     "$trace_dir/TRACE_quickstart.json" > /dev/null
 
+echo "== prof smoke (NKT_PROF=1: determinism, ledger agreement, prof_diff dry run) =="
+# fourier_dns under NKT_PROF=1 profiles each network's run (MPI
+# attribution, comm matrix, imbalance, critical path), self-checks the
+# per-stage attributed times against the StageClock ledgers (<1%), and
+# writes PROF_*.json. Two runs must produce byte-identical profiles —
+# everything serialized lives on the virtual timeline.
+prof_a="$(mktemp -d)"
+prof_b="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$prof_a" "$prof_b"' EXIT
+NKT_PROF=1 NKT_TRACE_DIR="$prof_a" \
+    cargo run --release --offline --example fourier_dns > "$prof_a/out.txt"
+grep -q 'prof: wrote' "$prof_a/out.txt"
+NKT_PROF=1 NKT_TRACE_DIR="$prof_b" \
+    cargo run --release --offline --example fourier_dns > /dev/null
+ledger_fail="$(awk '/stage ledger max rel err/ { if ($7+0 > 1.0) print }' "$prof_a/out.txt")"
+if [[ -n "$ledger_fail" ]]; then
+    echo "FAIL: profiler stage attribution disagrees with StageClock ledger by >1%" >&2
+    echo "$ledger_fail" >&2
+    exit 1
+fi
+for f in "$prof_a"/PROF_*.json; do
+    name="$(basename "$f")"
+    if ! cmp -s "$f" "$prof_b/$name"; then
+        echo "FAIL: $name differs between two identical profiled runs" >&2
+        exit 1
+    fi
+done
+# The profiles must parse with the workspace JSON parser (prof_diff
+# reads them back through it): a self-diff is a pure parse check.
+cargo run --release --offline -p nkt-prof --bin prof_diff -- \
+    --fresh "$prof_a" --baseline "$prof_a" > /dev/null
+# Dry run against the committed baselines: notes drift without gating
+# (baselines refresh alongside intentional comm changes). Gate
+# deliberately with: scripts/prof_diff
+cargo run --release --offline -p nkt-prof --bin prof_diff -- \
+    --fresh "$prof_a" || echo "prof_diff: drift noted (dry run, not gating)"
+
 echo "== bench harness smoke (fast mode) + bench_diff dry run =="
 NKT_BENCH_FAST=1 NKT_RESULTS_DIR="$trace_dir" \
     cargo bench --offline -p nkt-bench > /dev/null

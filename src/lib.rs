@@ -15,4 +15,6 @@ pub use nkt_mpi as mpi;
 pub use nkt_net as net;
 pub use nkt_partition as partition;
 pub use nkt_poly as poly;
+pub use nkt_prof as prof;
 pub use nkt_spectral as spectral;
+pub use nkt_trace as trace;
