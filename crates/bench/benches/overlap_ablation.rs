@@ -1,5 +1,7 @@
 //! Ablation: blocking vs pipelined (nonblocking, per-field) NekTar-F
-//! transpose at np = 8 on both RoadRunner fabrics (DESIGN.md §11).
+//! transpose at np = 8 on both RoadRunner fabrics (DESIGN.md §11),
+//! for both the slab (8x1) and the pencil (4x2) decomposition
+//! (DESIGN.md §13).
 //!
 //! Unlike the kernel benches in this directory, the measurement here is
 //! the simulator's *virtual* clock — exact and repeatable — so results
@@ -41,12 +43,13 @@ fn init_field(x: [f64; 3]) -> [f64; 3] {
     ]
 }
 
-/// One NekTar-F step at np = 8; returns (max wall, max busy) in virtual
-/// seconds across ranks.
-fn step_times(nid: NetId, overlap: bool) -> (f64, f64) {
+/// One NekTar-F step at np = pr * pc on the given process grid; returns
+/// (max wall, max busy) in virtual seconds across ranks.
+fn step_times(nid: NetId, overlap: bool, pr: usize, pc: usize) -> (f64, f64) {
     let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, 2, 2);
-    let out = World::builder().ranks(P).net(cluster(nid)).run(|c| {
-        let mut s = NektarF::new(c, &mesh, cfg());
+    let out = World::builder().ranks(pr * pc).net(cluster(nid)).run(|c| {
+        let mut s = NektarF::try_new_with_grid(c, &mesh, cfg(), pr, pc)
+            .unwrap_or_else(|e| panic!("grid {pr}x{pc}: {e}"));
         s.set_overlap(overlap);
         s.set_initial(init_field);
         s.step(c);
@@ -57,29 +60,33 @@ fn step_times(nid: NetId, overlap: bool) -> (f64, f64) {
 
 fn main() {
     let mut b = Bench::new("overlap");
-    for (nid, tag) in [(NetId::RoadRunnerEth, "eth"), (NetId::RoadRunnerMyr, "myr")] {
-        let (wall_block, busy_block) = step_times(nid, false);
-        let (wall_pipe, busy_pipe) = step_times(nid, true);
-        // The two modes charge the same advances, but at different
-        // virtual times, so the f64 accumulation order differs — allow
-        // ulp-level drift here (the eth unit test pins exact equality).
-        assert!(
-            (busy_block - busy_pipe).abs() <= 1e-12 * busy_block,
-            "{tag}: busy must not depend on NKT_OVERLAP ({busy_block} vs {busy_pipe})"
-        );
-        assert!(
-            wall_pipe < wall_block,
-            "{tag}: pipelined step should be faster ({wall_pipe} vs {wall_block})"
-        );
-        let mut g = b.group(&format!("np{P}/{tag}"));
-        g.report("step_wall/blocking", wall_block * 1e9);
-        g.report("step_wall/pipelined", wall_pipe * 1e9);
-        g.report("step_busy", busy_block * 1e9);
-        g.finish();
-        eprintln!(
-            "  np{P}/{tag}: overlap hides {:.1}% of the step's idle time",
-            100.0 * (wall_block - wall_pipe) / (wall_block - busy_block)
-        );
+    for (pr, pc, grid_tag) in [(P, 1, ""), (P / 2, 2, "/pencil4x2")] {
+        for (nid, tag) in [(NetId::RoadRunnerEth, "eth"), (NetId::RoadRunnerMyr, "myr")] {
+            let (wall_block, busy_block) = step_times(nid, false, pr, pc);
+            let (wall_pipe, busy_pipe) = step_times(nid, true, pr, pc);
+            // The two modes charge the same advances, but at different
+            // virtual times, so the f64 accumulation order differs — allow
+            // ulp-level drift here (the eth unit test pins exact equality).
+            assert!(
+                (busy_block - busy_pipe).abs() <= 1e-12 * busy_block,
+                "{tag}{grid_tag}: busy must not depend on NKT_OVERLAP \
+                 ({busy_block} vs {busy_pipe})"
+            );
+            assert!(
+                wall_pipe < wall_block,
+                "{tag}{grid_tag}: pipelined step should be faster \
+                 ({wall_pipe} vs {wall_block})"
+            );
+            let mut g = b.group(&format!("np{P}/{tag}{grid_tag}"));
+            g.report("step_wall/blocking", wall_block * 1e9);
+            g.report("step_wall/pipelined", wall_pipe * 1e9);
+            g.report("step_busy", busy_block * 1e9);
+            g.finish();
+            eprintln!(
+                "  np{P}/{tag}{grid_tag}: overlap hides {:.1}% of the step's idle time",
+                100.0 * (wall_block - wall_pipe) / (wall_block - busy_block)
+            );
+        }
     }
     b.finish();
 }

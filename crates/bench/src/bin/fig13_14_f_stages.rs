@@ -21,6 +21,7 @@ fn main() {
         modes_per_rank: 1,
         nz: 2 * p,
         p,
+        pc: 1,
         j: 2,
         nm_interior: serial.nm_interior,
     };

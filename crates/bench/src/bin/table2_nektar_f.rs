@@ -138,6 +138,7 @@ fn main() {
                 modes_per_rank: 1,
                 nz: 2 * p,
                 p,
+                pc: 1,
                 j: 2,
                 nm_interior: serial.nm_interior,
             };
@@ -164,4 +165,55 @@ fn main() {
     println!("(weak scaling); \"the ethernet-based network seems to saturate above");
     println!("8 processors\" — its wall column must blow up while CPU stays flat;");
     println!("\"the myrinet network saturates above 64 processors\".");
+    pencil_extension();
+}
+
+/// Table 2 extension (beyond the paper): strong scaling at fixed nz = 64
+/// on the modeled machines. The slab decomposition stops at P = 32 (one
+/// mode per rank); the 2-D pencil grid (pr = 32 rows, pc = P/32 columns,
+/// DESIGN.md §13) continues past P = nz with two-stage sub-communicator
+/// transposes and per-rank FFT batches that keep shrinking by pc.
+fn pencil_extension() {
+    let serial = paper_serial_shape();
+    let nz = 64usize;
+    let nmodes = nz / 2;
+    println!();
+    println!("Table 2 extension: pencil decomposition, strong scaling at nz = {nz}");
+    println!("(fixed problem). grid = PRxPC; slab is PRx1; the slab cannot run");
+    println!("past P = nz/2 = {nmodes}.\n");
+    for (label, mid, nid) in [
+        ("RoadRunner myr", MachineId::RoadRunner, NetId::RoadRunnerMyr),
+        ("RoadRunner eth", MachineId::RoadRunner, NetId::RoadRunnerEth),
+        ("T3E", MachineId::T3e, NetId::T3e),
+    ] {
+        let m = machine(mid);
+        let net = cluster(nid);
+        println!("== {label} ==");
+        println!("{:>6} {:>8} {:>16}", "P", "grid", "model cpu/wall");
+        for p in [8usize, 16, 32, 64, 128, 256] {
+            let pc = p.div_ceil(nmodes); // 1 until P = 32, then 2, 4, 8
+            let pr = p / pc;
+            let shape = FourierShape {
+                nelems: serial.nelems,
+                nm: serial.nm,
+                nq: serial.nq,
+                nq_total: serial.nelems * serial.nq,
+                ndof: serial.nboundary,
+                kd: serial.kd_condensed,
+                modes_per_rank: nmodes / pr,
+                nz,
+                p,
+                pc,
+                j: 2,
+                nm_interior: serial.nm_interior,
+            };
+            let rec = fourier_step_workload(&shape);
+            let t = replay(&rec, &m, &net, p);
+            println!("{:>6} {:>8} {:>13.2}/{:.2}", p, format!("{pr}x{pc}"), t.cpu_total(), t.wall_total());
+        }
+        println!();
+    }
+    println!("shape check: the pencil columns continue the slab curve past");
+    println!("P = nz/2 with finite two-stage exchange cost; per-step compute");
+    println!("keeps dropping with P while the row allgather adds wire time.");
 }

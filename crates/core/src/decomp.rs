@@ -1,0 +1,695 @@
+//! Decomposition-generic transpose layer for NekTar-F (DESIGN.md §13).
+//!
+//! The paper's NekTar-F distributes Fourier modes over processors and
+//! performs the nonlinear step through a Global Exchange (transpose).
+//! The classic 1-D **slab** decomposition caps the rank count at the
+//! mode count (P ≤ nz/2). This module abstracts the transpose behind
+//! the [`Decomposition`] trait so the solver runs unchanged on either:
+//!
+//! * [`Slab`] — every rank owns a contiguous mode block; one world
+//!   `MPI_Alltoall` per direction (the paper's layout, Table 2);
+//! * [`Pencil2D`] — a `pr × pc` process grid (world rank = `row·pc +
+//!   col`). Mode blocks are owned by grid *rows* and replicated across
+//!   each row's `pc` columns, while physical points are chunked over
+//!   **all** `pr·pc` ranks. The global transpose becomes two smaller
+//!   sub-communicator exchanges (column stage, then row stage), and the
+//!   FFT batch per rank shrinks by `pc` — scaling past P = nz.
+//!
+//! Pencil exchange structure (backward, physical → modes):
+//!
+//! 1. every rank forward-FFTs its own point chunk and scatters the mode
+//!    coefficients over its **column** communicator (group rank = grid
+//!    row), so it ends up holding its row's modes at the chunks of its
+//!    column's ranks;
+//! 2. a **row**-communicator allgather (phrased as an alltoall whose
+//!    blocks are identical) fills in the chunks of the other columns,
+//!    leaving every rank with full planes for its row's modes.
+//!
+//! The forward transpose needs only the column stage: the modes a rank
+//! must inverse-FFT at its points are exactly one block from each
+//! column peer, and mode replication within rows means no row exchange
+//! is required (the row stage degenerates — recorded honestly as
+//! `row_block_bytes = 0`).
+//!
+//! Both decompositions produce **bitwise identical** state: physical
+//! values are pointwise copies of the same mode data, the per-point FFT
+//! arithmetic does not depend on which rank executes it, and the
+//! assembled planes are permutation-free reassemblies. A pencil rank
+//! `(r, c)` therefore hashes identically to slab rank `r` at the same
+//! `pr` (see `tests/pencil_equiv.rs`).
+
+use crate::fourier::ModePlane;
+use crate::opstream::{CommItem, Recorder, WorkItem};
+use crate::timers::Stage;
+use nkt_fft::{Complex64, RealFft};
+use nkt_mpi::prelude::*;
+use std::fmt;
+use std::ops::Range;
+
+/// Modeled virtual seconds for a batch of 1-D FFTs: 5 N log₂N flops per
+/// transform at a nominal 100 Mflop/s nonlinear-stage rate. Charged via
+/// [`Comm::advance`] in *both* transpose paths so the pipelined exchange
+/// has compute to hide wire time behind while `busy` stays identical.
+pub(crate) fn fft_virtual_secs(len: usize, batch: usize) -> f64 {
+    5.0 * len as f64 * (len as f64).log2().max(1.0) * batch as f64 / 1e8
+}
+
+/// Why a NekTar-F configuration cannot be decomposed — a reportable
+/// error instead of an abort, covering both decompositions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FourierCfgError {
+    /// `nz` must be even and at least 2 (modes = nz/2, Nyquist dropped).
+    OddNz {
+        /// The rejected plane count.
+        nz: usize,
+    },
+    /// The mode count must divide evenly over the mode-owning ranks
+    /// (slab: all P ranks; pencil: the `pr` grid rows).
+    ModesNotDivisible {
+        /// Fourier modes (nz/2).
+        nmodes: usize,
+        /// Mode-owning rank count.
+        pr: usize,
+    },
+    /// The requested `pr × pc` grid does not tile the communicator.
+    GridMismatch {
+        /// Requested grid rows.
+        pr: usize,
+        /// Requested grid columns.
+        pc: usize,
+        /// Communicator size.
+        p: usize,
+    },
+    /// An unparseable `NKT_GRID` specification.
+    BadGridSpec {
+        /// The rejected string.
+        spec: String,
+    },
+}
+
+impl fmt::Display for FourierCfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FourierCfgError::OddNz { nz } => {
+                write!(f, "nz must be even and >= 2 (got {nz})")
+            }
+            FourierCfgError::ModesNotDivisible { nmodes, pr } => {
+                write!(f, "modes ({nmodes}) must divide evenly over mode-owning ranks ({pr})")
+            }
+            FourierCfgError::GridMismatch { pr, pc, p } => {
+                write!(f, "process grid {pr}x{pc} does not tile the {p}-rank communicator")
+            }
+            FourierCfgError::BadGridSpec { spec } => {
+                write!(f, "bad grid spec {spec:?} (expected PRxPC, e.g. 4x2)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FourierCfgError {}
+
+/// Parses a `"PRxPC"` grid specification (the `NKT_GRID` format).
+pub fn parse_grid(spec: &str) -> Result<(usize, usize), FourierCfgError> {
+    let bad = || FourierCfgError::BadGridSpec { spec: spec.to_string() };
+    let (a, b) = spec.split_once(['x', 'X']).ok_or_else(bad)?;
+    let pr: usize = a.trim().parse().map_err(|_| bad())?;
+    let pc: usize = b.trim().parse().map_err(|_| bad())?;
+    if pr == 0 || pc == 0 {
+        return Err(bad());
+    }
+    Ok((pr, pc))
+}
+
+/// Per-transpose solver context: everything a [`Decomposition`] needs
+/// from `NektarF` beyond its own layout. Passed by the caller so the
+/// decomposition and the recorder can be borrowed disjointly.
+pub struct TransposeCtx<'a> {
+    /// Real z-planes (FFT length).
+    pub nz: usize,
+    /// Quadrature points per plane.
+    pub nq_total: usize,
+    /// Pipeline the exchanges against per-field FFT work.
+    pub overlap: bool,
+    /// Alltoall algorithm for the blocking path.
+    pub algo: AlltoallAlgo,
+    /// Model-replay recorder.
+    pub recorder: &'a mut Recorder,
+}
+
+/// How Fourier modes and physical points are laid out over ranks, and
+/// how to transpose between the two spaces. Implementations own their
+/// exchange plan (sub-communicators, pack/unpack layouts) and record
+/// the matching [`CommItem`]s for model replay.
+pub trait Decomposition: Send {
+    /// Short name for diagnostics ("slab" / "pencil").
+    fn name(&self) -> &'static str;
+
+    /// `(rows, cols)` of the process grid (slab: `(P, 1)`).
+    fn grid(&self) -> (usize, usize);
+
+    /// Global mode indices this rank owns (contiguous).
+    fn my_modes(&self) -> Range<usize>;
+
+    /// True on exactly one rank per owned mode block (grid column 0).
+    /// Replicated-mode diagnostics (energy sums, spectra) must only
+    /// count primary contributions or they inflate by `pc`.
+    fn is_primary(&self) -> bool;
+
+    /// Mode-space fields → physical z-columns at this rank's chunk of
+    /// quadrature points ("Global Exchange" + "Nxy 1D inverse FFTs").
+    fn to_phys(
+        &mut self,
+        comm: &mut Comm,
+        ctx: &mut TransposeCtx<'_>,
+        fields: &[Vec<ModePlane>],
+    ) -> Vec<Vec<Vec<f64>>>;
+
+    /// Physical z-columns → mode-space fields, full planes for every
+    /// owned mode ("Nxy 1D FFTs" + "Global Exchange" back).
+    fn to_modes(
+        &mut self,
+        comm: &mut Comm,
+        ctx: &mut TransposeCtx<'_>,
+        phys: &[Vec<Vec<f64>>],
+    ) -> Vec<Vec<ModePlane>>;
+}
+
+/// The paper's 1-D decomposition: rank `r` of `P` owns modes
+/// `[r·nmodes/P, (r+1)·nmodes/P)`; each transpose is one world
+/// alltoall (blocking or pipelined per field).
+pub struct Slab {
+    p: usize,
+    my_modes: Range<usize>,
+}
+
+impl Slab {
+    /// Block-distributes `nmodes` over the world ("a straightforward
+    /// mapping of Fourier modes to P processors").
+    pub fn new(comm: &Comm, nmodes: usize) -> Result<Slab, FourierCfgError> {
+        let p = comm.size();
+        if !nmodes.is_multiple_of(p) {
+            return Err(FourierCfgError::ModesNotDivisible { nmodes, pr: p });
+        }
+        let mpp = nmodes / p;
+        Ok(Slab { p, my_modes: comm.rank() * mpp..(comm.rank() + 1) * mpp })
+    }
+}
+
+impl Decomposition for Slab {
+    fn name(&self) -> &'static str {
+        "slab"
+    }
+
+    fn grid(&self) -> (usize, usize) {
+        (self.p, 1)
+    }
+
+    fn my_modes(&self) -> Range<usize> {
+        self.my_modes.clone()
+    }
+
+    fn is_primary(&self) -> bool {
+        true
+    }
+
+    /// Both paths exchange one field per alltoall so their `busy`
+    /// ledgers match message for message; with `overlap` on, all field
+    /// exchanges are posted up front ([`Comm::ialltoall`]) and each
+    /// field's inverse FFTs run while the later fields are still on the
+    /// wire, hiding their transfer time in `wtime`.
+    fn to_phys(
+        &mut self,
+        comm: &mut Comm,
+        ctx: &mut TransposeCtx<'_>,
+        fields: &[Vec<ModePlane>],
+    ) -> Vec<Vec<Vec<f64>>> {
+        let p = comm.size();
+        let nf = fields.len();
+        let mpp = self.my_modes.len();
+        let chunk = ctx.nq_total.div_ceil(p);
+        let nz = ctx.nz;
+        let fft = RealFft::new(nz);
+        // Per-field exchange block (the classic layout's nf·fblock total
+        // is split into nf exchanges of fblock each).
+        let fblock = mpp * 2 * chunk;
+        let mut sends: Vec<Vec<f64>> = Vec::with_capacity(nf);
+        for field in fields {
+            let mut send = vec![0.0; p * fblock];
+            for dest in 0..p {
+                let dlo = (dest * chunk).min(ctx.nq_total);
+                let dhi = ((dest + 1) * chunk).min(ctx.nq_total);
+                for (mi, mp) in field.iter().enumerate() {
+                    let o = dest * fblock + mi * 2 * chunk;
+                    send[o..o + (dhi - dlo)].copy_from_slice(&mp.a[dlo..dhi]);
+                    send[o + chunk..o + chunk + (dhi - dlo)].copy_from_slice(&mp.b[dlo..dhi]);
+                }
+            }
+            sends.push(send);
+        }
+        ctx.recorder.comm(
+            Stage::NonLinear,
+            if ctx.overlap {
+                CommItem::AlltoallPipelined { block_bytes: 8 * nf * fblock, fields: nf }
+            } else {
+                CommItem::Alltoall { block_bytes: 8 * nf * fblock }
+            },
+        );
+        let me = comm.rank();
+        let lo = (me * chunk).min(ctx.nq_total);
+        let hi = ((me + 1) * chunk).min(ctx.nq_total);
+        let npts = hi - lo;
+        let mut out = vec![vec![vec![0.0; nz]; npts]; nf];
+        let mut spectrum = vec![Complex64::ZERO; fft.spectrum_len()];
+        let mut recv = vec![0.0; p * fblock];
+        let dims = (p, mpp, chunk, fblock, nz, npts);
+        if ctx.overlap {
+            let handles: Vec<AlltoallHandle> =
+                sends.iter().map(|s| comm.ialltoall(s, fblock)).collect();
+            for (fi, h) in handles.into_iter().enumerate() {
+                comm.alltoall_finish(h, &mut recv);
+                unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims);
+                comm.advance(fft_virtual_secs(nz, npts));
+                ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
+            }
+        } else {
+            for (fi, send) in sends.iter().enumerate() {
+                comm.alltoall_with(ctx.algo, send, fblock, &mut recv);
+                unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims);
+                comm.advance(fft_virtual_secs(nz, npts));
+                ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
+            }
+        }
+        out
+    }
+
+    /// Mirror of [`Slab::to_phys`]: one exchange per field in both
+    /// paths. With `overlap` on, each field's exchange is posted as soon
+    /// as its forward FFTs finish, so the wire time of field `i` hides
+    /// under the FFT work of fields `i+1..`.
+    fn to_modes(
+        &mut self,
+        comm: &mut Comm,
+        ctx: &mut TransposeCtx<'_>,
+        phys: &[Vec<Vec<f64>>],
+    ) -> Vec<Vec<ModePlane>> {
+        let p = comm.size();
+        let nf = phys.len();
+        let mpp = self.my_modes.len();
+        let chunk = ctx.nq_total.div_ceil(p);
+        let nz = ctx.nz;
+        let fft = RealFft::new(nz);
+        let npts = phys[0].len();
+        let fblock = mpp * 2 * chunk;
+        let nq_total = ctx.nq_total;
+        let mut spectrum = vec![Complex64::ZERO; fft.spectrum_len()];
+        let pack_field = |fi: usize, spectrum: &mut Vec<Complex64>| -> Vec<f64> {
+            let mut send = vec![0.0; p * fblock];
+            for pt in 0..npts {
+                fft.forward(&phys[fi][pt], spectrum);
+                for dest in 0..p {
+                    for mi in 0..mpp {
+                        let k = dest * mpp + mi;
+                        let (a, b) = spectrum_coeffs(&spectrum[..], k, nz);
+                        let o = dest * fblock + mi * 2 * chunk;
+                        send[o + pt] = a;
+                        send[o + chunk + pt] = b;
+                    }
+                }
+            }
+            send
+        };
+        ctx.recorder.comm(
+            Stage::NonLinear,
+            if ctx.overlap {
+                CommItem::AlltoallPipelined { block_bytes: 8 * nf * fblock, fields: nf }
+            } else {
+                CommItem::Alltoall { block_bytes: 8 * nf * fblock }
+            },
+        );
+        let mut out = empty_planes(nf, mpp, nq_total);
+        let mut recv = vec![0.0; p * fblock];
+        let unpack_field = |fi: usize, recv: &[f64], out: &mut Vec<Vec<ModePlane>>| {
+            for src in 0..p {
+                let plo = (src * chunk).min(nq_total);
+                let phi = ((src + 1) * chunk).min(nq_total);
+                for mi in 0..mpp {
+                    let o = src * fblock + mi * 2 * chunk;
+                    for (pt, gq) in (plo..phi).enumerate() {
+                        out[fi][mi].a[gq] = recv[o + pt];
+                        out[fi][mi].b[gq] = recv[o + chunk + pt];
+                    }
+                }
+            }
+        };
+        if ctx.overlap {
+            let mut handles = Vec::with_capacity(nf);
+            for fi in 0..nf {
+                let send = pack_field(fi, &mut spectrum);
+                comm.advance(fft_virtual_secs(nz, npts));
+                ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
+                handles.push(comm.ialltoall(&send, fblock));
+            }
+            for (fi, h) in handles.into_iter().enumerate() {
+                comm.alltoall_finish(h, &mut recv);
+                unpack_field(fi, &recv, &mut out);
+            }
+        } else {
+            for fi in 0..nf {
+                let send = pack_field(fi, &mut spectrum);
+                comm.advance(fft_virtual_secs(nz, npts));
+                ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
+                comm.alltoall_with(ctx.algo, &send, fblock, &mut recv);
+                unpack_field(fi, &recv, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// The 2-D pencil decomposition (module docs): modes are owned by grid
+/// rows and replicated over each row's columns; points are chunked over
+/// all ranks; transposes are column-stage (+ row-stage) sub-communicator
+/// exchanges. `pr × 1` reproduces the slab bitwise; `pc > 1` lifts the
+/// P ≤ nz/2 cap.
+pub struct Pencil2D {
+    pr: usize,
+    pc: usize,
+    col: usize,
+    my_modes: Range<usize>,
+    /// Ranks sharing this grid column; group rank = grid row.
+    col_comm: SubComm,
+    /// Ranks sharing this grid row; group rank = grid column.
+    row_comm: SubComm,
+}
+
+impl Pencil2D {
+    /// Builds the process grid and its row/column sub-communicators.
+    /// Collective over `comm` (two `MPI_Comm_split`s, posted column
+    /// first on every rank).
+    pub fn new(
+        comm: &mut Comm,
+        pr: usize,
+        pc: usize,
+        nmodes: usize,
+    ) -> Result<Pencil2D, FourierCfgError> {
+        let p = comm.size();
+        if pr == 0 || pc == 0 || pr * pc != p {
+            return Err(FourierCfgError::GridMismatch { pr, pc, p });
+        }
+        if !nmodes.is_multiple_of(pr) {
+            return Err(FourierCfgError::ModesNotDivisible { nmodes, pr });
+        }
+        let row = comm.rank() / pc;
+        let col = comm.rank() % pc;
+        let col_comm = comm.split_labeled(col, row, "col");
+        let row_comm = comm.split_labeled(row, col, "row");
+        let mpr = nmodes / pr;
+        Ok(Pencil2D { pr, pc, col, my_modes: row * mpr..(row + 1) * mpr, col_comm, row_comm })
+    }
+}
+
+impl Decomposition for Pencil2D {
+    fn name(&self) -> &'static str {
+        "pencil"
+    }
+
+    fn grid(&self) -> (usize, usize) {
+        (self.pr, self.pc)
+    }
+
+    fn my_modes(&self) -> Range<usize> {
+        self.my_modes.clone()
+    }
+
+    fn is_primary(&self) -> bool {
+        self.col == 0
+    }
+
+    /// Forward transpose: one column-stage exchange. The block sent to
+    /// column peer `r` holds this rank's modes at the point chunk of
+    /// world rank `(r, my col)`; conversely each received block
+    /// contributes one row's mode block at my points, so the union over
+    /// column peers covers the full spectrum. No row stage (module
+    /// docs) — recorded as `row_block_bytes = 0`.
+    fn to_phys(
+        &mut self,
+        comm: &mut Comm,
+        ctx: &mut TransposeCtx<'_>,
+        fields: &[Vec<ModePlane>],
+    ) -> Vec<Vec<Vec<f64>>> {
+        let (pr, pc) = (self.pr, self.pc);
+        let p = pr * pc;
+        let nf = fields.len();
+        let mpr = self.my_modes.len();
+        let chunk = ctx.nq_total.div_ceil(p);
+        let nz = ctx.nz;
+        let fft = RealFft::new(nz);
+        let fblock = mpr * 2 * chunk;
+        let mut sends: Vec<Vec<f64>> = Vec::with_capacity(nf);
+        for field in fields {
+            let mut send = vec![0.0; pr * fblock];
+            for r2 in 0..pr {
+                let w = r2 * pc + self.col;
+                let dlo = (w * chunk).min(ctx.nq_total);
+                let dhi = ((w + 1) * chunk).min(ctx.nq_total);
+                for (mi, mp) in field.iter().enumerate() {
+                    let o = r2 * fblock + mi * 2 * chunk;
+                    send[o..o + (dhi - dlo)].copy_from_slice(&mp.a[dlo..dhi]);
+                    send[o + chunk..o + chunk + (dhi - dlo)].copy_from_slice(&mp.b[dlo..dhi]);
+                }
+            }
+            sends.push(send);
+        }
+        ctx.recorder.comm(
+            Stage::NonLinear,
+            CommItem::AlltoallPencil {
+                col_block_bytes: 8 * nf * fblock,
+                row_block_bytes: 0,
+                pr,
+                pc,
+                fields: nf,
+                pipelined: ctx.overlap,
+            },
+        );
+        let me = comm.rank();
+        let lo = (me * chunk).min(ctx.nq_total);
+        let hi = ((me + 1) * chunk).min(ctx.nq_total);
+        let npts = hi - lo;
+        let mut out = vec![vec![vec![0.0; nz]; npts]; nf];
+        let mut spectrum = vec![Complex64::ZERO; fft.spectrum_len()];
+        let mut recv = vec![0.0; pr * fblock];
+        let dims = (pr, mpr, chunk, fblock, nz, npts);
+        if ctx.overlap {
+            let mut handles = Vec::with_capacity(nf);
+            for send in &sends {
+                handles.push(self.col_comm.ialltoall(comm, send, fblock));
+            }
+            for (fi, h) in handles.into_iter().enumerate() {
+                comm.alltoall_finish(h, &mut recv);
+                unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims);
+                comm.advance(fft_virtual_secs(nz, npts));
+                ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
+            }
+        } else {
+            for (fi, send) in sends.iter().enumerate() {
+                self.col_comm.alltoall_with(comm, ctx.algo, send, fblock, &mut recv);
+                unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims);
+                comm.advance(fft_virtual_secs(nz, npts));
+                ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
+            }
+        }
+        out
+    }
+
+    /// Backward transpose: column stage then row stage. The column
+    /// receive buffer already has the row-stage block layout — offset
+    /// `(r·mpr + mi)·2·chunk` holds mode `mi` at the chunk of world
+    /// rank `(r, my col)` — so the row stage sends that buffer verbatim
+    /// to every row peer (an allgather phrased as an alltoall with
+    /// identical blocks). With `overlap` on the two stages pipeline per
+    /// field: field `i`'s column exchange hides under the FFT packing
+    /// of fields `i+1..`, and its row exchange under the later fields'
+    /// column completions.
+    fn to_modes(
+        &mut self,
+        comm: &mut Comm,
+        ctx: &mut TransposeCtx<'_>,
+        phys: &[Vec<Vec<f64>>],
+    ) -> Vec<Vec<ModePlane>> {
+        let (pr, pc) = (self.pr, self.pc);
+        let p = pr * pc;
+        let nf = phys.len();
+        let mpr = self.my_modes.len();
+        let chunk = ctx.nq_total.div_ceil(p);
+        let nz = ctx.nz;
+        let fft = RealFft::new(nz);
+        let npts = phys[0].len();
+        let fblock = mpr * 2 * chunk;
+        let rblock = pr * fblock;
+        let nq_total = ctx.nq_total;
+        let mut spectrum = vec![Complex64::ZERO; fft.spectrum_len()];
+        let pack_field = |fi: usize, spectrum: &mut Vec<Complex64>| -> Vec<f64> {
+            let mut send = vec![0.0; pr * fblock];
+            for pt in 0..npts {
+                fft.forward(&phys[fi][pt], spectrum);
+                for r2 in 0..pr {
+                    for mi in 0..mpr {
+                        let k = r2 * mpr + mi;
+                        let (a, b) = spectrum_coeffs(&spectrum[..], k, nz);
+                        let o = r2 * fblock + mi * 2 * chunk;
+                        send[o + pt] = a;
+                        send[o + chunk + pt] = b;
+                    }
+                }
+            }
+            send
+        };
+        let replicate = |col_recv: &[f64]| -> Vec<f64> {
+            let mut s = vec![0.0; pc * rblock];
+            for c2 in 0..pc {
+                s[c2 * rblock..(c2 + 1) * rblock].copy_from_slice(col_recv);
+            }
+            s
+        };
+        ctx.recorder.comm(
+            Stage::NonLinear,
+            CommItem::AlltoallPencil {
+                col_block_bytes: 8 * nf * fblock,
+                row_block_bytes: 8 * nf * rblock,
+                pr,
+                pc,
+                fields: nf,
+                pipelined: ctx.overlap,
+            },
+        );
+        let mut out = empty_planes(nf, mpr, nq_total);
+        // Row-stage block from row peer c2 holds this row's modes at the
+        // chunks of column c2's ranks (world rank r2·pc + c2).
+        let unpack_row = |recv_row: &[f64], out_f: &mut [ModePlane]| {
+            for c2 in 0..pc {
+                for r2 in 0..pr {
+                    let w = r2 * pc + c2;
+                    let plo = (w * chunk).min(nq_total);
+                    let phi = ((w + 1) * chunk).min(nq_total);
+                    for (mi, mp) in out_f.iter_mut().enumerate() {
+                        let o = c2 * rblock + (r2 * mpr + mi) * 2 * chunk;
+                        for (pt, gq) in (plo..phi).enumerate() {
+                            mp.a[gq] = recv_row[o + pt];
+                            mp.b[gq] = recv_row[o + chunk + pt];
+                        }
+                    }
+                }
+            }
+        };
+        let mut col_recv = vec![0.0; pr * fblock];
+        let mut row_recv = vec![0.0; pc * rblock];
+        if ctx.overlap {
+            let mut col_handles = Vec::with_capacity(nf);
+            for fi in 0..nf {
+                let send = pack_field(fi, &mut spectrum);
+                comm.advance(fft_virtual_secs(nz, npts));
+                ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
+                col_handles.push(self.col_comm.ialltoall(comm, &send, fblock));
+            }
+            let mut row_handles = Vec::with_capacity(nf);
+            for h in col_handles {
+                comm.alltoall_finish(h, &mut col_recv);
+                let rsend = replicate(&col_recv);
+                row_handles.push(self.row_comm.ialltoall(comm, &rsend, rblock));
+            }
+            for (fi, h) in row_handles.into_iter().enumerate() {
+                comm.alltoall_finish(h, &mut row_recv);
+                unpack_row(&row_recv, &mut out[fi]);
+            }
+        } else {
+            for fi in 0..nf {
+                let send = pack_field(fi, &mut spectrum);
+                comm.advance(fft_virtual_secs(nz, npts));
+                ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
+                self.col_comm.alltoall_with(comm, ctx.algo, &send, fblock, &mut col_recv);
+                let rsend = replicate(&col_recv);
+                self.row_comm.alltoall_with(comm, ctx.algo, &rsend, rblock, &mut row_recv);
+                unpack_row(&row_recv, &mut out[fi]);
+            }
+        }
+        out
+    }
+}
+
+/// Mode coefficients of spectrum bin `k` in the solver's cos/sin plane
+/// convention (`k = 0` carries the mean; Nyquist dropped).
+#[inline]
+fn spectrum_coeffs(spectrum: &[Complex64], k: usize, nz: usize) -> (f64, f64) {
+    if k == 0 {
+        (spectrum[0].re / nz as f64, 0.0)
+    } else {
+        (2.0 * spectrum[k].re / nz as f64, -2.0 * spectrum[k].im / nz as f64)
+    }
+}
+
+/// Inverse of [`spectrum_coeffs`] + inverse FFT of one received field:
+/// reassembles the spectrum at each of this rank's points from the
+/// per-source blocks (source group rank `src` owns modes
+/// `[src·mpp, (src+1)·mpp)`) and fills the physical z-columns.
+fn unpack_phys_field(
+    recv: &[f64],
+    field_out: &mut [Vec<f64>],
+    spectrum: &mut [Complex64],
+    fft: &RealFft,
+    (p, mpp, chunk, fblock, nz, npts): (usize, usize, usize, usize, usize, usize),
+) {
+    for pt in 0..npts {
+        for s in spectrum.iter_mut() {
+            *s = Complex64::ZERO;
+        }
+        for src in 0..p {
+            for mi in 0..mpp {
+                let k = src * mpp + mi;
+                let o = src * fblock + mi * 2 * chunk;
+                let a = recv[o + pt];
+                let b = recv[o + chunk + pt];
+                spectrum[k] = if k == 0 {
+                    Complex64::new(a * nz as f64, 0.0)
+                } else {
+                    Complex64::new(a * nz as f64 / 2.0, -b * nz as f64 / 2.0)
+                };
+            }
+        }
+        fft.inverse(spectrum, &mut field_out[pt]);
+    }
+}
+
+fn empty_planes(nf: usize, nmodes: usize, nq_total: usize) -> Vec<Vec<ModePlane>> {
+    vec![vec![ModePlane { a: vec![0.0; nq_total], b: vec![0.0; nq_total] }; nmodes]; nf]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_spec_parses_and_rejects() {
+        assert_eq!(parse_grid("4x2"), Ok((4, 2)));
+        assert_eq!(parse_grid("1X8"), Ok((1, 8)));
+        assert_eq!(parse_grid(" 2 x 3 "), Ok((2, 3)));
+        for bad in ["", "4", "x2", "4x", "0x2", "4x0", "axb", "4x2x1"] {
+            assert!(parse_grid(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn cfg_errors_display_their_parameters() {
+        let cases: Vec<(FourierCfgError, &[&str])> = vec![
+            (FourierCfgError::OddNz { nz: 7 }, &["7", "even"]),
+            (FourierCfgError::ModesNotDivisible { nmodes: 4, pr: 3 }, &["4", "3"]),
+            (FourierCfgError::GridMismatch { pr: 4, pc: 2, p: 6 }, &["4x2", "6"]),
+            (FourierCfgError::BadGridSpec { spec: "blob".into() }, &["blob"]),
+        ];
+        for (err, needles) in cases {
+            let msg = err.to_string();
+            for n in needles {
+                assert!(msg.contains(n), "{msg:?} should mention {n:?}");
+            }
+        }
+    }
+}

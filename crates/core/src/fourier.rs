@@ -17,7 +17,8 @@
 //! λ_k = β_k² (+ γ₀/νΔt), β_k = 2πk/L_z — "direct solvers may be
 //! employed for the solution of 2D Helmholtz problems on each processor".
 
-use crate::opstream::{CommItem, Recorder, WorkItem};
+use crate::decomp::{parse_grid, Decomposition, FourierCfgError, Pencil2D, Slab, TransposeCtx};
+use crate::opstream::{Recorder, WorkItem};
 use crate::splitting::StifflyStable;
 use crate::timers::{Stage, StageClock, StageTimer};
 use nkt_fft::{Complex64, RealFft};
@@ -25,14 +26,6 @@ use nkt_mesh::{BoundaryTag, Mesh2d};
 use nkt_mpi::prelude::*;
 use nkt_spectral::{HelmholtzProblem, SolveMethod};
 use std::collections::VecDeque;
-
-/// Modeled virtual seconds for a batch of 1-D FFTs: 5 N log₂N flops per
-/// transform at a nominal 100 Mflop/s nonlinear-stage rate. Charged via
-/// [`Comm::advance`] in *both* transpose paths so the pipelined exchange
-/// has compute to hide wire time behind while `busy` stays identical.
-fn fft_virtual_secs(len: usize, batch: usize) -> f64 {
-    5.0 * len as f64 * (len as f64).log2().max(1.0) * batch as f64 / 1e8
-}
 
 /// Configuration for a NekTar-F run.
 #[derive(Debug, Clone)]
@@ -89,7 +82,10 @@ pub struct NektarF {
     /// Configuration.
     pub cfg: FourierConfig,
     scheme: StifflyStable,
-    /// Modes owned by this rank (global indices, contiguous).
+    /// Mode/point layout and transpose plan ([`Slab`] or [`Pencil2D`]).
+    decomp: Box<dyn Decomposition>,
+    /// Modes owned by this rank (global indices, contiguous; mirror of
+    /// the decomposition's block for direct access).
     pub my_modes: std::ops::Range<usize>,
     /// Per owned mode: pressure problem (λ = β²).
     pressure: Vec<HelmholtzProblem>,
@@ -126,15 +122,54 @@ impl NektarF {
     /// block-distributed over ranks ("a straightforward mapping of
     /// Fourier modes to P processors").
     ///
-    /// # Panics
-    /// Panics if `nz/2` is not divisible by the rank count.
-    pub fn new(comm: &Comm, mesh: &Mesh2d, cfg: FourierConfig) -> NektarF {
-        assert!(cfg.nz >= 2 && cfg.nz.is_multiple_of(2), "nz must be even");
+    /// Panicking wrapper over [`NektarF::try_new`] for callers that
+    /// treat a bad grid as a bug.
+    pub fn new(comm: &mut Comm, mesh: &Mesh2d, cfg: FourierConfig) -> NektarF {
+        NektarF::try_new(comm, mesh, cfg).unwrap_or_else(|e| panic!("NektarF::new: {e}"))
+    }
+
+    /// [`NektarF::new`] with a typed error instead of a panic. The
+    /// decomposition comes from `NKT_GRID` (`PRxPC`, e.g. `4x2` →
+    /// [`Pencil2D`]); unset means the paper's [`Slab`] layout.
+    pub fn try_new(
+        comm: &mut Comm,
+        mesh: &Mesh2d,
+        cfg: FourierConfig,
+    ) -> Result<NektarF, FourierCfgError> {
+        match std::env::var("NKT_GRID") {
+            Ok(spec) => {
+                let (pr, pc) = parse_grid(&spec)?;
+                NektarF::try_new_with_grid(comm, mesh, cfg, pr, pc)
+            }
+            Err(_) => NektarF::try_new_with_grid(comm, mesh, cfg, comm.size(), 1),
+        }
+    }
+
+    /// Builds the solver on an explicit `pr × pc` process grid. `pc = 1`
+    /// is the slab decomposition (one world alltoall per transpose);
+    /// `pc > 1` is the 2-D pencil decomposition (DESIGN.md §13), which
+    /// admits `P` up to `pc` times the mode count.
+    pub fn try_new_with_grid(
+        comm: &mut Comm,
+        mesh: &Mesh2d,
+        cfg: FourierConfig,
+        pr: usize,
+        pc: usize,
+    ) -> Result<NektarF, FourierCfgError> {
+        if cfg.nz < 2 || !cfg.nz.is_multiple_of(2) {
+            return Err(FourierCfgError::OddNz { nz: cfg.nz });
+        }
         let nmodes = cfg.nz / 2;
-        let p = comm.size();
-        assert!(nmodes.is_multiple_of(p), "modes ({nmodes}) must divide evenly over ranks ({p})");
-        let mpp = nmodes / p;
-        let my_modes = comm.rank() * mpp..(comm.rank() + 1) * mpp;
+        let decomp: Box<dyn Decomposition> = if pc <= 1 {
+            if pr != comm.size() {
+                return Err(FourierCfgError::GridMismatch { pr, pc, p: comm.size() });
+            }
+            Box::new(Slab::new(comm, nmodes)?)
+        } else {
+            Box::new(Pencil2D::new(comm, pr, pc, nmodes)?)
+        };
+        let my_modes = decomp.my_modes();
+        let mpp = my_modes.len();
         let scheme = StifflyStable::new(cfg.scheme_order);
         let vel_tags = [BoundaryTag::Inflow, BoundaryTag::Wall, BoundaryTag::Side];
         let mut pressure = Vec::with_capacity(mpp);
@@ -183,9 +218,10 @@ impl NektarF {
                 ]
             })
             .collect();
-        NektarF {
+        Ok(NektarF {
             cfg,
             scheme,
+            decomp,
             my_modes,
             pressure,
             viscous,
@@ -203,7 +239,7 @@ impl NektarF {
                 .and_then(|v| AlltoallAlgo::parse(&v))
                 .unwrap_or(AlltoallAlgo::Pairwise),
             steps_taken: 0,
-        }
+        })
     }
 
     /// Selects the pipelined (`true`) or blocking (`false`) transpose,
@@ -307,203 +343,21 @@ impl NektarF {
         (gx, gy)
     }
 
-    /// Transposes mode-space fields to physical z-space columns at this
-    /// rank's chunk of quadrature points ("Global Exchange of the
-    /// velocity components" + "Nxy 1D inverse FFTs").
-    ///
-    /// Both paths exchange one field per alltoall so their `busy`
-    /// ledgers match message for message; with `overlap` on, all field
-    /// exchanges are posted up front ([`Comm::ialltoall`]) and each
-    /// field's inverse FFTs run while the later fields are still on the
-    /// wire, hiding their transfer time in `wtime`.
-    fn transpose_to_phys(
-        &mut self,
-        comm: &mut Comm,
-        fields: &[Vec<ModePlane>],
-    ) -> Vec<Vec<Vec<f64>>> {
-        let p = comm.size();
-        let nf = fields.len();
-        let mpp = self.my_modes.len();
-        let chunk = self.nq_total.div_ceil(p);
-        let nz = self.cfg.nz;
-        let fft = RealFft::new(nz);
-        // Per-field exchange block (the classic layout's nf·fblock total
-        // is split into nf exchanges of fblock each).
-        let fblock = mpp * 2 * chunk;
-        let mut sends: Vec<Vec<f64>> = Vec::with_capacity(nf);
-        for field in fields {
-            let mut send = vec![0.0; p * fblock];
-            for dest in 0..p {
-                let dlo = (dest * chunk).min(self.nq_total);
-                let dhi = ((dest + 1) * chunk).min(self.nq_total);
-                for (mi, mp) in field.iter().enumerate() {
-                    let o = dest * fblock + mi * 2 * chunk;
-                    send[o..o + (dhi - dlo)].copy_from_slice(&mp.a[dlo..dhi]);
-                    send[o + chunk..o + chunk + (dhi - dlo)].copy_from_slice(&mp.b[dlo..dhi]);
-                }
-            }
-            sends.push(send);
-        }
-        self.recorder.comm(
-            Stage::NonLinear,
-            if self.overlap {
-                CommItem::AlltoallPipelined { block_bytes: 8 * nf * fblock, fields: nf }
-            } else {
-                CommItem::Alltoall { block_bytes: 8 * nf * fblock }
-            },
-        );
-        let me = comm.rank();
-        let lo = (me * chunk).min(self.nq_total);
-        let hi = ((me + 1) * chunk).min(self.nq_total);
-        let npts = hi - lo;
-        let mut out = vec![vec![vec![0.0; nz]; npts]; nf];
-        let mut spectrum = vec![Complex64::ZERO; fft.spectrum_len()];
-        let mut recv = vec![0.0; p * fblock];
-        fn unpack_field(
-            recv: &[f64],
-            field_out: &mut [Vec<f64>],
-            spectrum: &mut [Complex64],
-            fft: &RealFft,
-            (p, mpp, chunk, fblock, nz, npts): (usize, usize, usize, usize, usize, usize),
-        ) {
-            for pt in 0..npts {
-                for s in spectrum.iter_mut() {
-                    *s = Complex64::ZERO;
-                }
-                for src in 0..p {
-                    for mi in 0..mpp {
-                        let k = src * mpp + mi;
-                        let o = src * fblock + mi * 2 * chunk;
-                        let a = recv[o + pt];
-                        let b = recv[o + chunk + pt];
-                        spectrum[k] = if k == 0 {
-                            Complex64::new(a * nz as f64, 0.0)
-                        } else {
-                            Complex64::new(a * nz as f64 / 2.0, -b * nz as f64 / 2.0)
-                        };
-                    }
-                }
-                fft.inverse(spectrum, &mut field_out[pt]);
-            }
-        }
-        let dims = (p, mpp, chunk, fblock, nz, npts);
-        if self.overlap {
-            let handles: Vec<AlltoallHandle> =
-                sends.iter().map(|s| comm.ialltoall(s, fblock)).collect();
-            for (fi, h) in handles.into_iter().enumerate() {
-                comm.alltoall_finish(h, &mut recv);
-                unpack_field(&recv, &mut out[fi], &mut spectrum, &fft, dims);
-                comm.advance(fft_virtual_secs(nz, npts));
-                self.recorder
-                    .work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
-            }
-        } else {
-            for (fi, send) in sends.iter().enumerate() {
-                comm.alltoall_with(self.a2a_algo, send, fblock, &mut recv);
-                unpack_field(&recv, &mut out[fi], &mut spectrum, &fft, dims);
-                comm.advance(fft_virtual_secs(nz, npts));
-                self.recorder
-                    .work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
-            }
-        }
-        out
+    /// The decomposition's short name ("slab" / "pencil").
+    pub fn decomp_name(&self) -> &'static str {
+        self.decomp.name()
     }
 
-    /// Transposes physical z-space fields back to mode space ("Nxy 1D
-    /// FFTs" + "Global Exchange of the non-linear components").
-    ///
-    /// Mirror of [`Self::transpose_to_phys`]: one exchange per field in
-    /// both paths. With `overlap` on, each field's exchange is posted as
-    /// soon as its forward FFTs finish, so the wire time of field `i`
-    /// hides under the FFT work of fields `i+1..`.
-    fn transpose_to_modes(
-        &mut self,
-        comm: &mut Comm,
-        phys: &[Vec<Vec<f64>>],
-    ) -> Vec<Vec<ModePlane>> {
-        let p = comm.size();
-        let nf = phys.len();
-        let mpp = self.my_modes.len();
-        let chunk = self.nq_total.div_ceil(p);
-        let nz = self.cfg.nz;
-        let fft = RealFft::new(nz);
-        let npts = phys[0].len();
-        let fblock = mpp * 2 * chunk;
-        let nq_total = self.nq_total;
-        let mut spectrum = vec![Complex64::ZERO; fft.spectrum_len()];
-        let pack_field = |fi: usize, spectrum: &mut Vec<Complex64>| -> Vec<f64> {
-            let mut send = vec![0.0; p * fblock];
-            for pt in 0..npts {
-                fft.forward(&phys[fi][pt], spectrum);
-                for dest in 0..p {
-                    for mi in 0..mpp {
-                        let k = dest * mpp + mi;
-                        let (a, b) = if k == 0 {
-                            (spectrum[0].re / nz as f64, 0.0)
-                        } else {
-                            (2.0 * spectrum[k].re / nz as f64, -2.0 * spectrum[k].im / nz as f64)
-                        };
-                        let o = dest * fblock + mi * 2 * chunk;
-                        send[o + pt] = a;
-                        send[o + chunk + pt] = b;
-                    }
-                }
-            }
-            send
-        };
-        self.recorder.comm(
-            Stage::NonLinear,
-            if self.overlap {
-                CommItem::AlltoallPipelined { block_bytes: 8 * nf * fblock, fields: nf }
-            } else {
-                CommItem::Alltoall { block_bytes: 8 * nf * fblock }
-            },
-        );
-        let mut out = vec![
-            vec![
-                ModePlane { a: vec![0.0; self.nq_total], b: vec![0.0; self.nq_total] };
-                mpp
-            ];
-            nf
-        ];
-        let mut recv = vec![0.0; p * fblock];
-        let unpack_field = |fi: usize, recv: &[f64], out: &mut Vec<Vec<ModePlane>>| {
-            for src in 0..p {
-                let plo = (src * chunk).min(nq_total);
-                let phi = ((src + 1) * chunk).min(nq_total);
-                for mi in 0..mpp {
-                    let o = src * fblock + mi * 2 * chunk;
-                    for (pt, gq) in (plo..phi).enumerate() {
-                        out[fi][mi].a[gq] = recv[o + pt];
-                        out[fi][mi].b[gq] = recv[o + chunk + pt];
-                    }
-                }
-            }
-        };
-        if self.overlap {
-            let mut handles = Vec::with_capacity(nf);
-            for fi in 0..nf {
-                let send = pack_field(fi, &mut spectrum);
-                comm.advance(fft_virtual_secs(nz, npts));
-                self.recorder
-                    .work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
-                handles.push(comm.ialltoall(&send, fblock));
-            }
-            for (fi, h) in handles.into_iter().enumerate() {
-                comm.alltoall_finish(h, &mut recv);
-                unpack_field(fi, &recv, &mut out);
-            }
-        } else {
-            for fi in 0..nf {
-                let send = pack_field(fi, &mut spectrum);
-                comm.advance(fft_virtual_secs(nz, npts));
-                self.recorder
-                    .work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
-                comm.alltoall_with(self.a2a_algo, &send, fblock, &mut recv);
-                unpack_field(fi, &recv, &mut out);
-            }
-        }
-        out
+    /// `(rows, cols)` of the process grid (slab: `(P, 1)`).
+    pub fn grid(&self) -> (usize, usize) {
+        self.decomp.grid()
+    }
+
+    /// True on the one rank per mode block whose diagnostics count
+    /// (pencil grids replicate modes across `pc` columns; summing every
+    /// rank's contribution would inflate mode sums `pc`-fold).
+    pub fn is_primary(&self) -> bool {
+        self.decomp.is_primary()
     }
 
     /// Advances one time step (collective). Returns this step's stage
@@ -565,7 +419,14 @@ impl NektarF {
                 mode_fields[9 + c].push(ModePlane { a: dza, b: dzb });
             }
         }
-        let phys = self.transpose_to_phys(comm, &mode_fields);
+        let mut ctx = TransposeCtx {
+            nz: self.cfg.nz,
+            nq_total: self.nq_total,
+            overlap: self.overlap,
+            algo: self.a2a_algo,
+            recorder: &mut self.recorder,
+        };
+        let phys = self.decomp.to_phys(comm, &mut ctx, &mode_fields);
         let npts = phys[0].len();
         let nz = self.cfg.nz;
         let mut nl = vec![vec![vec![0.0; nz]; npts]; 3];
@@ -589,7 +450,14 @@ impl NektarF {
                 ws: 8 * 15 * (npts * nz).max(1),
             },
         );
-        let nl_modes = self.transpose_to_modes(comm, &nl);
+        let mut ctx = TransposeCtx {
+            nz: self.cfg.nz,
+            nq_total: self.nq_total,
+            overlap: self.overlap,
+            algo: self.a2a_algo,
+            recorder: &mut self.recorder,
+        };
+        let nl_modes = self.decomp.to_modes(comm, &mut ctx, &nl);
         let mut nonlin: Vec<[ModePlane; 3]> = Vec::with_capacity(mpp);
         for mi in 0..mpp {
             nonlin.push([
@@ -826,9 +694,12 @@ impl NektarF {
     }
 
     /// Total kinetic energy ½∫|u|² over the 3-D domain (collective).
+    /// Only primary ranks contribute — pencil grids replicate each mode
+    /// block across `pc` columns (see [`NektarF::is_primary`]).
     pub fn kinetic_energy(&mut self, comm: &mut Comm) -> f64 {
         let mut local = 0.0;
-        for mi in 0..self.my_modes.len() {
+        let owned = if self.is_primary() { self.my_modes.len() } else { 0 };
+        for mi in 0..owned {
             let k = self.my_modes.start + mi;
             let prob = &self.viscous[mi];
             for c in 0..3 {

@@ -10,7 +10,9 @@
 //! * [`fourier`] — *NekTar-F*: Fourier × spectral/hp parallel solver
 //!   (Table 2, Figures 13–14). One rank per group of Fourier planes;
 //!   the nonlinear step transposes with `MPI_Alltoall` exactly as the
-//!   paper describes.
+//!   paper describes. The transpose itself lives behind the [`decomp`]
+//!   layer: the paper's 1-D slab, or a 2-D pencil process grid whose
+//!   row/column sub-communicator exchanges scale past P = nz.
 //! * [`hex3d`] + [`ale`] — *NekTar-ALE*: fully 3-D hexahedral spectral/hp
 //!   discretisation with element-based domain decomposition
 //!   (nkt-partition), gather-scatter halo exchange (nkt-gs), diagonally
@@ -25,6 +27,7 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::too_many_arguments)]
 pub mod ale;
+pub mod decomp;
 pub mod fourier;
 pub mod hex3d;
 pub mod opstream;

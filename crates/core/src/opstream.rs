@@ -70,6 +70,30 @@ pub enum CommItem {
         /// Number of per-field exchanges the transfer is split into.
         fields: usize,
     },
+    /// The two-stage pencil transpose of a `pr × pc` process grid
+    /// (DESIGN.md §13): a column-communicator alltoall (groups of `pr`,
+    /// one per grid column, all columns concurrent on the fabric)
+    /// followed by a row-communicator alltoall (groups of `pc`, one per
+    /// row). `row_block_bytes = 0` means the row stage degenerates — the
+    /// forward transpose needs no row exchange because modes are
+    /// replicated within a row.
+    AlltoallPencil {
+        /// Total per-pair bytes of the column exchange (all fields).
+        col_block_bytes: usize,
+        /// Total per-pair bytes of the row exchange (all fields; 0 = no
+        /// row stage).
+        row_block_bytes: usize,
+        /// Process-grid rows (mode-owning groups).
+        pr: usize,
+        /// Process-grid columns (replicas per mode block).
+        pc: usize,
+        /// Number of per-field exchanges the transfer is split into.
+        fields: usize,
+        /// Pipelined per field like [`CommItem::AlltoallPipelined`]:
+        /// replay may hide `(fields-1)/fields` of the wall time behind
+        /// same-stage FFT work.
+        pipelined: bool,
+    },
     /// Global reduction of `bytes` payload.
     Allreduce {
         /// Payload size in bytes.
@@ -125,13 +149,19 @@ impl OpRecording {
             .sum()
     }
 
-    /// Number of Alltoall transposes recorded (blocking or pipelined —
-    /// a pipelined transpose counts once, not per field).
+    /// Number of Alltoall transposes recorded (blocking, pipelined, or
+    /// two-stage pencil — one transpose counts once, not per field or
+    /// per stage).
     pub fn alltoall_count(&self) -> usize {
         self.comm
             .iter()
             .filter(|(_, c)| {
-                matches!(c, CommItem::Alltoall { .. } | CommItem::AlltoallPipelined { .. })
+                matches!(
+                    c,
+                    CommItem::Alltoall { .. }
+                        | CommItem::AlltoallPipelined { .. }
+                        | CommItem::AlltoallPencil { .. }
+                )
             })
             .count()
     }
@@ -202,7 +232,18 @@ mod tests {
             Stage::NonLinear,
             CommItem::AlltoallPipelined { block_bytes: 4096, fields: 12 },
         );
-        assert_eq!(r.take().unwrap().alltoall_count(), 2);
+        r.comm(
+            Stage::NonLinear,
+            CommItem::AlltoallPencil {
+                col_block_bytes: 4096,
+                row_block_bytes: 8192,
+                pr: 4,
+                pc: 2,
+                fields: 3,
+                pipelined: true,
+            },
+        );
+        assert_eq!(r.take().unwrap().alltoall_count(), 3);
     }
 
     #[test]

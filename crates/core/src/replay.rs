@@ -98,6 +98,51 @@ pub fn comm_time(item: &CommItem, net: &ClusterNetwork, p: usize) -> (f64, f64) 
             );
             (c * nf as f64, w * nf as f64)
         }
+        CommItem::AlltoallPencil { col_block_bytes, row_block_bytes, pr, pc, fields, pipelined } => {
+            // Two-stage pencil transpose on a pr × pc process grid with
+            // world rank = row * pc + col. The column stage runs one
+            // alltoall per grid column (groups of pr) — all pc columns
+            // concurrently on the fabric, so each round's pair list spans
+            // every column and `net.round_time` sees the full contention.
+            // The row stage is symmetric (groups of pc, pr rows
+            // concurrent). When pipelined, both stages split per field
+            // like `AlltoallPipelined`; the overlap credit is applied by
+            // `replay`.
+            let nf = if pipelined { fields.max(1) } else { 1 };
+            let stage = |grp: usize, nsib: usize, block: usize, col_stage: bool| -> (f64, f64) {
+                if grp <= 1 || block == 0 {
+                    return (0.0, 0.0);
+                }
+                let mut wall = 0.0;
+                let mut cpu = 0.0;
+                for step in 1..grp {
+                    let mut pairs = Vec::new();
+                    for sib in 0..nsib {
+                        for i in 0..grp {
+                            let j =
+                                if grp.is_power_of_two() { i ^ step } else { (i + step) % grp };
+                            if grp.is_power_of_two() && i >= j {
+                                continue;
+                            }
+                            // col stage: i, j index rows within column
+                            // `sib`; row stage: within row `sib`.
+                            let pair = if col_stage {
+                                (i * nsib + sib, j * nsib + sib)
+                            } else {
+                                (sib * grp + i, sib * grp + j)
+                            };
+                            pairs.push(pair);
+                        }
+                    }
+                    wall += net.round_time(&pairs, block);
+                    cpu += 2.0 * net.inter.overhead_us * 1e-6;
+                }
+                (cpu, wall)
+            };
+            let (cc, cw) = stage(pr, pc, col_block_bytes.div_ceil(nf), true);
+            let (rc, rw) = stage(pc, pr, row_block_bytes.div_ceil(nf), false);
+            ((cc + rc) * nf as f64, (cw + rw) * nf as f64)
+        }
         CommItem::Allreduce { bytes } => {
             if p <= 1 {
                 return (0.0, 0.0);
@@ -144,9 +189,13 @@ pub fn replay(rec: &OpRecording, machine: &Machine, net: &ClusterNetwork, p: usi
         let (c, w) = comm_time(item, net, p);
         out.cpu.add(*stage, c);
         out.wall.add(*stage, w);
-        if let CommItem::AlltoallPipelined { fields, .. } = item {
-            let nf = (*fields).max(1) as f64;
-            hideable[stage.index()] += w * (nf - 1.0) / nf;
+        match item {
+            CommItem::AlltoallPipelined { fields, .. }
+            | CommItem::AlltoallPencil { fields, pipelined: true, .. } => {
+                let nf = (*fields).max(1) as f64;
+                hideable[stage.index()] += w * (nf - 1.0) / nf;
+            }
+            _ => {}
         }
     }
     for (i, _) in Stage::ALL.iter().enumerate() {
@@ -278,6 +327,84 @@ mod tests {
         // CPU is honest: the pipelined split pays *more* protocol
         // overhead (one per-round charge per field), never less.
         assert!(pipelined.cpu_total() >= blocking.cpu_total());
+    }
+
+    #[test]
+    fn pencil_with_one_column_matches_slab_alltoall() {
+        // pr × 1 grid: the column stage is exactly the slab exchange and
+        // the row stage degenerates.
+        let net = cluster(NetId::RoadRunnerMyr);
+        for &p in &[4usize, 8, 6] {
+            let slab = comm_time(&CommItem::Alltoall { block_bytes: 65536 }, &net, p);
+            let pencil = comm_time(
+                &CommItem::AlltoallPencil {
+                    col_block_bytes: 65536,
+                    row_block_bytes: 0,
+                    pr: p,
+                    pc: 1,
+                    fields: 3,
+                    pipelined: false,
+                },
+                &net,
+                p,
+            );
+            assert_eq!(slab, pencil, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn pencil_row_stage_adds_cost_and_pipelining_earns_credit() {
+        let net = cluster(NetId::RoadRunnerMyr);
+        let col_only = comm_time(
+            &CommItem::AlltoallPencil {
+                col_block_bytes: 65536,
+                row_block_bytes: 0,
+                pr: 4,
+                pc: 4,
+                fields: 3,
+                pipelined: false,
+            },
+            &net,
+            16,
+        );
+        let both = comm_time(
+            &CommItem::AlltoallPencil {
+                col_block_bytes: 65536,
+                row_block_bytes: 65536,
+                pr: 4,
+                pc: 4,
+                fields: 3,
+                pipelined: false,
+            },
+            &net,
+            16,
+        );
+        assert!(both.1 > col_only.1);
+        assert!(both.0 > col_only.0);
+
+        // Pipelined pencil transposes hide wire time behind same-stage
+        // FFT work, exactly like the slab pipeline.
+        let mk = |pipelined: bool| {
+            let mut r = OpRecording::new();
+            r.work(Stage::NonLinear, WorkItem::FftBatch { len: 64, batch: 20_000 });
+            r.comm(
+                Stage::NonLinear,
+                CommItem::AlltoallPencil {
+                    col_block_bytes: 12 * 65536,
+                    row_block_bytes: 12 * 65536,
+                    pr: 4,
+                    pc: 4,
+                    fields: 12,
+                    pipelined,
+                },
+            );
+            r
+        };
+        let m = machine(MachineId::Muses);
+        let blocking = replay(&mk(false), &m, &net, 16);
+        let pipelined = replay(&mk(true), &m, &net, 16);
+        assert!(pipelined.wall_total() < blocking.wall_total());
+        assert!(pipelined.wall_total() >= pipelined.cpu_total() - 1e-15);
     }
 
     #[test]

@@ -28,8 +28,12 @@ pub fn global_min_max_mean(comm: &mut Comm, local: &[f64]) -> (f64, f64, f64) {
 pub fn spanwise_energy_spectrum(solver: &mut NektarF, comm: &mut Comm) -> Vec<f64> {
     let nmodes = solver.cfg.nz / 2;
     let mut spec = vec![0.0; nmodes];
-    for (mi, k) in solver.my_modes.clone().enumerate() {
-        spec[k] = solver.mode_energy(mi);
+    // Pencil grids replicate each mode block over the grid's columns:
+    // only the primary replica contributes, or E_k inflates pc-fold.
+    if solver.is_primary() {
+        for (mi, k) in solver.my_modes.clone().enumerate() {
+            spec[k] = solver.mode_energy(mi);
+        }
     }
     comm.allreduce(&mut spec, ReduceOp::Sum);
     spec

@@ -140,12 +140,18 @@ pub struct FourierShape {
     pub ndof: usize,
     /// System semi-bandwidth.
     pub kd: usize,
-    /// Fourier modes owned per rank.
+    /// Fourier modes owned per mode-owning rank (slab: per rank;
+    /// pencil: per grid row, replicated over the row's columns).
     pub modes_per_rank: usize,
     /// Total z-planes (2 × total modes).
     pub nz: usize,
-    /// Rank count.
+    /// Rank count (pencil: `pr × pc`).
     pub p: usize,
+    /// Process-grid columns: 1 = the paper's slab decomposition (one
+    /// world alltoall per transpose); > 1 = the 2-D pencil grid with
+    /// `pr = p / pc` rows and two-stage sub-communicator transposes
+    /// (DESIGN.md §13), which admits `p` beyond the mode count.
+    pub pc: usize,
     /// Splitting depth.
     pub j: usize,
     /// Interior modes per element for the statically-condensed solve
@@ -168,19 +174,46 @@ pub fn fourier_step_workload(s: &FourierShape) -> OpRecording {
     for _ in 0..6 * mpp * s.nelems {
         rec.work(Stage::NonLinear, WorkItem::Gemm { m: s.nq, n: 2, k: s.nm });
     }
+    let pc = s.pc.max(1);
+    let pr = s.p / pc;
     let chunk = s.nq_total.div_ceil(s.p);
     let block_out = 12 * mpp * 2 * chunk;
     // Pack the 12-field send buffer and unpack the receive buffer: pure
     // data movement, but at paper scale it is tens of MB per step.
-    rec.work(
-        Stage::NonLinear,
-        WorkItem::Stream {
-            flops: 0.0,
-            bytes: 2.0 * 2.0 * (s.p * block_out * 8) as f64,
-            ws: s.p * block_out * 8,
-        },
-    );
-    rec.comm(Stage::NonLinear, CommItem::Alltoall { block_bytes: 8 * block_out });
+    // Slab exchanges with all p ranks; the pencil's forward transpose
+    // only with its pr column peers (no row stage — modes replicate
+    // within rows).
+    if pc <= 1 {
+        rec.work(
+            Stage::NonLinear,
+            WorkItem::Stream {
+                flops: 0.0,
+                bytes: 2.0 * 2.0 * (s.p * block_out * 8) as f64,
+                ws: s.p * block_out * 8,
+            },
+        );
+        rec.comm(Stage::NonLinear, CommItem::Alltoall { block_bytes: 8 * block_out });
+    } else {
+        rec.work(
+            Stage::NonLinear,
+            WorkItem::Stream {
+                flops: 0.0,
+                bytes: 2.0 * 2.0 * (pr * block_out * 8) as f64,
+                ws: pr * block_out * 8,
+            },
+        );
+        rec.comm(
+            Stage::NonLinear,
+            CommItem::AlltoallPencil {
+                col_block_bytes: 8 * block_out,
+                row_block_bytes: 0,
+                pr,
+                pc,
+                fields: 12,
+                pipelined: false,
+            },
+        );
+    }
     let npts = chunk;
     for _ in 0..12 {
         rec.work(Stage::NonLinear, WorkItem::FftBatch { len: s.nz, batch: npts });
@@ -197,15 +230,39 @@ pub fn fourier_step_workload(s: &FourierShape) -> OpRecording {
         rec.work(Stage::NonLinear, WorkItem::FftBatch { len: s.nz, batch: npts });
     }
     let block_back = 3 * mpp * 2 * chunk;
-    rec.work(
-        Stage::NonLinear,
-        WorkItem::Stream {
-            flops: 0.0,
-            bytes: 2.0 * 2.0 * (s.p * block_back * 8) as f64,
-            ws: s.p * block_back * 8,
-        },
-    );
-    rec.comm(Stage::NonLinear, CommItem::Alltoall { block_bytes: 8 * block_back });
+    if pc <= 1 {
+        rec.work(
+            Stage::NonLinear,
+            WorkItem::Stream {
+                flops: 0.0,
+                bytes: 2.0 * 2.0 * (s.p * block_back * 8) as f64,
+                ws: s.p * block_back * 8,
+            },
+        );
+        rec.comm(Stage::NonLinear, CommItem::Alltoall { block_bytes: 8 * block_back });
+    } else {
+        // Backward pencil transpose: column scatter, then the row-stage
+        // allgather whose per-pair block is the whole pr-block bundle.
+        rec.work(
+            Stage::NonLinear,
+            WorkItem::Stream {
+                flops: 0.0,
+                bytes: 2.0 * 2.0 * ((pr + pc * pr) * block_back * 8) as f64,
+                ws: pc * pr * block_back * 8,
+            },
+        );
+        rec.comm(
+            Stage::NonLinear,
+            CommItem::AlltoallPencil {
+                col_block_bytes: 8 * block_back,
+                row_block_bytes: 8 * pr * block_back,
+                pr,
+                pc,
+                fields: 3,
+                pipelined: false,
+            },
+        );
+    }
     // Stage 3.
     rec.work(
         Stage::StifflyStable,
@@ -452,12 +509,18 @@ mod tests {
             modes_per_rank: 1,
             nz: 8,
             p: 4,
+            pc: 1,
             j: 2,
             nm_interior: 0,
         };
         let rec = fourier_step_workload(&shape);
         assert_eq!(rec.alltoall_count(), 2);
         assert!(rec.total_flops() > 0.0);
+        // A pencil grid of the same total rank count still records two
+        // transposes (each a two-stage exchange), with unchanged flops.
+        let pencil = fourier_step_workload(&FourierShape { pc: 2, ..shape });
+        assert_eq!(pencil.alltoall_count(), 2);
+        assert_eq!(pencil.total_flops(), rec.total_flops());
     }
 
     #[test]

@@ -4,17 +4,59 @@
 //! paper identifies as the application bottleneck ("MPI_Alltoall is the
 //! most communication intensive and expensive, straining the networks to
 //! their limit"); the ablation bench compares them.
+//!
+//! Every algorithm body is written against a [`Grp`] — a view that maps
+//! *group* ranks to world ranks — so the same implementation serves both
+//! the world and the row/column [`crate::subcomm::SubComm`]s of a 2-D
+//! process grid (DESIGN.md §13). For the world the map is the identity
+//! and `tag_base = 0`, keeping world-collective wire traffic
+//! byte-identical to the pre-split implementation.
 
 use crate::comm::{Comm, Tag};
 use crate::request::Request;
 
 /// Tags reserved for collectives (top bits set, out of user range).
-const TAG_BARRIER: Tag = 1 << 62;
-const TAG_REDUCE: Tag = (1 << 62) + (1 << 20);
-const TAG_BCAST: Tag = (1 << 62) + (2 << 20);
-const TAG_GATHER: Tag = (1 << 62) + (3 << 20);
-const TAG_A2A: Tag = (1 << 62) + (4 << 20);
-const TAG_IA2A: Tag = (1 << 62) + (5 << 20);
+pub(crate) const TAG_BARRIER: Tag = 1 << 62;
+pub(crate) const TAG_REDUCE: Tag = (1 << 62) + (1 << 20);
+pub(crate) const TAG_BCAST: Tag = (1 << 62) + (2 << 20);
+pub(crate) const TAG_GATHER: Tag = (1 << 62) + (3 << 20);
+pub(crate) const TAG_A2A: Tag = (1 << 62) + (4 << 20);
+pub(crate) const TAG_IA2A: Tag = (1 << 62) + (5 << 20);
+
+/// A collective's view of the participating ranks: the whole world or a
+/// [`crate::subcomm::SubComm`] subset. Algorithms address peers by group
+/// rank and translate to world ranks only at the send/recv boundary.
+/// Sub-communicator collectives add `tag_base` (bit 63 plus the split
+/// generation) to every wire tag, so concurrent collectives on sibling
+/// sub-communicators and on the world can never alias.
+#[derive(Clone, Copy)]
+pub(crate) struct Grp<'a> {
+    /// World ranks in group-rank order; `None` means the identity map.
+    pub(crate) ranks: Option<&'a [usize]>,
+    /// Calling rank's group rank.
+    pub(crate) me: usize,
+    /// Group size.
+    pub(crate) p: usize,
+    /// Added to every collective tag; 0 for the world.
+    pub(crate) tag_base: Tag,
+}
+
+impl Grp<'_> {
+    #[inline]
+    pub(crate) fn world_of(&self, g: usize) -> usize {
+        match self.ranks {
+            Some(v) => v[g],
+            None => g,
+        }
+    }
+
+    fn grp_of_world(&self, w: usize) -> usize {
+        match self.ranks {
+            Some(v) => v.iter().position(|&x| x == w).expect("sender is not a group member"),
+            None => w,
+        }
+    }
+}
 
 /// Reduction operator for [`Comm::allreduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +70,7 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
-    fn apply(self, acc: &mut [f64], other: &[f64]) {
+    pub(crate) fn apply(self, acc: &mut [f64], other: &[f64]) {
         for (a, b) in acc.iter_mut().zip(other) {
             *a = match self {
                 ReduceOp::Sum => *a + b,
@@ -39,17 +81,25 @@ impl ReduceOp {
     }
 }
 
-/// An in-flight nonblocking alltoall posted by [`Comm::ialltoall`];
-/// complete it with [`Comm::alltoall_finish`].
+/// An in-flight nonblocking alltoall posted by [`Comm::ialltoall`] or
+/// [`crate::subcomm::SubComm::ialltoall`]; complete it with
+/// [`Comm::alltoall_finish`].
 pub struct AlltoallHandle {
     /// Receive requests, one per partner, in posting (= waiting) order.
     reqs: Vec<Request>,
-    /// Source rank matching each request.
+    /// Destination block index (the source's *group* rank) per request.
     partners: Vec<usize>,
     /// This rank's own block, copied at post time so the caller may
     /// reuse the send buffer immediately.
     own: Vec<f64>,
+    /// Block index where `own` lands (this rank's group rank).
+    own_idx: usize,
     block: usize,
+    /// Profiler op name for the completion wait (world: `ialltoall`;
+    /// sub-communicators: `ialltoall.<label>`).
+    op: &'static str,
+    /// Invocation counter bumped by the completion wait.
+    wait_counter: &'static str,
 }
 
 impl AlltoallHandle {
@@ -92,6 +142,13 @@ impl AlltoallAlgo {
 }
 
 impl Comm {
+    /// The trivial [`Grp`]: the world itself (identity rank map, tag
+    /// base 0, so world collectives are wire-identical to the pre-`Grp`
+    /// implementation).
+    pub(crate) fn world_grp(&self) -> Grp<'static> {
+        Grp { ranks: None, me: self.rank(), p: self.size(), tag_base: 0 }
+    }
+
     /// Runs one collective body under its trace span (virtual-time
     /// endpoints from [`Comm::wtime`]), bumps its invocation counter, and
     /// labels this rank's recv blocking sites with the collective's name
@@ -121,22 +178,23 @@ impl Comm {
     /// On return every rank's clock is ≥ every other rank's clock at
     /// entry.
     pub fn barrier(&mut self) {
-        self.traced("barrier", "mpi.coll.barrier", Self::barrier_impl)
+        let g = self.world_grp();
+        self.traced("barrier", "mpi.coll.barrier", |c| c.grp_barrier(g))
     }
 
-    fn barrier_impl(&mut self) {
-        let p = self.size();
+    pub(crate) fn grp_barrier(&mut self, g: Grp<'_>) {
+        let p = g.p;
         if p == 1 {
             return;
         }
         let mut k = 0u32;
         let mut dist = 1usize;
         while dist < p {
-            let dest = (self.rank() + dist) % p;
-            let src = (self.rank() + p - dist % p) % p;
-            let tag = TAG_BARRIER + k as Tag;
-            self.send(dest, tag, &[]);
-            self.recv(Some(src), Some(tag));
+            let dest = (g.me + dist) % p;
+            let src = (g.me + p - dist % p) % p;
+            let tag = g.tag_base + TAG_BARRIER + k as Tag;
+            self.send(g.world_of(dest), tag, &[]);
+            self.recv(Some(g.world_of(src)), Some(tag));
             dist <<= 1;
             k += 1;
         }
@@ -146,36 +204,38 @@ impl Comm {
     /// reduction of all ranks' `data`. Binomial reduce-to-0 then binomial
     /// broadcast.
     pub fn allreduce(&mut self, data: &mut [f64], op: ReduceOp) {
+        let g = self.world_grp();
         self.traced("allreduce", "mpi.coll.allreduce", |c| {
             let root = 0;
-            c.reduce_to_impl(root, data, op);
-            c.bcast_impl(root, data);
+            c.grp_reduce_to(g, root, data, op);
+            c.grp_bcast(g, root, data);
         })
     }
 
     /// Reduces into `data` on `root` (other ranks' buffers are left with
     /// partial reductions, as in MPI_Reduce).
     pub fn reduce_to(&mut self, root: usize, data: &mut [f64], op: ReduceOp) {
-        self.traced("reduce", "mpi.coll.reduce", |c| c.reduce_to_impl(root, data, op))
+        let g = self.world_grp();
+        self.traced("reduce", "mpi.coll.reduce", |c| c.grp_reduce_to(g, root, data, op))
     }
 
-    fn reduce_to_impl(&mut self, root: usize, data: &mut [f64], op: ReduceOp) {
-        let p = self.size();
+    pub(crate) fn grp_reduce_to(&mut self, g: Grp<'_>, root: usize, data: &mut [f64], op: ReduceOp) {
+        let p = g.p;
         if p == 1 {
             return;
         }
-        // Binomial tree rooted at `root`: operate on relative ranks.
-        let rel = (self.rank() + p - root) % p;
+        // Binomial tree rooted at `root`: operate on relative group ranks.
+        let rel = (g.me + p - root) % p;
         let mut mask = 1usize;
         while mask < p {
             if rel & mask != 0 {
                 // Send partial to the parent (this bit cleared) and stop.
                 let parent = ((rel & !mask) + root) % p;
-                self.send(parent, TAG_REDUCE, data);
+                self.send(g.world_of(parent), g.tag_base + TAG_REDUCE, data);
                 break;
             } else if (rel | mask) < p {
                 let child = ((rel | mask) + root) % p;
-                let msg = self.recv(Some(child), Some(TAG_REDUCE));
+                let msg = self.recv(Some(g.world_of(child)), Some(g.tag_base + TAG_REDUCE));
                 op.apply(data, &msg.data);
             }
             mask <<= 1;
@@ -184,15 +244,16 @@ impl Comm {
 
     /// Broadcasts `data` from `root` to all ranks (binomial tree).
     pub fn bcast(&mut self, root: usize, data: &mut [f64]) {
-        self.traced("bcast", "mpi.coll.bcast", |c| c.bcast_impl(root, data))
+        let g = self.world_grp();
+        self.traced("bcast", "mpi.coll.bcast", |c| c.grp_bcast(g, root, data))
     }
 
-    fn bcast_impl(&mut self, root: usize, data: &mut [f64]) {
-        let p = self.size();
+    pub(crate) fn grp_bcast(&mut self, g: Grp<'_>, root: usize, data: &mut [f64]) {
+        let p = g.p;
         if p == 1 {
             return;
         }
-        let rel = (self.rank() + p - root) % p;
+        let rel = (g.me + p - root) % p;
         // Find the highest power-of-two ≤ p.
         let mut top = 1usize;
         while top < p {
@@ -202,7 +263,7 @@ impl Comm {
         if rel != 0 {
             let parent_rel = rel & (rel - 1); // clear lowest set bit
             let parent = (parent_rel + root) % p;
-            let msg = self.recv(Some(parent), Some(TAG_BCAST));
+            let msg = self.recv(Some(g.world_of(parent)), Some(g.tag_base + TAG_BCAST));
             data.copy_from_slice(&msg.data);
         }
         // Children: rel + bit for bits below the lowest set bit of rel.
@@ -212,7 +273,7 @@ impl Comm {
             let child_rel = rel | bit;
             if child_rel < p && child_rel != rel {
                 let child = (child_rel + root) % p;
-                self.send(child, TAG_BCAST, data);
+                self.send(g.world_of(child), g.tag_base + TAG_BCAST, data);
             }
             bit >>= 1;
         }
@@ -221,20 +282,31 @@ impl Comm {
     /// Gathers each rank's `data` on `root`; returns `Some(rows)` on root
     /// (rows in rank order), `None` elsewhere.
     pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
-        self.traced("gather", "mpi.coll.gather", |c| c.gather_impl(root, data))
+        let g = self.world_grp();
+        self.traced("gather", "mpi.coll.gather", |c| c.grp_gather(g, root, data))
     }
 
-    fn gather_impl(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
-        if self.rank() == root {
-            let mut rows: Vec<Vec<f64>> = vec![Vec::new(); self.size()];
+    pub(crate) fn grp_gather(
+        &mut self,
+        g: Grp<'_>,
+        root: usize,
+        data: &[f64],
+    ) -> Option<Vec<Vec<f64>>> {
+        if g.me == root {
+            let mut rows: Vec<Vec<f64>> = vec![Vec::new(); g.p];
             rows[root] = data.to_vec();
-            for _ in 0..self.size() - 1 {
-                let msg = self.recv(None, Some(TAG_GATHER));
-                rows[msg.src] = msg.data;
+            // Receive in rank order, not any-source: the order the root
+            // absorbs arrivals drags its virtual clock, and a wildcard
+            // recv would take whichever message landed first in *host*
+            // order — nondeterministic virtual time (the eager buffers
+            // hold every message regardless, so no wall time is saved).
+            for src in (0..g.p).filter(|&s| s != root) {
+                let msg = self.recv(Some(g.world_of(src)), Some(g.tag_base + TAG_GATHER));
+                rows[src] = msg.data;
             }
             Some(rows)
         } else {
-            self.send(root, TAG_GATHER, data);
+            self.send(g.world_of(root), g.tag_base + TAG_GATHER, data);
             None
         }
     }
@@ -257,22 +329,24 @@ impl Comm {
         block: usize,
         recv: &mut [f64],
     ) {
+        let g = self.world_grp();
         self.traced("alltoall", "mpi.coll.alltoall", |c| {
-            c.alltoall_with_impl(algo, send, block, recv)
+            c.grp_alltoall_with(g, algo, send, block, recv)
         })
     }
 
-    fn alltoall_with_impl(
+    pub(crate) fn grp_alltoall_with(
         &mut self,
+        g: Grp<'_>,
         algo: AlltoallAlgo,
         send: &[f64],
         block: usize,
         recv: &mut [f64],
     ) {
-        let p = self.size();
+        let p = g.p;
         assert!(send.len() >= p * block, "alltoall: send buffer too short");
         assert!(recv.len() >= p * block, "alltoall: recv buffer too short");
-        let r = self.rank();
+        let r = g.me;
         // Own block never crosses the network.
         recv[r * block..(r + 1) * block].copy_from_slice(&send[r * block..(r + 1) * block]);
         if p == 1 {
@@ -283,15 +357,17 @@ impl Comm {
                 for step in 1..p {
                     let partner = r ^ step;
                     // Disjoint pairs this round: (i, i^step) for i < i^step.
-                    let pairs: Vec<(usize, usize)> =
-                        (0..p).filter(|&i| i < i ^ step).map(|i| (i, i ^ step)).collect();
+                    let pairs: Vec<(usize, usize)> = (0..p)
+                        .filter(|&i| i < i ^ step)
+                        .map(|i| (g.world_of(i), g.world_of(i ^ step)))
+                        .collect();
                     self.apply_round_contention(&pairs, 8 * block);
-                    let tag = TAG_A2A + step as Tag;
+                    let tag = g.tag_base + TAG_A2A + step as Tag;
                     let got = self.sendrecv(
-                        partner,
+                        g.world_of(partner),
                         tag,
                         &send[partner * block..(partner + 1) * block],
-                        partner,
+                        g.world_of(partner),
                         tag,
                     );
                     recv[partner * block..(partner + 1) * block].copy_from_slice(&got);
@@ -302,16 +378,17 @@ impl Comm {
                 for step in 1..p {
                     let dest = (r + step) % p;
                     let src = (r + p - step) % p;
-                    let pairs: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + step) % p)).collect();
+                    let pairs: Vec<(usize, usize)> =
+                        (0..p).map(|i| (g.world_of(i), g.world_of((i + step) % p))).collect();
                     self.apply_round_contention(&pairs, 8 * block);
-                    let tag = TAG_A2A + step as Tag;
-                    self.send(dest, tag, &send[dest * block..(dest + 1) * block]);
-                    let msg = self.recv(Some(src), Some(tag));
+                    let tag = g.tag_base + TAG_A2A + step as Tag;
+                    self.send(g.world_of(dest), tag, &send[dest * block..(dest + 1) * block]);
+                    let msg = self.recv(Some(g.world_of(src)), Some(tag));
                     recv[src * block..(src + 1) * block].copy_from_slice(&msg.data);
                     self.clear_contention();
                 }
             }
-            AlltoallAlgo::Bruck => self.alltoall_bruck(send, block, recv),
+            AlltoallAlgo::Bruck => self.grp_alltoall_bruck(g, send, block, recv),
         }
     }
 
@@ -331,64 +408,93 @@ impl Comm {
     /// # Panics
     /// Panics if `send` is shorter than `size() * block`.
     pub fn ialltoall(&mut self, send: &[f64], block: usize) -> AlltoallHandle {
-        let p = self.size();
-        assert!(send.len() >= p * block, "ialltoall: send buffer too short");
-        nkt_trace::counter_add("mpi.coll.ialltoall", 1);
-        let r = self.rank();
-        let own = send[r * block..(r + 1) * block].to_vec();
         let gen = self.ia2a_gen;
         self.ia2a_gen = (self.ia2a_gen + 1) % (1 << 20);
-        let tag = TAG_IA2A + gen;
+        let g = self.world_grp();
+        self.grp_ialltoall(
+            g,
+            TAG_IA2A + gen,
+            "ialltoall",
+            "mpi.coll.ialltoall",
+            "mpi.coll.ialltoall.wait",
+            send,
+            block,
+        )
+    }
+
+    pub(crate) fn grp_ialltoall(
+        &mut self,
+        g: Grp<'_>,
+        tag: Tag,
+        op: &'static str,
+        counter: &'static str,
+        wait_counter: &'static str,
+        send: &[f64],
+        block: usize,
+    ) -> AlltoallHandle {
+        let p = g.p;
+        assert!(send.len() >= p * block, "ialltoall: send buffer too short");
+        nkt_trace::counter_add(counter, 1);
+        let r = g.me;
+        let own = send[r * block..(r + 1) * block].to_vec();
         let mut reqs = Vec::with_capacity(p.saturating_sub(1));
         let mut partners = Vec::with_capacity(p.saturating_sub(1));
         if p > 1 {
+            // The posted isends carry the collective's name so the
+            // profiler attributes their spans to this op, not `p2p`.
+            let prev = self.op_label;
+            self.op_label = op;
             // Post every receive first (so arriving payloads bind
             // directly), then every send under the exchange derate.
             if p.is_power_of_two() {
                 for step in 1..p {
                     let partner = r ^ step;
-                    reqs.push(self.irecv(Some(partner), Some(tag)));
+                    reqs.push(self.irecv(Some(g.world_of(partner)), Some(tag)));
                     partners.push(partner);
                 }
                 let derate = self.network().exchange_derate(p, 8 * block);
                 self.set_contention(derate);
                 for step in 1..p {
                     let partner = r ^ step;
-                    self.isend(partner, tag, &send[partner * block..(partner + 1) * block]);
+                    self.isend(
+                        g.world_of(partner),
+                        tag,
+                        &send[partner * block..(partner + 1) * block],
+                    );
                 }
                 self.clear_contention();
             } else {
                 for step in 1..p {
                     let src = (r + p - step) % p;
-                    reqs.push(self.irecv(Some(src), Some(tag)));
+                    reqs.push(self.irecv(Some(g.world_of(src)), Some(tag)));
                     partners.push(src);
                 }
                 let derate = self.network().exchange_derate(p, 8 * block);
                 self.set_contention(derate);
                 for step in 1..p {
                     let dest = (r + step) % p;
-                    self.isend(dest, tag, &send[dest * block..(dest + 1) * block]);
+                    self.isend(g.world_of(dest), tag, &send[dest * block..(dest + 1) * block]);
                 }
                 self.clear_contention();
             }
+            self.op_label = prev;
         }
-        AlltoallHandle { reqs, partners, own, block }
+        AlltoallHandle { reqs, partners, own, own_idx: r, block, op, wait_counter }
     }
 
     /// Completes a posted [`Comm::ialltoall`], scattering the received
-    /// blocks into `recv` (block `i` from rank `i`). Waits partner by
-    /// partner in posting order, which keeps the virtual-time charges
+    /// blocks into `recv` (block `i` from group rank `i`). Waits partner
+    /// by partner in posting order, which keeps the virtual-time charges
     /// deterministic; interleave overlapped compute *before* this call.
     ///
     /// # Panics
-    /// Panics if `recv` is shorter than `size() * block`.
+    /// Panics if `recv` is shorter than `group size * block`.
     pub fn alltoall_finish(&mut self, h: AlltoallHandle, recv: &mut [f64]) {
-        let p = self.size();
         let block = h.block;
-        assert!(recv.len() >= p * block, "alltoall_finish: recv buffer too short");
-        let r = self.rank();
-        recv[r * block..(r + 1) * block].copy_from_slice(&h.own);
-        self.traced("ialltoall", "mpi.coll.ialltoall.wait", |c| {
+        let nblocks = h.reqs.len() + 1;
+        assert!(recv.len() >= nblocks * block, "alltoall_finish: recv buffer too short");
+        recv[h.own_idx * block..(h.own_idx + 1) * block].copy_from_slice(&h.own);
+        self.traced(h.op, h.wait_counter, |c| {
             for (req, &src) in h.reqs.iter().zip(&h.partners) {
                 let msg = c.wait(req);
                 recv[src * block..(src + 1) * block].copy_from_slice(&msg.data);
@@ -397,9 +503,9 @@ impl Comm {
     }
 
     /// Bruck's log-round alltoall.
-    fn alltoall_bruck(&mut self, send: &[f64], block: usize, recv: &mut [f64]) {
-        let p = self.size();
-        let r = self.rank();
+    fn grp_alltoall_bruck(&mut self, g: Grp<'_>, send: &[f64], block: usize, recv: &mut [f64]) {
+        let p = g.p;
+        let r = g.me;
         // Phase 1: local rotation — tmp[i] = send[(r + i) mod p].
         let mut tmp = vec![0.0f64; p * block];
         for i in 0..p {
@@ -419,11 +525,12 @@ impl Comm {
             for &i in &idxs {
                 payload.extend_from_slice(&tmp[i * block..(i + 1) * block]);
             }
-            let pairs: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + dist) % p)).collect();
+            let pairs: Vec<(usize, usize)> =
+                (0..p).map(|i| (g.world_of(i), g.world_of((i + dist) % p))).collect();
             self.apply_round_contention(&pairs, 8 * payload.len());
-            let tag = TAG_A2A + (1 << 16) + k as Tag;
-            self.send(dest, tag, &payload);
-            let msg = self.recv(Some(src), Some(tag));
+            let tag = g.tag_base + TAG_A2A + (1 << 16) + k as Tag;
+            self.send(g.world_of(dest), tag, &payload);
+            let msg = self.recv(Some(g.world_of(src)), Some(tag));
             self.clear_contention();
             for (j, &i) in idxs.iter().enumerate() {
                 tmp[i * block..(i + 1) * block]
@@ -459,6 +566,6 @@ impl Comm {
 #[cfg(test)]
 mod tests {
     // Collective behaviour is tested through the world harness in
-    // `world.rs` tests and the crate-level integration tests, where real
-    // rank threads exist.
+    // `world.rs` tests, the sub-communicator tests in `subcomm.rs`, and
+    // the crate-level integration tests, where real rank threads exist.
 }

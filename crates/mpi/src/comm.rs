@@ -135,6 +135,11 @@ pub struct Comm {
     /// collectives set this around their exchanges so blocking-site dumps
     /// name `allreduce`/`alltoall`/... instead of the generic `p2p`.
     pub(crate) op_label: &'static str,
+    /// Generation counter for [`Comm::split`]: splits are collective and
+    /// posted in the same order on every rank, so the counter agrees
+    /// globally and gives each split a disjoint sub-communicator tag
+    /// space.
+    pub(crate) split_gen: u64,
 }
 
 impl Comm {
@@ -171,6 +176,7 @@ impl Comm {
             blocked,
             recv_deadline,
             op_label: "p2p",
+            split_gen: 0,
         }
     }
 

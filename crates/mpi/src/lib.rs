@@ -28,6 +28,9 @@
 //! allreduce (recursive doubling + fallback), gather, three
 //! `MPI_Alltoall` algorithms ([`AlltoallAlgo`]) for the ablation bench,
 //! and a nonblocking [`Comm::ialltoall`] built on pairwise requests.
+//! [`Comm::split`] carves the world into [`SubComm`]s (MPI_Comm_split
+//! semantics) with their own rank/size, tag space, and collectives —
+//! the row/column communicators of a 2-D process grid.
 //!
 //! Downstream code should import through [`prelude`]:
 //!
@@ -40,6 +43,7 @@ pub mod comm;
 pub mod diag;
 pub mod error;
 pub mod request;
+pub mod subcomm;
 pub mod world;
 
 /// The one-line import surface: everything a rank program needs.
@@ -48,6 +52,7 @@ pub mod prelude {
     pub use crate::comm::{Comm, CommStats, Message, Tag};
     pub use crate::error::MpiError;
     pub use crate::request::{Request, SendRequest};
+    pub use crate::subcomm::SubComm;
     pub use crate::world::{World, WorldBuilder, WorldOpts};
 }
 
@@ -56,6 +61,5 @@ pub use comm::{Comm, CommStats, Message, Tag};
 pub use diag::{BlockSite, BlockTable};
 pub use error::MpiError;
 pub use request::{Request, SendRequest};
-#[allow(deprecated)]
-pub use world::{run, run_cfg};
+pub use subcomm::SubComm;
 pub use world::{World, WorldBuilder, WorldOpts};

@@ -14,8 +14,7 @@
 //! ```
 //!
 //! [`World::from_env`] is the same builder preseeded from the
-//! environment (`NKT_MPI_DEADLINE_MS`). The free functions [`run`] and
-//! [`run_cfg`] survive as thin deprecated shims.
+//! environment (`NKT_MPI_DEADLINE_MS`).
 
 use crate::comm::{Comm, Message};
 use crate::diag::BlockTable;
@@ -25,8 +24,8 @@ use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// World-level knobs (carried inside [`WorldBuilder`]; kept public for
-/// the deprecated [`run_cfg`] shim and for callers that store options).
+/// World-level knobs (carried inside [`WorldBuilder`] and public for
+/// callers that store options).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WorldOpts {
     /// Host-time cap on any single `recv`/`wait`. When a rank waits
@@ -97,8 +96,8 @@ impl WorldBuilder {
         self
     }
 
-    /// Replaces the option block wholesale (used by the deprecated
-    /// [`run_cfg`] shim; prefer the individual setters).
+    /// Replaces the option block wholesale (prefer the individual
+    /// setters).
     pub fn opts(mut self, opts: WorldOpts) -> Self {
         self.opts = opts;
         self
@@ -217,27 +216,6 @@ impl Drop for PoisonOnPanic {
     }
 }
 
-/// Runs `f` on `p` rank threads over the given network model and returns
-/// each rank's result in rank order.
-#[deprecated(note = "use World::from_env().ranks(p).net(net).run(f)")]
-pub fn run<R, F>(p: usize, net: ClusterNetwork, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(&mut Comm) -> R + Sync,
-{
-    World::from_env().ranks(p).net(net).run(f)
-}
-
-/// [`run`] with explicit [`WorldOpts`] instead of the environment.
-#[deprecated(note = "use World::builder().ranks(p).net(net).opts(opts).run(f)")]
-pub fn run_cfg<R, F>(p: usize, net: ClusterNetwork, opts: WorldOpts, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(&mut Comm) -> R + Sync,
-{
-    World::builder().ranks(p).net(net).opts(opts).run(f)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,16 +243,6 @@ mod tests {
             (c.rank(), v[0])
         });
         assert_eq!(out, vec![(0, 3.0)]);
-    }
-
-    #[test]
-    fn deprecated_shims_still_run() {
-        #[allow(deprecated)]
-        let out = super::run(2, testnet(), |c| c.rank());
-        assert_eq!(out, vec![0, 1]);
-        #[allow(deprecated)]
-        let out = super::run_cfg(2, testnet(), WorldOpts::default(), |c| c.size());
-        assert_eq!(out, vec![2, 2]);
     }
 
     #[test]

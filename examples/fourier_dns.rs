@@ -12,6 +12,12 @@
 //! With `NKT_PROF=1` each network's run is additionally profiled
 //! (MPI attribution, comm matrix, imbalance, critical path) and a
 //! deterministic `results/PROF_fourier_dns_<net>.json` is written.
+//!
+//! Knobs: `NKT_RANKS=<p>` (default 4), `NKT_NZ=<nz>` (default 8), and
+//! `NKT_GRID=PRxPC` to run the 2-D pencil decomposition instead of the
+//! slab — e.g. `NKT_RANKS=8 NKT_GRID=4x2` runs 8 ranks where the slab
+//! would need nz >= 16. Pencil runs suffix the profile name with the
+//! grid so slab baselines stay untouched.
 
 use nektar_repro::mesh::rect_quads;
 use nektar_repro::mpi::prelude::*;
@@ -31,13 +37,17 @@ fn main() {
     if nektar_repro::prof::enabled() {
         nektar_repro::prof::prepare();
     }
-    let p = 4;
+    let env_usize = |key: &str, default: usize| {
+        std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let p = env_usize("NKT_RANKS", 4);
+    let nz = env_usize("NKT_NZ", 8);
     let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, 3, 3);
     let cfg = FourierConfig {
         order: 4,
         dt: 1e-3,
         nu: 0.02,
-        nz: 8,
+        nz,
         lz: 2.0 * std::f64::consts::PI,
         scheme_order: 2,
     };
@@ -79,10 +89,17 @@ fn main() {
                 }
             }
             use nektar_repro::ckpt::Checkpointable;
-            (solver.kinetic_energy(c), solver.clock.clone(), c.busy(), c.wtime(), solver.state_hash())
+            (
+                solver.kinetic_energy(c),
+                solver.clock.clone(),
+                c.busy(),
+                c.wtime(),
+                solver.state_hash(),
+                (solver.decomp_name(), solver.grid()),
+            )
         });
-        let (energy, clock, busy, wall, hash) = &out[0];
-        println!("== {name}: {p} ranks, one Fourier mode per rank ==");
+        let (energy, clock, busy, wall, hash, (decomp, (pr, pc))) = &out[0];
+        println!("== {name}: {p} ranks, {decomp} decomposition ({pr}x{pc} grid) ==");
         println!("   kinetic energy after 3 steps: {energy:.5}");
         println!("   rank-0 CPU {busy:.4}s vs wall {wall:.4}s (difference = network idle)");
         // The FNV state hash is overlap-invariant: scripts/verify.sh
@@ -100,7 +117,11 @@ fn main() {
         );
         println!();
         if nektar_repro::prof::enabled() {
-            let run = format!("fourier_dns_{}", nektar_repro::prof::slug(name));
+            let mut run = format!("fourier_dns_{}", nektar_repro::prof::slug(name));
+            if *pc > 1 {
+                // Keep slab baselines separate from pencil profiles.
+                run.push_str(&format!("_grid{pr}x{pc}"));
+            }
             let threads = nektar_repro::trace::take_collected();
             let prof = nektar_repro::prof::Profile::build(&run, &threads);
             print!("{}", prof.report());

@@ -43,6 +43,26 @@ if [[ "$overlap_on" != "$overlap_off" ]]; then
     exit 1
 fi
 
+echo "== pencil smoke (2-D grid: bitwise slab equality, runs past P = nz/2) =="
+# A 4x2 pencil grid runs 8 ranks where the slab caps at P = nz/2 = 4;
+# pencil rank (r, c) must end with the same FNV state hash as slab rank
+# r (DESIGN.md §13) — the example prints rank 0's.
+slab4="$(NKT_RANKS=4 NKT_NZ=8 cargo run --release --offline --example fourier_dns | grep 'state hash')"
+pencil42="$(NKT_RANKS=8 NKT_NZ=8 NKT_GRID=4x2 cargo run --release --offline --example fourier_dns | grep 'state hash')"
+if [[ "$slab4" != "$pencil42" ]]; then
+    echo "FAIL: 4x2 pencil diverges from the 4-rank slab" >&2
+    echo "slab 4x1:   $slab4" >&2
+    echo "pencil 4x2: $pencil42" >&2
+    exit 1
+fi
+# An explicit PRx1 grid is the slab: NKT_GRID=8x1 must match no grid.
+slab8="$(NKT_RANKS=8 NKT_NZ=16 cargo run --release --offline --example fourier_dns | grep 'state hash')"
+grid81="$(NKT_RANKS=8 NKT_NZ=16 NKT_GRID=8x1 cargo run --release --offline --example fourier_dns | grep 'state hash')"
+if [[ "$slab8" != "$grid81" ]]; then
+    echo "FAIL: NKT_GRID=8x1 diverges from the default slab" >&2
+    exit 1
+fi
+
 echo "== checkpoint smoke (write -> corrupt -> detect -> fallback -> bitwise resume) =="
 # restart_dns runs the whole drill in-process: a 2-rank DNS checkpoints
 # epochs, a rank is killed and the run resumes bitwise; then a shard is
@@ -75,6 +95,18 @@ NKT_PROF=1 NKT_TRACE_DIR="$prof_a" \
 grep -q 'prof: wrote' "$prof_a/out.txt"
 NKT_PROF=1 NKT_TRACE_DIR="$prof_b" \
     cargo run --release --offline --example fourier_dns > /dev/null
+# Pencil profiles (grid-suffixed names): same determinism contract, and
+# the two-stage exchange must show up as distinct sub-communicator ops.
+NKT_PROF=1 NKT_TRACE_DIR="$prof_a" NKT_RANKS=8 NKT_NZ=8 NKT_GRID=4x2 \
+    cargo run --release --offline --example fourier_dns >> "$prof_a/out.txt"
+NKT_PROF=1 NKT_TRACE_DIR="$prof_b" NKT_RANKS=8 NKT_NZ=8 NKT_GRID=4x2 \
+    cargo run --release --offline --example fourier_dns > /dev/null
+for op in '"ialltoall.col"' '"ialltoall.row"'; do
+    if ! grep -q "$op" "$prof_a"/PROF_fourier_dns_roadrunner_myr_grid4x2.json; then
+        echo "FAIL: pencil profile is missing the $op sub-communicator op" >&2
+        exit 1
+    fi
+done
 ledger_fail="$(awk '/stage ledger max rel err/ { if ($7+0 > 1.0) print }' "$prof_a/out.txt")"
 if [[ -n "$ledger_fail" ]]; then
     echo "FAIL: profiler stage attribution disagrees with StageClock ledger by >1%" >&2
