@@ -292,6 +292,10 @@ fn restore_latest_inner(
                 nkt_trace::counter_add("ckpt.restore.shards", 1);
                 if fell_back {
                     nkt_trace::counter_add("ckpt.restore.fallbacks", 1);
+                    // A fallback means the newest epoch was torn or
+                    // corrupted — ship the post-mortem of what this rank
+                    // was doing around the failed epoch.
+                    nkt_trace::flight::dump_current(rank, "ckpt epoch fell back");
                 }
                 return Ok(RestoreInfo { epoch, step, fell_back });
             }
@@ -368,6 +372,7 @@ pub fn restore_latest_serial(
                     nkt_trace::counter_add("ckpt.restore.shards", 1);
                     if fell_back {
                         nkt_trace::counter_add("ckpt.restore.fallbacks", 1);
+                        nkt_trace::flight::dump_current(0, "ckpt epoch fell back");
                     }
                     return Ok(RestoreInfo { epoch, step, fell_back });
                 }

@@ -32,6 +32,7 @@ pub mod epoch;
 pub mod error;
 pub mod format;
 pub mod policy;
+pub mod tandem;
 pub mod traits;
 
 pub use codec::{Dec, Enc};
@@ -41,4 +42,5 @@ pub use epoch::{
 pub use error::CkptError;
 pub use format::{crc32, CkptFile, CkptWriter, FORMAT_VERSION, MAGIC};
 pub use policy::CkptConfig;
+pub use tandem::{Tandem, TandemMut};
 pub use traits::{Checkpointable, Fnv1a, CLOCK_SECTION};

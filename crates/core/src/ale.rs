@@ -685,12 +685,34 @@ impl NektarAle {
         cfg: &nkt_ckpt::CkptConfig,
     ) -> Result<nkt_ckpt::RestoreInfo, nkt_ckpt::CkptError> {
         let info = nkt_ckpt::restore_latest(comm, cfg, self)?;
+        self.rebuild_after_restore(comm);
+        Ok(info)
+    }
+
+    /// [`NektarAle::restore_ckpt`] with a rider (e.g. the `nkt-stats`
+    /// recorder) restored from the same tandem shard — see
+    /// [`nkt_ckpt::TandemMut`]. A shard written without the rider's
+    /// sections resets the rider instead of erroring.
+    pub fn restore_ckpt_with(
+        &mut self,
+        comm: &mut Comm,
+        cfg: &nkt_ckpt::CkptConfig,
+        rider: &mut dyn nkt_ckpt::Checkpointable,
+    ) -> Result<nkt_ckpt::RestoreInfo, nkt_ckpt::CkptError> {
+        let info = {
+            let mut t = nkt_ckpt::TandemMut { main: self, rider };
+            nkt_ckpt::restore_latest(comm, cfg, &mut t)?
+        };
+        self.rebuild_after_restore(comm);
+        Ok(info)
+    }
+
+    fn rebuild_after_restore(&mut self, comm: &mut Comm) {
         if self.cfg.motion_amp != 0.0 {
             self.vel_op.rebuild_diag(comm);
             self.press_op.rebuild_diag(comm);
             self.mesh_op.rebuild_diag(comm);
         }
-        Ok(info)
     }
 }
 

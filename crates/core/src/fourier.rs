@@ -88,9 +88,9 @@ pub struct NektarF {
     /// the decomposition's block for direct access).
     pub my_modes: std::ops::Range<usize>,
     /// Per owned mode: pressure problem (λ = β²).
-    pressure: Vec<HelmholtzProblem>,
+    pub(crate) pressure: Vec<HelmholtzProblem>,
     /// Per owned mode: viscous problem (λ = β² + γ₀/(νΔt)).
-    viscous: Vec<HelmholtzProblem>,
+    pub(crate) viscous: Vec<HelmholtzProblem>,
     /// Ramp-order viscous problems (first steps), per owned mode.
     ramp: Vec<Vec<HelmholtzProblem>>,
     /// Modal coefficients per mode per component [u, v, w].
@@ -100,9 +100,9 @@ pub struct NektarF {
     /// History of nonlinear terms.
     hist_n: VecDeque<Vec<[ModePlane; 3]>>,
     /// Quadrature points per plane (flattened element-major).
-    nq_total: usize,
+    pub(crate) nq_total: usize,
     /// Per-element (offset, nq) into the flattened quadrature vector.
-    elem_off: Vec<(usize, usize)>,
+    pub(crate) elem_off: Vec<(usize, usize)>,
     /// Stage clock (host compute seconds + virtual comm seconds).
     pub clock: StageClock,
     /// Recorder for the model replay.
@@ -300,7 +300,7 @@ impl NektarF {
         self.steps_taken = 0;
     }
 
-    fn to_quad_with(&self, prob: &HelmholtzProblem, coeffs: &[f64]) -> Vec<f64> {
+    pub(crate) fn to_quad_with(&self, prob: &HelmholtzProblem, coeffs: &[f64]) -> Vec<f64> {
         let mut out = vec![0.0; self.nq_total];
         for ei in 0..prob.mesh.nelems() {
             let basis = prob.basis(ei);
@@ -319,7 +319,11 @@ impl NektarF {
         out
     }
 
-    fn grad_quad_with(&self, prob: &HelmholtzProblem, coeffs: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    pub(crate) fn grad_quad_with(
+        &self,
+        prob: &HelmholtzProblem,
+        coeffs: &[f64],
+    ) -> (Vec<f64>, Vec<f64>) {
         let mut gx = vec![0.0; self.nq_total];
         let mut gy = vec![0.0; self.nq_total];
         for ei in 0..prob.mesh.nelems() {

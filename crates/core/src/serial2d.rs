@@ -187,7 +187,7 @@ impl Serial2dSolver {
     }
 
     /// Physical-space gradient of a modal field (∂x, ∂y at quadrature).
-    fn gradient(&mut self, coeffs: &[f64], stage: Stage) -> (QField, QField) {
+    pub(crate) fn gradient(&mut self, coeffs: &[f64], stage: Stage) -> (QField, QField) {
         let prob = &self.viscous;
         let ne = prob.mesh.nelems();
         let mut gx_all = Vec::with_capacity(ne);

@@ -168,8 +168,12 @@ impl Comm {
         self.op_label = op;
         nkt_trace::counter_add(counter, 1);
         let sp = nkt_trace::span_v(op, "mpi", self.wtime());
+        let t0 = self.wtime();
         let out = body(self);
         sp.end_v(self.wtime());
+        // Flight recorder: always on (unlike the span above, which needs
+        // NKT_TRACE=spans), so a crashed run can show its last ops.
+        nkt_trace::flight::note(op, "mpi", t0, self.wtime(), f64::NAN);
         self.op_label = prev;
         out
     }
@@ -212,6 +216,37 @@ impl Comm {
         })
     }
 
+    /// Fused min/max/sum allreduce: the three buffers travel as one
+    /// packed message `[mn | mx | sums]` through a single reduce+bcast
+    /// tree, with each segment combined under its own operator. One
+    /// collective instead of three — the statistics sampler's pattern
+    /// ("Global Addition, min, max for any runtime flow statistics").
+    ///
+    /// The combiner applies `f64::min` / `f64::max` / `+` elementwise in
+    /// the same tree order [`Comm::allreduce`] uses, so the results are
+    /// **bitwise identical** to three separate allreduces (asserted by
+    /// `nektar`'s `fused_minmaxsum_bitwise_matches_three_allreduces`).
+    pub fn allreduce_minmaxsum(&mut self, mn: &mut [f64], mx: &mut [f64], sums: &mut [f64]) {
+        let (nm, nx) = (mn.len(), mx.len());
+        let mut buf = Vec::with_capacity(nm + nx + sums.len());
+        buf.extend_from_slice(mn);
+        buf.extend_from_slice(mx);
+        buf.extend_from_slice(sums);
+        let g = self.world_grp();
+        self.traced("allreduce", "mpi.coll.allreduce_minmaxsum", |c| {
+            let root = 0;
+            c.grp_reduce_with(g, root, &mut buf, |acc, other| {
+                ReduceOp::Min.apply(&mut acc[..nm], &other[..nm]);
+                ReduceOp::Max.apply(&mut acc[nm..nm + nx], &other[nm..nm + nx]);
+                ReduceOp::Sum.apply(&mut acc[nm + nx..], &other[nm + nx..]);
+            });
+            c.grp_bcast(g, root, &mut buf);
+        });
+        mn.copy_from_slice(&buf[..nm]);
+        mx.copy_from_slice(&buf[nm..nm + nx]);
+        sums.copy_from_slice(&buf[nm + nx..]);
+    }
+
     /// Reduces into `data` on `root` (other ranks' buffers are left with
     /// partial reductions, as in MPI_Reduce).
     pub fn reduce_to(&mut self, root: usize, data: &mut [f64], op: ReduceOp) {
@@ -220,6 +255,20 @@ impl Comm {
     }
 
     pub(crate) fn grp_reduce_to(&mut self, g: Grp<'_>, root: usize, data: &mut [f64], op: ReduceOp) {
+        self.grp_reduce_with(g, root, data, |acc, other| op.apply(acc, other))
+    }
+
+    /// The binomial reduce tree with a caller-supplied combiner, so
+    /// segmented reductions ([`Comm::allreduce_minmaxsum`]) reuse the
+    /// exact tree shape — and therefore the exact combine order — of the
+    /// single-op path.
+    pub(crate) fn grp_reduce_with(
+        &mut self,
+        g: Grp<'_>,
+        root: usize,
+        data: &mut [f64],
+        combine: impl Fn(&mut [f64], &[f64]),
+    ) {
         let p = g.p;
         if p == 1 {
             return;
@@ -236,7 +285,7 @@ impl Comm {
             } else if (rel | mask) < p {
                 let child = ((rel | mask) + root) % p;
                 let msg = self.recv(Some(g.world_of(child)), Some(g.tag_base + TAG_REDUCE));
-                op.apply(data, &msg.data);
+                combine(data, &msg.data);
             }
             mask <<= 1;
         }

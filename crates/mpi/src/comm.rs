@@ -244,6 +244,7 @@ impl Comm {
         self.stats.sent_bytes += bytes as u64;
         self.peer_sent[dest].0 += 1;
         self.peer_sent[dest].1 += bytes as u64;
+        nkt_trace::histogram_record("mpi.p2p.send.bytes", bytes as u64);
         let seq = self.send_seq[dest];
         self.send_seq[dest] += 1;
         nkt_trace::record_vspan_args(
@@ -561,8 +562,15 @@ impl Comm {
     }
 
     /// Panics with the world dump after a failed wait, preserving the
-    /// historical abort-message format.
+    /// historical abort-message format. Dumps this rank's flight recorder
+    /// first: the ring of recent operations is the post-mortem for "what
+    /// was this rank doing when the deadline hit".
     fn abort_wait(&mut self, e: &MpiError, what: &str) -> ! {
+        let reason = match e {
+            MpiError::Poisoned => "peer rank panicked",
+            MpiError::DeadlineExceeded(_) => "recv deadline exceeded",
+        };
+        nkt_trace::flight::dump_current(self.rank, reason);
         match e {
             MpiError::Poisoned => panic!(
                 "{what}: a peer rank panicked while rank {} was waiting\n{}",
@@ -603,6 +611,7 @@ impl Comm {
         self.stats.recvd_bytes += 8 * msg.data.len() as u64;
         self.peer_recvd[msg.src].0 += 1;
         self.peer_recvd[msg.src].1 += 8 * msg.data.len() as u64;
+        nkt_trace::histogram_record("mpi.p2p.recv.bytes", 8 * msg.data.len() as u64);
     }
 
     /// Pulls every already-delivered message off the channel into the

@@ -31,6 +31,7 @@ fn rank_thread(tid: u64, rank: usize, events: Vec<SpanEvent>) -> ThreadData {
         events,
         counters: Vec::new(),
         gauges: Vec::new(),
+        hists: Vec::new(),
     }
 }
 

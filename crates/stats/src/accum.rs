@@ -1,0 +1,146 @@
+//! Online single-pass accumulators: Welford mean/variance plus min/max,
+//! one per statistics channel.
+//!
+//! Welford's update is the numerically stable way to keep a running
+//! variance without storing the samples ("on-the-fly analysis of data"
+//! means the samples are gone after each step). The recurrence
+//!
+//! ```text
+//! delta  = x - mean
+//! mean  += delta / n
+//! m2    += delta * (x - mean)    // note: the *updated* mean
+//! ```
+//!
+//! avoids the catastrophic cancellation of the naive `E[x²] - E[x]²`
+//! form. `tests/welford_props.rs` pins it against a two-pass reference
+//! within an ULP-scale bound under shrinking random sample sets.
+//!
+//! Determinism: the update is a fixed sequence of IEEE-754 operations on
+//! the sample stream, so two runs feeding identical samples — including
+//! an interrupted run restored from a checkpoint mid-stream — hold
+//! bitwise-identical accumulator state.
+
+use nkt_ckpt::{Dec, Enc};
+
+/// Running statistics of one scalar channel (KE, divergence, a Reynolds
+/// stress component, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelAccum {
+    /// Samples folded in so far.
+    pub count: u64,
+    /// Running mean (Welford).
+    pub mean: f64,
+    /// Sum of squared deviations from the running mean; variance is
+    /// `m2 / count`.
+    pub m2: f64,
+    /// Smallest sample (`+inf` when empty).
+    pub min: f64,
+    /// Largest sample (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Default for ChannelAccum {
+    fn default() -> Self {
+        ChannelAccum {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl ChannelAccum {
+    /// Fresh, empty accumulator.
+    pub fn new() -> ChannelAccum {
+        ChannelAccum::default()
+    }
+
+    /// Folds one sample in (Welford update).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Population variance `m2 / count` (0 when empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Appends this accumulator's state to a checkpoint section encoder
+    /// (bitwise: `f64`s as raw IEEE bits).
+    pub fn encode(&self, e: &mut Enc) {
+        e.u64(self.count);
+        e.f64(self.mean);
+        e.f64(self.m2);
+        e.f64(self.min);
+        e.f64(self.max);
+    }
+
+    /// Reads state back in [`ChannelAccum::encode`] order.
+    pub fn decode(d: &mut Dec<'_>) -> Result<ChannelAccum, nkt_ckpt::CkptError> {
+        Ok(ChannelAccum {
+            count: d.u64()?,
+            mean: d.f64()?,
+            m2: d.f64()?,
+            min: d.f64()?,
+            max: d.f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_count_mean_extrema() {
+        let mut a = ChannelAccum::new();
+        for x in [2.0, 4.0, 6.0] {
+            a.push(x);
+        }
+        assert_eq!(a.count, 3);
+        assert_eq!(a.mean, 4.0);
+        assert_eq!(a.min, 2.0);
+        assert_eq!(a.max, 6.0);
+        // Population variance of {2,4,6} is 8/3.
+        assert!((a.variance() - 8.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_accumulator_is_inert() {
+        let a = ChannelAccum::new();
+        assert_eq!(a.count, 0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.min, f64::INFINITY);
+        assert_eq!(a.max, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_bitwise() {
+        let mut a = ChannelAccum::new();
+        for x in [0.1, -3.7, 1e-12, 42.0] {
+            a.push(x);
+        }
+        let mut e = Enc::new();
+        a.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new("test", 0, &bytes);
+        let b = ChannelAccum::decode(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.m2.to_bits(), b.m2.to_bits());
+        assert_eq!(a.min.to_bits(), b.min.to_bits());
+        assert_eq!(a.max.to_bits(), b.max.to_bits());
+    }
+}

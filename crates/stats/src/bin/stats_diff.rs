@@ -1,0 +1,292 @@
+//! Diffs fresh `STATS_*.json` runs against the committed baselines in
+//! `results/` and fails (exit 1) when the physics or the communication
+//! volume drifts:
+//!
+//! * sample count and channel list must match exactly (a different
+//!   cadence or channel set is a different experiment, not a drift);
+//! * each channel's accumulated mean must sit inside an `abs + rel`
+//!   tolerance band (physics drift gate);
+//! * the final cumulative sent-bytes total must match exactly — MPI
+//!   counters are integers on the virtual timeline, so *any* change
+//!   means the communication schedule changed.
+//!
+//! ```sh
+//! NKT_STATS=1 NKT_TRACE_DIR=/tmp/fresh cargo run --release --example fourier_dns
+//! cargo run -p nkt-stats --bin stats_diff -- --fresh /tmp/fresh
+//! ```
+//!
+//! `scripts/stats_diff` wraps both steps.
+
+use nkt_trace::json::{parse, Value};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The gated numbers read back from one `STATS_*.json`.
+#[derive(Debug, Clone)]
+struct Gated {
+    nsamples: usize,
+    /// `(channel, accumulated mean)` in file order.
+    means: Vec<(String, f64)>,
+    /// Sum of the sent-bytes column over the last sample's rank rows.
+    sent_bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Ok,
+    Drifted,
+}
+
+/// Two-sided band: physics means may move either way, so unlike
+/// `prof_diff` (lower-is-better ratios) any excursion beyond
+/// `abs + rel * |baseline|` is a drift.
+fn judge(base: f64, fresh: f64, abs: f64, rel: f64) -> Verdict {
+    let tol = abs + rel * base.abs();
+    if (fresh - base).abs() > tol {
+        Verdict::Drifted
+    } else {
+        Verdict::Ok
+    }
+}
+
+fn load_gated(path: &Path) -> Result<Gated, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if doc.get("schema").and_then(Value::as_str) != Some("nkt-stats-1") {
+        return Err(format!("{}: not an nkt-stats-1 file", path.display()));
+    }
+    let samples = doc
+        .get("samples")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{}: no \"samples\"", path.display()))?;
+    let accum = doc
+        .get("accum")
+        .and_then(Value::as_obj)
+        .ok_or_else(|| format!("{}: no \"accum\"", path.display()))?;
+    let mut means = Vec::new();
+    for (name, a) in accum {
+        let mean = a
+            .get("mean")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{}: channel {name} without \"mean\"", path.display()))?;
+        means.push((name.clone(), mean));
+    }
+    let sent_bytes = samples
+        .last()
+        .and_then(|s| s.get("mpi"))
+        .and_then(Value::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| r.as_arr())
+                .filter_map(|r| r.get(1))
+                .filter_map(Value::as_f64)
+                .sum::<f64>() as u64
+        })
+        .unwrap_or(0);
+    Ok(Gated { nsamples: samples.len(), means, sent_bytes })
+}
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    abs: f64,
+    rel: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stats_diff --fresh <dir> [--baseline <dir>] [--abs <x>] [--rel <frac>]\n\
+         \n\
+         --fresh     directory holding the fresh STATS_*.json run (required)\n\
+         --baseline  committed baselines (default: <workspace>/results)\n\
+         --abs       absolute tolerance on channel means (default: 1e-12)\n\
+         --rel       relative tolerance on channel means (default: 0.05 = 5%)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut abs = 1e-12;
+    let mut rel = 0.05;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("stats_diff: {name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(val("--baseline"))),
+            "--fresh" => fresh = Some(PathBuf::from(val("--fresh"))),
+            "--abs" => abs = val("--abs").parse().unwrap_or_else(|_| usage()),
+            "--rel" => rel = val("--rel").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    Args {
+        baseline: baseline.unwrap_or_else(nkt_trace::results_dir),
+        fresh: fresh.unwrap_or_else(|| usage()),
+        abs,
+        rel,
+    }
+}
+
+fn stats_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("STATS_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    v.sort();
+    v
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let fresh_files = stats_files(&args.fresh);
+    if fresh_files.is_empty() {
+        eprintln!("stats_diff: no STATS_*.json in {}", args.fresh.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "stats_diff: fresh {} vs baseline {} (tolerance: {:.1e} abs + {:.0}% rel)",
+        args.fresh.display(),
+        args.baseline.display(),
+        args.abs,
+        100.0 * args.rel
+    );
+
+    let mut drifts = 0usize;
+    for fresh_path in &fresh_files {
+        let fname = fresh_path.file_name().unwrap().to_str().unwrap();
+        let base_path = args.baseline.join(fname);
+        let fresh = match load_gated(fresh_path) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("stats_diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if !base_path.exists() {
+            println!("\n{fname}: no committed baseline — skipped");
+            continue;
+        }
+        let base = match load_gated(&base_path) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("stats_diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("\n{fname}:");
+        println!("{:<32} {:>14} {:>14}  verdict", "metric", "base", "fresh");
+        let exact = |name: &str, b: f64, f: f64, drifts: &mut usize| {
+            let ok = b == f;
+            if !ok {
+                *drifts += 1;
+            }
+            println!(
+                "{:<32} {:>14} {:>14}  {}",
+                name,
+                b,
+                f,
+                if ok { "ok" } else { "DRIFTED" }
+            );
+        };
+        exact("samples", base.nsamples as f64, fresh.nsamples as f64, &mut drifts);
+        exact("sent_bytes[final]", base.sent_bytes as f64, fresh.sent_bytes as f64, &mut drifts);
+        for (chan, base_mean) in &base.means {
+            let Some((_, fresh_mean)) = fresh.means.iter().find(|(c, _)| c == chan) else {
+                drifts += 1;
+                println!(
+                    "{:<32} {:>14.6e} {:>14}  MISSING from fresh run",
+                    format!("mean[{chan}]"),
+                    base_mean,
+                    "-"
+                );
+                continue;
+            };
+            let v = judge(*base_mean, *fresh_mean, args.abs, args.rel);
+            if v == Verdict::Drifted {
+                drifts += 1;
+            }
+            println!(
+                "{:<32} {:>14.6e} {:>14.6e}  {}",
+                format!("mean[{chan}]"),
+                base_mean,
+                fresh_mean,
+                if v == Verdict::Ok { "ok" } else { "DRIFTED" }
+            );
+        }
+        for (chan, mean) in &fresh.means {
+            if !base.means.iter().any(|(c, _)| c == chan) {
+                drifts += 1;
+                println!(
+                    "{:<32} {:>14} {:>14.6e}  NEW channel (no baseline)",
+                    format!("mean[{chan}]"),
+                    "-",
+                    mean
+                );
+            }
+        }
+    }
+
+    if drifts > 0 {
+        println!("\nstats_diff: {drifts} drift(s) beyond the tolerance band");
+        ExitCode::FAILURE
+    } else {
+        println!("\nstats_diff: OK — no drift");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_is_two_sided() {
+        assert_eq!(judge(1.0, 1.04, 1e-12, 0.05), Verdict::Ok);
+        assert_eq!(judge(1.0, 0.96, 1e-12, 0.05), Verdict::Ok);
+        assert_eq!(judge(1.0, 1.06, 1e-12, 0.05), Verdict::Drifted);
+        assert_eq!(judge(1.0, 0.94, 1e-12, 0.05), Verdict::Drifted);
+        // Zero baseline still has the absolute band.
+        assert_eq!(judge(0.0, 5e-13, 1e-12, 0.05), Verdict::Ok);
+        assert_eq!(judge(0.0, 2e-12, 1e-12, 0.05), Verdict::Drifted);
+    }
+
+    #[test]
+    fn load_gated_reads_the_stats_schema() {
+        let dir = std::env::temp_dir().join(format!("nkt_stats_diff_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("STATS_sample.json");
+        std::fs::write(
+            &p,
+            r#"{"schema": "nkt-stats-1", "run": "sample", "every": 1, "nranks": 2,
+                "channels": ["ke", "div"],
+                "samples": [
+                  {"step": 1, "scalars": [0.5, 1e-9], "spectrum": [], "mpi": [[1, 80, 1, 80, 2], [1, 96, 1, 96, 2]]},
+                  {"step": 2, "scalars": [0.4, 2e-9], "spectrum": [], "mpi": [[2, 160, 2, 160, 4], [2, 200, 2, 200, 4]]}
+                ],
+                "accum": {"ke": {"count": 2, "mean": 0.45, "m2": 0.005, "min": 0.4, "max": 0.5},
+                          "div": {"count": 2, "mean": 1.5e-9, "m2": 5e-19, "min": 1e-9, "max": 2e-9}}}"#,
+        )
+        .unwrap();
+        let g = load_gated(&p).unwrap();
+        assert_eq!(g.nsamples, 2);
+        assert_eq!(g.sent_bytes, 360);
+        assert_eq!(g.means.len(), 2);
+        assert_eq!(g.means[0], ("ke".to_string(), 0.45));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

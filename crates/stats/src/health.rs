@@ -1,0 +1,179 @@
+//! Health watchdog: typed rules evaluated at every statistics sample.
+//!
+//! A diverging DNS without a watchdog prints garbage until a solver
+//! kernel panics somewhere deep in a linear solve — far from the step
+//! where physics actually went wrong. The watchdog turns that into a
+//! typed [`HealthError`] naming the step (and for NaN/Inf, the rank and
+//! field) where the rule first tripped, raised *before* the bad state
+//! propagates further.
+//!
+//! Rule evaluation is deterministic and collective-free: every rank
+//! evaluates [`check_rules`] on the same globally-reduced scalars, so
+//! every rank raises the identical error. (The NaN scan is the one rule
+//! that needs agreement across ranks — the solver glue in `nektar`
+//! reduces the first offending `(rank, field)` with a single
+//! allreduce-Min before constructing [`HealthError::NonFinite`].)
+
+/// A tripped health rule. `step` is the sample step at which the rule
+/// first failed; the run should stop, dump flight recorders, and return
+/// this instead of panicking downstream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthError {
+    /// A NaN or Inf appeared in solver state: first offending rank and
+    /// field (by the deterministic rank-major, field-minor scan order).
+    NonFinite {
+        /// Sample step at which the scan found the value.
+        step: u64,
+        /// First rank holding a non-finite value.
+        rank: usize,
+        /// Field name (`"u"`, `"v"`, `"w"`, `"p"`).
+        field: &'static str,
+    },
+    /// Kinetic energy grew by more than `limit` × between samples.
+    KeGrowth {
+        /// Sample step.
+        step: u64,
+        /// Observed ratio `ke / ke_prev`.
+        ratio: f64,
+        /// Configured ceiling.
+        limit: f64,
+    },
+    /// Divergence norm exceeded its ceiling.
+    Divergence {
+        /// Sample step.
+        step: u64,
+        /// Observed divergence norm.
+        value: f64,
+        /// Configured ceiling.
+        limit: f64,
+    },
+    /// CFL number exceeded its bound.
+    Cfl {
+        /// Sample step.
+        step: u64,
+        /// Observed CFL number.
+        value: f64,
+        /// Configured bound.
+        limit: f64,
+    },
+}
+
+impl std::fmt::Display for HealthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthError::NonFinite { step, rank, field } => write!(
+                f,
+                "health: non-finite value in field '{field}' on rank {rank} at step {step}"
+            ),
+            HealthError::KeGrowth { step, ratio, limit } => write!(
+                f,
+                "health: kinetic energy grew {ratio:.3e}x at step {step} (limit {limit:.1}x)"
+            ),
+            HealthError::Divergence { step, value, limit } => write!(
+                f,
+                "health: divergence norm {value:.3e} at step {step} exceeds ceiling {limit:.3e}"
+            ),
+            HealthError::Cfl { step, value, limit } => write!(
+                f,
+                "health: CFL {value:.3e} at step {step} exceeds bound {limit:.1}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HealthError {}
+
+/// Watchdog thresholds. Defaults are deliberately generous — a healthy
+/// run must never trip them; they catch *blow-up*, not drift. Tests pass
+/// tight limits explicitly.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleLimits {
+    /// Max allowed `ke / ke_prev` ratio between consecutive samples.
+    pub ke_growth: f64,
+    /// Max allowed divergence norm.
+    pub div_max: f64,
+    /// Max allowed CFL number.
+    pub cfl_max: f64,
+}
+
+impl Default for RuleLimits {
+    fn default() -> Self {
+        RuleLimits { ke_growth: 1e3, div_max: 1e6, cfl_max: 1e3 }
+    }
+}
+
+/// Evaluates the scalar rules for one sample. `ke_prev` is the previous
+/// sample's kinetic energy (`None` on the first sample — the growth rule
+/// needs a predecessor). `div` / `cfl` are `None` for solvers that do
+/// not expose them (ALE). All inputs must already be globally reduced.
+pub fn check_rules(
+    step: u64,
+    limits: &RuleLimits,
+    ke: f64,
+    ke_prev: Option<f64>,
+    div: Option<f64>,
+    cfl: Option<f64>,
+) -> Result<(), HealthError> {
+    if let Some(prev) = ke_prev {
+        // Guard the ratio: a zero-energy predecessor makes any growth
+        // infinite, which is exactly the blow-up signature.
+        if ke > limits.ke_growth * prev && ke > 0.0 {
+            let ratio = if prev > 0.0 { ke / prev } else { f64::INFINITY };
+            return Err(HealthError::KeGrowth { step, ratio, limit: limits.ke_growth });
+        }
+    }
+    if let Some(d) = div {
+        if !(d <= limits.div_max) {
+            return Err(HealthError::Divergence { step, value: d, limit: limits.div_max });
+        }
+    }
+    if let Some(c) = cfl {
+        if !(c <= limits.cfl_max) {
+            return Err(HealthError::Cfl { step, value: c, limit: limits.cfl_max });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_samples_pass_default_limits() {
+        let l = RuleLimits::default();
+        assert_eq!(check_rules(1, &l, 0.5, None, Some(1e-8), Some(0.3)), Ok(()));
+        assert_eq!(check_rules(2, &l, 0.49, Some(0.5), Some(1e-8), Some(0.3)), Ok(()));
+    }
+
+    #[test]
+    fn ke_growth_names_the_step_and_ratio() {
+        let l = RuleLimits { ke_growth: 2.0, ..RuleLimits::default() };
+        let e = check_rules(7, &l, 10.0, Some(1.0), None, None).unwrap_err();
+        assert_eq!(e, HealthError::KeGrowth { step: 7, ratio: 10.0, limit: 2.0 });
+        assert!(e.to_string().contains("step 7"));
+    }
+
+    #[test]
+    fn nan_divergence_trips_the_ceiling() {
+        // `!(NaN <= limit)` is true: a NaN divergence norm must trip, not
+        // slip through a `>` comparison that NaN always fails.
+        let l = RuleLimits::default();
+        let e = check_rules(3, &l, 0.5, None, Some(f64::NAN), None).unwrap_err();
+        assert!(matches!(e, HealthError::Divergence { step: 3, .. }));
+    }
+
+    #[test]
+    fn cfl_bound_trips() {
+        let l = RuleLimits { cfl_max: 1.0, ..RuleLimits::default() };
+        let e = check_rules(4, &l, 0.5, None, None, Some(2.5)).unwrap_err();
+        assert_eq!(e, HealthError::Cfl { step: 4, value: 2.5, limit: 1.0 });
+    }
+
+    #[test]
+    fn non_finite_display_names_everything() {
+        let e = HealthError::NonFinite { step: 12, rank: 3, field: "w" };
+        let s = e.to_string();
+        assert!(s.contains("step 12") && s.contains("rank 3") && s.contains("'w'"), "{s}");
+    }
+}

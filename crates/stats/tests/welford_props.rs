@@ -1,0 +1,86 @@
+//! Properties of the online Welford accumulator under shrinking-random
+//! sample sets: agreement with the naive two-pass formulas at ULP
+//! scale, exact extrema, and — the restart contract at its smallest —
+//! an encode/decode cut anywhere in the stream is bitwise invisible.
+
+use nkt_ckpt::{Dec, Enc};
+use nkt_stats::ChannelAccum;
+use nkt_testkit::{prop_assert, prop_assert_eq, prop_check, vec_len_in};
+
+/// Two-pass reference: exact-sum mean, then centered sum of squares.
+fn two_pass(vals: &[f64]) -> (f64, f64) {
+    let n = vals.len() as f64;
+    let mean = vals.iter().sum::<f64>() / n;
+    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+fn fill(vals: &[f64]) -> ChannelAccum {
+    let mut a = ChannelAccum::new();
+    for &v in vals {
+        a.push(v);
+    }
+    a
+}
+
+prop_check! {
+    fn welford_mean_matches_two_pass(vals in vec_len_in(-1e3f64..1e3, 1..257)) {
+        let a = fill(&vals);
+        let (mean, _) = two_pass(&vals);
+        let scale = vals.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        // Both sides carry O(n·eps·scale) rounding; their difference is
+        // bounded by the sum of the two error terms.
+        let tol = 2.0 * vals.len() as f64 * f64::EPSILON * scale;
+        prop_assert!(
+            (a.mean - mean).abs() <= tol,
+            "welford {} vs two-pass {} (tol {tol:.3e})",
+            a.mean,
+            mean
+        );
+    }
+
+    fn welford_variance_matches_two_pass(vals in vec_len_in(-1e3f64..1e3, 1..257)) {
+        let a = fill(&vals);
+        let (_, var) = two_pass(&vals);
+        let scale = vals.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        // Squared-deviation sums round at O(n·eps·scale²).
+        let tol = 8.0 * vals.len() as f64 * f64::EPSILON * scale * scale;
+        prop_assert!(
+            (a.variance() - var).abs() <= tol,
+            "welford {} vs two-pass {} (tol {tol:.3e})",
+            a.variance(),
+            var
+        );
+    }
+
+    fn extrema_are_exact(vals in vec_len_in(-1e3f64..1e3, 1..65)) {
+        let a = fill(&vals);
+        let mn = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(a.min.to_bits(), mn.to_bits());
+        prop_assert_eq!(a.max.to_bits(), mx.to_bits());
+    }
+
+    fn encode_decode_cut_is_bitwise_invisible(
+        vals in vec_len_in(-1e3f64..1e3, 1..65),
+        cut in 0usize..65,
+    ) {
+        let cut = cut % (vals.len() + 1);
+        let whole = fill(&vals);
+        // Interrupted stream: accumulate the prefix, round-trip the
+        // accumulator through the checkpoint codec, then continue.
+        let mut enc = Enc::new();
+        fill(&vals[..cut]).encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new("accum", 0, &bytes);
+        let mut resumed = ChannelAccum::decode(&mut dec).expect("decode");
+        for &v in &vals[cut..] {
+            resumed.push(v);
+        }
+        prop_assert_eq!(resumed.count, whole.count);
+        prop_assert_eq!(resumed.mean.to_bits(), whole.mean.to_bits());
+        prop_assert_eq!(resumed.m2.to_bits(), whole.m2.to_bits());
+        prop_assert_eq!(resumed.min.to_bits(), whole.min.to_bits());
+        prop_assert_eq!(resumed.max.to_bits(), whole.max.to_bits());
+    }
+}

@@ -14,7 +14,7 @@
 //! on pid 0 ("host"); virtual-only spans (model replay) on pid 1
 //! ("virtual"), whose microseconds are *model* microseconds.
 
-use crate::metrics::{merge_counters, merge_gauges};
+use crate::metrics::{merge_counters, merge_gauges, merge_hists, Hist};
 use crate::span::{with_buf, SpanEvent, ThreadData};
 use crate::{mode, TraceMode};
 use std::fmt::Write as _;
@@ -31,7 +31,11 @@ pub(crate) fn collect(data: ThreadData) {
 pub fn flush_thread() {
     with_buf(|b| {
         let data = b.take_data();
-        if !(data.events.is_empty() && data.counters.is_empty() && data.gauges.is_empty()) {
+        if !(data.events.is_empty()
+            && data.counters.is_empty()
+            && data.gauges.is_empty()
+            && data.hists.is_empty())
+        {
             collect(data);
         }
     });
@@ -61,9 +65,7 @@ pub fn export(run: &str) -> Option<PathBuf> {
         return None;
     }
     let threads = take_collected();
-    let dir = crate::dir_override()
-        .or_else(|| std::env::var("NKT_TRACE_DIR").ok().map(PathBuf::from))
-        .unwrap_or_else(results_dir);
+    let dir = out_dir();
     std::fs::create_dir_all(&dir)
         .unwrap_or_else(|e| panic!("trace: cannot create {}: {e}", dir.display()));
     let path = dir.join(format!("TRACE_{run}.json"));
@@ -166,9 +168,14 @@ fn metrics_json(threads: &[ThreadData]) -> String {
             let c = if j + 1 < t.gauges.len() { ", " } else { "" };
             let _ = write!(gauges, "{}: {}{c}", json_str(n), json_f64(*v));
         }
+        let mut hists = String::new();
+        for (j, (n, h)) in t.hists.iter().enumerate() {
+            let c = if j + 1 < t.hists.len() { ", " } else { "" };
+            let _ = write!(hists, "{}: {}{c}", json_str(n), hist_json(h));
+        }
         let _ = writeln!(
             out,
-            "      {{\"tid\": {}, \"rank\": {rank}, \"counters\": {{{counters}}}, \"gauges\": {{{gauges}}}}}{comma}",
+            "      {{\"tid\": {}, \"rank\": {rank}, \"counters\": {{{counters}}}, \"gauges\": {{{gauges}}}, \"hists\": {{{hists}}}}}{comma}",
             t.tid
         );
     }
@@ -195,7 +202,35 @@ fn metrics_json(threads: &[ThreadData]) -> String {
         let c = if j + 1 < gtotals.len() { ", " } else { "" };
         let _ = write!(out, "{}: {}{c}", json_str(n), json_f64_exact(*v));
     }
+    out.push_str("},\n    \"hist_totals\": {");
+    let mut htotals: Vec<(&'static str, Hist)> = Vec::new();
+    for t in threads {
+        merge_hists(&mut htotals, &t.hists);
+    }
+    for (j, (n, h)) in htotals.iter().enumerate() {
+        let c = if j + 1 < htotals.len() { ", " } else { "" };
+        let _ = write!(out, "{}: {}{c}", json_str(n), hist_json(h));
+    }
     out.push_str("}\n  }\n");
+    out
+}
+
+/// One histogram as JSON: count/sum plus the sparse nonzero buckets as
+/// `[bucket_index, count]` pairs (48 mostly-zero buckets would bloat
+/// every per-thread row).
+fn hist_json(h: &Hist) -> String {
+    let mut out = format!("{{\"count\": {}, \"sum\": {}, \"buckets\": [", h.count, h.sum);
+    let mut first = true;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n > 0 {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "[{i}, {n}]");
+        }
+    }
+    out.push_str("]}");
     out
 }
 
@@ -239,6 +274,16 @@ pub fn json_f64_exact(x: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// The directory trace artifacts go to: the in-process override from
+/// [`crate::set_dir`], else `NKT_TRACE_DIR`, else [`results_dir`]. The
+/// flight recorder and `nkt-stats` write next to the trace dump through
+/// this, so one knob redirects every observability artifact of a run.
+pub fn out_dir() -> PathBuf {
+    crate::dir_override()
+        .or_else(|| std::env::var("NKT_TRACE_DIR").ok().map(PathBuf::from))
+        .unwrap_or_else(results_dir)
 }
 
 /// `results/` at the workspace root: walk up from the running crate's
@@ -295,6 +340,12 @@ mod tests {
             }],
             counters: vec![("mpi.send.bytes", 1024)],
             gauges: vec![("mpi.recv.pending_peak", 2.0)],
+            hists: vec![("mpi.p2p.send.bytes", {
+                let mut h = Hist::default();
+                h.record(1024);
+                h.record(1500);
+                h
+            })],
         };
         let s = chrome_json(&[t]);
         assert!(s.contains("\"traceEvents\""));
@@ -307,6 +358,12 @@ mod tests {
         assert!(s.contains("\"counter_totals\""));
         assert!(s.contains("\"gauge_totals\""));
         assert!(s.contains("\"rank 3\""));
+        // Hists export per-thread and merged, sparse nonzero buckets only.
+        assert!(
+            s.contains("\"mpi.p2p.send.bytes\": {\"count\": 2, \"sum\": 2524, \"buckets\": [[11, 2]]}"),
+            "{s}"
+        );
+        assert!(s.contains("\"hist_totals\""));
     }
 
     #[test]

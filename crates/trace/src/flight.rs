@@ -1,0 +1,213 @@
+//! Per-rank flight recorder: a bounded ring of the most recent traced
+//! operations, always on, dumped only when something goes wrong.
+//!
+//! The trace exporter answers "where did the time go" for a *healthy*
+//! run; the flight recorder answers "what was this rank doing just
+//! before it died". Every [`note`] appends one fixed-size entry to a
+//! thread-local ring — no locks, no allocation after warm-up, no mode
+//! gate, so it is on even with `NKT_TRACE=off` — and [`dump_current`]
+//! writes the ring plus a counter snapshot to
+//! `results/FLIGHT_<run>_r<rank>.json` (schema `nkt-flight-1`). Dumps
+//! are triggered by the `nkt-stats` health watchdog, by a recv-deadline
+//! abort in `nkt-mpi`, and by a checkpoint epoch falling back — every
+//! failure ships its own post-mortem.
+
+use crate::export::{json_f64_exact, json_str, out_dir};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Ring capacity. 256 entries ≈ a few solver steps of MPI traffic —
+/// enough to see the pattern leading into a failure without the record
+/// cost ever mattering (one array write per traced op).
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// One recorded operation: name/category (static, so recording is
+/// allocation-free), virtual-time window, and one numeric argument
+/// (bytes moved, or `NaN` when inapplicable).
+#[derive(Debug, Clone, Copy)]
+pub struct FlightEntry {
+    /// Operation name (e.g. `"alltoall"`, `"sendrecv"`).
+    pub name: &'static str,
+    /// Category (`"mpi"`, `"ckpt"`, `"stats"`).
+    pub cat: &'static str,
+    /// Virtual-clock start in seconds (`NaN` = none).
+    pub vt0: f64,
+    /// Virtual-clock end in seconds (`NaN` = none).
+    pub vt1: f64,
+    /// One numeric payload, typically bytes (`NaN` = none).
+    pub arg: f64,
+}
+
+struct Ring {
+    entries: Vec<FlightEntry>,
+    /// Next write position (ring is full once `total >= capacity`).
+    head: usize,
+    /// Entries ever recorded; `total - entries.len()` were overwritten.
+    total: u64,
+}
+
+impl Ring {
+    const fn new() -> Ring {
+        Ring { entries: Vec::new(), head: 0, total: 0 }
+    }
+
+    fn push(&mut self, e: FlightEntry) {
+        if self.entries.len() < FLIGHT_CAPACITY {
+            self.entries.push(e);
+            self.head = self.entries.len() % FLIGHT_CAPACITY;
+        } else {
+            self.entries[self.head] = e;
+            self.head = (self.head + 1) % FLIGHT_CAPACITY;
+        }
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// Entries oldest-first.
+    fn ordered(&self) -> Vec<FlightEntry> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        if self.entries.len() < FLIGHT_CAPACITY {
+            out.extend_from_slice(&self.entries);
+        } else {
+            out.extend_from_slice(&self.entries[self.head..]);
+            out.extend_from_slice(&self.entries[..self.head]);
+        }
+        out
+    }
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = const { RefCell::new(Ring::new()) };
+}
+
+static RUN_NAME: Mutex<String> = Mutex::new(String::new());
+
+/// Names the current run; dump files are `FLIGHT_<run>_r<rank>.json`.
+/// Call once per example/test run (examples set it next to their
+/// checkpoint run name).
+pub fn set_run(name: &str) {
+    *RUN_NAME.lock().unwrap() = name.to_string();
+}
+
+/// Records one operation into this thread's ring. Always on — the cost
+/// is one bounds check and one array write, so callers (`nkt-mpi`'s
+/// traced collectives) do not gate it on the trace mode.
+#[inline]
+pub fn note(name: &'static str, cat: &'static str, vt0: f64, vt1: f64, arg: f64) {
+    RING.with(|r| r.borrow_mut().push(FlightEntry { name, cat, vt0, vt1, arg }));
+}
+
+/// Dumps this thread's ring to `FLIGHT_<run>_r<rank>.json` in the trace
+/// output directory, tagged with `reason`. Returns the path written.
+/// No-op until [`set_run`] names the run — unit tests exercising abort
+/// paths must not litter `results/` with anonymous dumps. Infallible by
+/// design: a post-mortem writer that panics on a full disk would mask
+/// the original failure, so IO errors only print to stderr.
+pub fn dump_current(rank: usize, reason: &str) -> Option<PathBuf> {
+    if RUN_NAME.lock().unwrap().is_empty() {
+        return None;
+    }
+    dump_current_to(&out_dir(), rank, reason)
+}
+
+/// [`dump_current`] into an explicit directory (tests; skips the
+/// [`set_run`] gate).
+pub fn dump_current_to(dir: &std::path::Path, rank: usize, reason: &str) -> Option<PathBuf> {
+    let run = RUN_NAME.lock().unwrap().clone();
+    let run = if run.is_empty() { "run".to_string() } else { run };
+    let (entries, total) = RING.with(|r| {
+        let ring = r.borrow();
+        (ring.ordered(), ring.total)
+    });
+    let counters = crate::span::with_buf(|b| b.data.counters.clone());
+    let mut body = String::new();
+    let _ = writeln!(body, "{{");
+    let _ = writeln!(body, "  \"schema\": \"nkt-flight-1\",");
+    let _ = writeln!(body, "  \"run\": {},", json_str(&run));
+    let _ = writeln!(body, "  \"rank\": {rank},");
+    let _ = writeln!(body, "  \"reason\": {},", json_str(reason));
+    let _ = writeln!(body, "  \"recorded\": {total},");
+    let _ = writeln!(body, "  \"dropped\": {},", total - entries.len() as u64);
+    let _ = writeln!(body, "  \"counters\": {{");
+    for (j, (n, v)) in counters.iter().enumerate() {
+        let c = if j + 1 < counters.len() { "," } else { "" };
+        let _ = writeln!(body, "    {}: {v}{c}", json_str(n));
+    }
+    let _ = writeln!(body, "  }},");
+    let _ = writeln!(body, "  \"entries\": [");
+    for (j, e) in entries.iter().enumerate() {
+        let c = if j + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            body,
+            "    {{\"name\": {}, \"cat\": {}, \"vt0\": {}, \"vt1\": {}, \"arg\": {}}}{c}",
+            json_str(e.name),
+            json_str(e.cat),
+            json_f64_exact(e.vt0),
+            json_f64_exact(e.vt1),
+            json_f64_exact(e.arg),
+        );
+    }
+    let _ = writeln!(body, "  ]");
+    let _ = writeln!(body, "}}");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("flight: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("FLIGHT_{run}_r{rank}.json"));
+    match std::fs::write(&path, body) {
+        Ok(()) => {
+            eprintln!("flight rank {rank} ({reason}) -> {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("flight: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_entries_in_order() {
+        let mut r = Ring::new();
+        for i in 0..(FLIGHT_CAPACITY as u64 + 10) {
+            r.push(FlightEntry {
+                name: "op",
+                cat: "mpi",
+                vt0: i as f64,
+                vt1: i as f64 + 0.5,
+                arg: f64::NAN,
+            });
+        }
+        let got = r.ordered();
+        assert_eq!(got.len(), FLIGHT_CAPACITY);
+        assert_eq!(r.total, FLIGHT_CAPACITY as u64 + 10);
+        // Oldest surviving entry is #10; newest is the last pushed.
+        assert_eq!(got[0].vt0, 10.0);
+        assert_eq!(got.last().unwrap().vt0, (FLIGHT_CAPACITY as u64 + 9) as f64);
+        // Strictly increasing: the rotation healed the wrap seam.
+        for w in got.windows(2) {
+            assert!(w[0].vt0 < w[1].vt0);
+        }
+    }
+
+    #[test]
+    fn dump_writes_schema_run_and_reason() {
+        let dir = std::env::temp_dir().join(format!("nkt_flight_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        note("alltoall", "mpi", 1.0, 2.0, 4096.0);
+        set_run("flight_unit");
+        let path = dump_current_to(&dir, 3, "unit test").expect("dump");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(path.ends_with("FLIGHT_flight_unit_r3.json"));
+        assert!(text.contains("\"schema\": \"nkt-flight-1\""));
+        assert!(text.contains("\"reason\": \"unit test\""));
+        assert!(text.contains("\"name\": \"alltoall\""));
+        assert!(text.contains("\"arg\": 4096"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

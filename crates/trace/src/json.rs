@@ -66,6 +66,12 @@ impl Value {
     }
 }
 
+/// Quotes and escapes a string as a JSON string literal (the writer-side
+/// twin of [`parse`], shared by the workspace's artifact writers).
+pub fn quote(s: &str) -> String {
+    crate::export::json_str(s)
+}
+
 /// Maximum container nesting depth. The recursive-descent parser uses
 /// one stack frame per `[`/`{` level; without a cap, `"[[[[…"` input
 /// overflows the thread stack (an abort, not an `Err`). Our writers

@@ -36,12 +36,16 @@
 //! [`init`].
 
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod span;
 
-pub use export::{export, flush_thread, json_f64_exact, results_dir, take_collected};
-pub use metrics::{counter_add, gauge_set, intern_label, merge_counters, merge_gauges};
+pub use export::{export, flush_thread, json_f64_exact, out_dir, results_dir, take_collected};
+pub use metrics::{
+    counter_add, gauge_set, histogram_record, intern_label, merge_counters, merge_gauges,
+    merge_hists, thread_counter, thread_counter_prefix_sum, Hist, HIST_BUCKETS,
+};
 pub use span::{
     current_tid, record_vspan, record_vspan_args, set_thread_meta, span, span_v, Span, SpanArgs,
     SpanEvent, ThreadData,

@@ -69,6 +69,8 @@ pub struct ThreadData {
     pub counters: Vec<(&'static str, u64)>,
     /// Last-value gauges.
     pub gauges: Vec<(&'static str, f64)>,
+    /// Log2-bucketed histograms (message sizes, queue depths).
+    pub hists: Vec<(&'static str, crate::metrics::Hist)>,
 }
 
 impl ThreadData {
@@ -76,6 +78,7 @@ impl ThreadData {
         self.events.is_empty()
             && self.counters.is_empty()
             && self.gauges.is_empty()
+            && self.hists.is_empty()
             && self.name.is_none()
     }
 }

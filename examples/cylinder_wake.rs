@@ -12,9 +12,16 @@
 //! With `NKT_PROF=1` the run is profiled: the serial solver has no MPI
 //! traffic, so the report reduces to the per-stage attributed-time
 //! table, written to `results/PROF_cylinder_wake.json`.
+//!
+//! With `NKT_STATS=<n>` the run samples online statistics (KE,
+//! enstrophy, divergence, CFL, Reynolds stresses) every n steps and
+//! writes a byte-deterministic `results/STATS_cylinder_wake.json`;
+//! `NKT_HEALTH=1` arms the watchdog rules on every sample.
 
 use nektar_repro::nektar::serial2d::{Serial2dSolver, SolverConfig};
+use nektar_repro::nektar::stats::{sample_serial2d, SERIAL2D_CHANNELS};
 use nektar_repro::nektar::timers::Stage;
+use nektar_repro::stats::{RuleLimits, StatsRecorder};
 
 fn main() {
     if nektar_repro::prof::enabled() {
@@ -23,6 +30,12 @@ fn main() {
         // its stage spans land on a profiled timeline.
         nektar_repro::trace::set_thread_meta("serial".to_string(), Some(0));
     }
+    let stats_every = nektar_repro::stats::effective_every();
+    let health = nektar_repro::stats::health_enabled();
+    if stats_every.is_some() {
+        nektar_repro::stats::prepare();
+    }
+    nektar_repro::trace::flight::set_run("cylinder_wake");
     let mesh = nektar_repro::mesh::bluff_body_mesh(1);
     println!(
         "bluff-body domain [-15,25]x[-5,5], {} elements (paper: 902; scale with refine)",
@@ -44,11 +57,17 @@ fn main() {
     solver.set_initial(|_| 1.0, |_| 0.0);
     println!("dofs per velocity component: {}", solver.ndof());
 
+    let mut rec = StatsRecorder::new(SERIAL2D_CHANNELS.to_vec(), stats_every.unwrap_or(0), 1);
+    let limits = RuleLimits::default();
+
     // NKT_CKPT_EVERY=<n> checkpoints every n steps (NKT_CKPT_DIR sets
-    // where); on startup the newest valid epoch, if any, is resumed.
+    // where); on startup the newest valid epoch, if any, is resumed. The
+    // stats recorder rides in the same tandem shard, so the series
+    // survives a restart bitwise.
     let ckpt = nektar_repro::ckpt::CkptConfig::from_env("cylinder_wake");
     if ckpt.enabled() {
-        match nektar_repro::ckpt::restore_latest_serial(&ckpt, &mut solver) {
+        let mut tandem = nektar_repro::ckpt::TandemMut { main: &mut solver, rider: &mut rec };
+        match nektar_repro::ckpt::restore_latest_serial(&ckpt, &mut tandem) {
             Ok(info) => println!("resumed from checkpoint epoch {} (step {})", info.epoch, info.step),
             Err(nektar_repro::ckpt::CkptError::NoValidEpoch { tried, .. }) if tried.is_empty() => {}
             Err(e) => println!("checkpoint restore skipped: {e}"),
@@ -58,8 +77,17 @@ fn main() {
     let nsteps = 10;
     for step in (solver.steps() + 1)..=nsteps {
         solver.step();
+        if rec.due(step as u64) {
+            if let Err(e) =
+                sample_serial2d(&mut solver, &mut rec, step as u64, &limits, health)
+            {
+                println!("{e}");
+                std::process::exit(1);
+            }
+        }
         if ckpt.should(step) {
-            if let Err(e) = nektar_repro::ckpt::write_epoch_serial(&ckpt, step, &solver) {
+            let tandem = nektar_repro::ckpt::Tandem { main: &solver, rider: &rec };
+            if let Err(e) = nektar_repro::ckpt::write_epoch_serial(&ckpt, step, &tandem) {
                 eprintln!("checkpoint write failed: {e}");
             }
         }
@@ -70,6 +98,12 @@ fn main() {
                 solver.kinetic_energy(),
                 solver.divergence_norm()
             );
+        }
+    }
+    if stats_every.is_some() {
+        match rec.write("cylinder_wake") {
+            Ok(path) => println!("stats: wrote {}", path.display()),
+            Err(e) => eprintln!("stats: cannot write STATS_cylinder_wake.json: {e}"),
         }
     }
 

@@ -9,12 +9,19 @@
 //! With `NKT_PROF=1` the run is profiled — the gather-scatter exchanges
 //! show up as a first-class `gs` op in the MPI attribution table — and
 //! a deterministic `results/PROF_flapping_wing_ale.json` is written.
+//!
+//! With `NKT_STATS=<n>` the run samples kinetic energy and mesh volume
+//! (the ALE invariant) every n steps into a byte-deterministic
+//! `results/STATS_flapping_wing_ale.json`; `NKT_HEALTH=1` arms the
+//! NaN/Inf and KE-growth watchdog rules.
 
 use nektar_repro::mesh::wing_box_mesh;
 use nektar_repro::mpi::prelude::*;
 use nektar_repro::nektar::ale::{AleConfig, NektarAle};
+use nektar_repro::nektar::stats::{sample_ale, ALE_CHANNELS};
 use nektar_repro::net::{cluster, NetId};
 use nektar_repro::partition::{partition_kway, Graph, PartitionOptions};
+use nektar_repro::stats::{RuleLimits, StatsRecorder};
 
 fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
     p: usize,
@@ -28,6 +35,12 @@ fn main() {
     if nektar_repro::prof::enabled() {
         nektar_repro::prof::prepare();
     }
+    let stats_every = nektar_repro::stats::effective_every();
+    let health = nektar_repro::stats::health_enabled();
+    if stats_every.is_some() {
+        nektar_repro::stats::prepare();
+    }
+    nektar_repro::trace::flight::set_run("flapping_wing_ale");
     let mesh = wing_box_mesh(1);
     println!(
         "flapping-wing domain 10x5x5, {} hex elements (paper: 15,870 at order 4)",
@@ -53,32 +66,59 @@ fn main() {
     let out = run(p, cluster(NetId::RoadRunnerMyr), move |c| {
         let mut solver = NektarAle::new(c, mesh.clone(), &part, cfg.clone());
         solver.set_initial(c, |_| [1.0, 0.0, 0.0]);
+        let mut rec =
+            StatsRecorder::new(ALE_CHANNELS.to_vec(), stats_every.unwrap_or(0), c.size());
+        let limits = RuleLimits::default();
         // NKT_CKPT_EVERY=<n> enables coordinated checkpoint epochs; the
         // ALE restore additionally rebuilds the moving-mesh operators.
+        // The stats recorder rides in the same tandem shard.
         let ckpt = nektar_repro::ckpt::CkptConfig::from_env("flapping_wing_ale");
         if ckpt.enabled() {
-            if let Ok(info) = solver.restore_ckpt(c, &ckpt) {
+            if let Ok(info) = solver.restore_ckpt_with(c, &ckpt, &mut rec) {
                 if c.rank() == 0 {
                     println!("resumed from checkpoint epoch {} (step {})", info.epoch, info.step);
                 }
             }
         }
+        rec.rebaseline(c);
         for step in (solver.steps() + 1)..=2 {
             solver.step(c);
-            if ckpt.should(step) {
-                if let Err(e) = nektar_repro::ckpt::write_epoch(c, &ckpt, step, &solver) {
-                    eprintln!("checkpoint write failed: {e}");
+            if rec.due(step as u64) {
+                if let Err(e) =
+                    sample_ale(&mut solver, c, &mut rec, step as u64, &limits, health)
+                {
+                    return Err(e);
                 }
             }
+            if ckpt.should(step) {
+                rec.fold(c);
+                let tandem = nektar_repro::ckpt::Tandem { main: &solver, rider: &rec };
+                if let Err(e) = nektar_repro::ckpt::write_epoch(c, &ckpt, step, &tandem) {
+                    eprintln!("checkpoint write failed: {e}");
+                }
+                rec.rebaseline(c);
+            }
         }
-        (
+        if c.rank() == 0 && stats_every.is_some() {
+            match rec.write("flapping_wing_ale") {
+                Ok(path) => println!("stats: wrote {}", path.display()),
+                Err(e) => eprintln!("stats: cannot write STATS_flapping_wing_ale.json: {e}"),
+            }
+        }
+        Ok((
             solver.kinetic_energy(c),
             solver.total_volume(c),
             solver.last_iters,
             solver.clock.ale_group_percentages(),
-        )
+        ))
     });
-    let (energy, volume, (pit, vit, mit), (a, b, cgrp)) = out[0];
+    let (energy, volume, (pit, vit, mit), (a, b, cgrp)) = match &out[0] {
+        Ok(v) => *v,
+        Err(e) => {
+            println!("{e}");
+            std::process::exit(1);
+        }
+    };
     println!("after 2 ALE steps on modeled RoadRunner/Myrinet:");
     println!("  kinetic energy {energy:.4}, mesh volume {volume:.4} (conserved)");
     println!("  PCG iterations: pressure {pit}, velocity (3 comps) {vit}, mesh-velocity {mit}");

@@ -13,17 +13,30 @@
 //! (MPI attribution, comm matrix, imbalance, critical path) and a
 //! deterministic `results/PROF_fourier_dns_<net>.json` is written.
 //!
-//! Knobs: `NKT_RANKS=<p>` (default 4), `NKT_NZ=<nz>` (default 8), and
-//! `NKT_GRID=PRxPC` to run the 2-D pencil decomposition instead of the
-//! slab — e.g. `NKT_RANKS=8 NKT_GRID=4x2` runs 8 ranks where the slab
-//! would need nz >= 16. Pencil runs suffix the profile name with the
-//! grid so slab baselines stay untouched.
+//! With `NKT_STATS=<n>` each run samples online turbulence statistics
+//! (KE, dissipation, spectrum, divergence, CFL, Reynolds stresses,
+//! per-rank MPI counters) every n steps and writes a byte-deterministic
+//! `results/STATS_fourier_dns_<net>.json` — `scripts/stats_diff` gates
+//! it against the committed baseline. `NKT_HEALTH=1` arms the watchdog:
+//! a NaN/Inf in the state, runaway KE growth, or a divergence/CFL
+//! excursion aborts with a typed error naming step/rank/field and every
+//! rank dumps its flight-recorder ring. `NKT_INJECT_NAN=<s>` poisons
+//! the state after step s (rank 0, v-field) to demonstrate the trip.
+//!
+//! Knobs: `NKT_RANKS=<p>` (default 4), `NKT_NZ=<nz>` (default 8),
+//! `NKT_STEPS=<n>` (default 3), and `NKT_GRID=PRxPC` to run the 2-D
+//! pencil decomposition instead of the slab — e.g. `NKT_RANKS=8
+//! NKT_GRID=4x2` runs 8 ranks where the slab would need nz >= 16.
+//! Pencil runs suffix the profile/stats name with the grid so slab
+//! baselines stay untouched.
 
 use nektar_repro::mesh::rect_quads;
 use nektar_repro::mpi::prelude::*;
 use nektar_repro::nektar::fourier::{FourierConfig, NektarF};
+use nektar_repro::nektar::stats::{sample_fourier, FOURIER_CHANNELS};
 use nektar_repro::nektar::timers::Stage;
 use nektar_repro::net::{cluster, NetId};
+use nektar_repro::stats::{HealthError, RuleLimits, StatsRecorder};
 
 fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
     p: usize,
@@ -33,15 +46,32 @@ fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
     World::from_env().ranks(p).net(net).run(f)
 }
 
+type RunOutcome = (
+    f64,
+    nektar_repro::nektar::timers::StageClock,
+    f64,
+    f64,
+    u64,
+    (&'static str, (usize, usize)),
+);
+
 fn main() {
     if nektar_repro::prof::enabled() {
         nektar_repro::prof::prepare();
+    }
+    let stats_every = nektar_repro::stats::effective_every();
+    let health = nektar_repro::stats::health_enabled();
+    if stats_every.is_some() {
+        nektar_repro::stats::prepare();
     }
     let env_usize = |key: &str, default: usize| {
         std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
     };
     let p = env_usize("NKT_RANKS", 4);
     let nz = env_usize("NKT_NZ", 8);
+    let nsteps = env_usize("NKT_STEPS", 3);
+    let inject_nan: Option<u64> =
+        std::env::var("NKT_INJECT_NAN").ok().and_then(|v| v.parse().ok());
     let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, 3, 3);
     let cfg = FourierConfig {
         order: 4,
@@ -65,42 +95,93 @@ fn main() {
     for net_id in [NetId::RoadRunnerMyr, NetId::RoadRunnerEth] {
         let net = cluster(net_id);
         let name = net.name;
+        // The run name keys every artifact of this configuration: the
+        // profile, the STATS series, the flight-recorder dumps.
+        let mut run_name = format!("fourier_dns_{}", nektar_repro::prof::slug(name));
+        if let Ok(grid) = std::env::var("NKT_GRID") {
+            if grid.split('x').nth(1).is_some_and(|pc| pc != "1") {
+                run_name.push_str(&format!("_grid{grid}"));
+            }
+        }
+        nektar_repro::trace::flight::set_run(&run_name);
         let mesh = mesh.clone();
         let cfg = cfg.clone();
-        let out = run(p, net, move |c| {
+        let run_name_in = run_name.clone();
+        let out: Vec<Result<RunOutcome, HealthError>> = run(p, net, move |c| {
             let mut solver = NektarF::new(c, &mesh, cfg.clone());
             solver.set_initial(init);
+            let mut rec = StatsRecorder::new(
+                FOURIER_CHANNELS.to_vec(),
+                stats_every.unwrap_or(0),
+                c.size(),
+            );
+            let limits = RuleLimits::default();
             // NKT_CKPT_EVERY=<n> enables coordinated checkpoint epochs;
-            // a restart of this example resumes from the newest one.
-            let ckpt = nektar_repro::ckpt::CkptConfig::from_env(&format!("fourier_dns_{name}"));
+            // a restart of this example resumes from the newest one. The
+            // stats recorder rides in the same tandem shard, so the
+            // series survives the cut bitwise.
+            let ckpt = nektar_repro::ckpt::CkptConfig::from_env(&run_name_in);
             if ckpt.enabled() {
-                if let Ok(info) = nektar_repro::ckpt::restore_latest(c, &ckpt, &mut solver) {
+                let mut tandem =
+                    nektar_repro::ckpt::TandemMut { main: &mut solver, rider: &mut rec };
+                if let Ok(info) = nektar_repro::ckpt::restore_latest(c, &ckpt, &mut tandem) {
                     if c.rank() == 0 {
-                        println!("   resumed from checkpoint epoch {} (step {})", info.epoch, info.step);
+                        println!(
+                            "   resumed from checkpoint epoch {} (step {})",
+                            info.epoch, info.step
+                        );
                     }
                 }
             }
-            for step in (solver.steps() + 1)..=3 {
+            // Baseline past all setup/restore traffic: the recorder's
+            // ledger counts solver step traffic only.
+            rec.rebaseline(c);
+            for step in (solver.steps() + 1) as u64..=nsteps as u64 {
                 solver.step(c);
-                if ckpt.should(step) {
-                    if let Err(e) = nektar_repro::ckpt::write_epoch(c, &ckpt, step, &solver) {
+                if inject_nan == Some(step) && c.rank() == 0 {
+                    solver.fields[0][1].a[0] = f64::NAN;
+                }
+                if rec.due(step) {
+                    sample_fourier(&mut solver, c, &mut rec, step, &limits, health)?;
+                }
+                if ckpt.should(step as usize) {
+                    rec.fold(c);
+                    let tandem = nektar_repro::ckpt::Tandem { main: &solver, rider: &rec };
+                    if let Err(e) = nektar_repro::ckpt::write_epoch(c, &ckpt, step as usize, &tandem)
+                    {
                         eprintln!("checkpoint write failed: {e}");
                     }
+                    rec.rebaseline(c);
+                }
+            }
+            if c.rank() == 0 && stats_every.is_some() {
+                match rec.write(&run_name_in) {
+                    Ok(path) => println!("stats: wrote {}", path.display()),
+                    Err(e) => eprintln!("stats: cannot write STATS_{run_name_in}.json: {e}"),
                 }
             }
             use nektar_repro::ckpt::Checkpointable;
-            (
+            Ok((
                 solver.kinetic_energy(c),
                 solver.clock.clone(),
                 c.busy(),
                 c.wtime(),
                 solver.state_hash(),
                 (solver.decomp_name(), solver.grid()),
-            )
+            ))
         });
-        let (energy, clock, busy, wall, hash, (decomp, (pr, pc))) = &out[0];
+        let first = match &out[0] {
+            Ok(v) => v,
+            Err(e) => {
+                // Typed abort: the watchdog names step/rank/field; each
+                // rank has already dumped FLIGHT_<run>_r<rank>.json.
+                println!("{e}");
+                std::process::exit(1);
+            }
+        };
+        let (energy, clock, busy, wall, hash, (decomp, (pr, pc))) = first;
         println!("== {name}: {p} ranks, {decomp} decomposition ({pr}x{pc} grid) ==");
-        println!("   kinetic energy after 3 steps: {energy:.5}");
+        println!("   kinetic energy after {nsteps} steps: {energy:.5}");
         println!("   rank-0 CPU {busy:.4}s vs wall {wall:.4}s (difference = network idle)");
         // The FNV state hash is overlap-invariant: scripts/verify.sh
         // reruns this example with NKT_OVERLAP=0 and diffs these lines.
@@ -117,20 +198,15 @@ fn main() {
         );
         println!();
         if nektar_repro::prof::enabled() {
-            let mut run = format!("fourier_dns_{}", nektar_repro::prof::slug(name));
-            if *pc > 1 {
-                // Keep slab baselines separate from pencil profiles.
-                run.push_str(&format!("_grid{pr}x{pc}"));
-            }
             let threads = nektar_repro::trace::take_collected();
-            let prof = nektar_repro::prof::Profile::build(&run, &threads);
+            let prof = nektar_repro::prof::Profile::build(&run_name, &threads);
             print!("{}", prof.report());
             // Self-check: the profile's per-stage attributed times must
             // agree with the solvers' own StageClock ledgers (merged
             // over ranks) — the same 1% contract the trace smoke keeps.
             let mut ledger = nektar_repro::nektar::timers::StageClock::new();
-            for (_, clock, ..) in &out {
-                ledger.merge(clock);
+            for r in out.iter().flatten() {
+                ledger.merge(&r.1);
             }
             let rows: Vec<(&str, f64)> = Stage::ALL
                 .iter()
@@ -140,7 +216,7 @@ fn main() {
             println!("prof: stage ledger max rel err {:.4}%", 100.0 * err);
             match prof.write() {
                 Ok(path) => println!("prof: wrote {}", path.display()),
-                Err(e) => eprintln!("prof: cannot write PROF_{run}.json: {e}"),
+                Err(e) => eprintln!("prof: cannot write PROF_{run_name}.json: {e}"),
             }
         }
     }

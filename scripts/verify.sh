@@ -130,6 +130,67 @@ cargo run --release --offline -p nkt-prof --bin prof_diff -- \
 cargo run --release --offline -p nkt-prof --bin prof_diff -- \
     --fresh "$prof_a" || echo "prof_diff: drift noted (dry run, not gating)"
 
+echo "== stats smoke (NKT_STATS=1: byte determinism, restart identity, watchdog trip) =="
+# Online statistics are serialized from the virtual timeline: two fresh
+# instrumented runs must write byte-identical STATS_*.json (DESIGN.md
+# §14).
+stats_a="$(mktemp -d)"
+stats_b="$(mktemp -d)"
+stats_ck="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$prof_a" "$prof_b" "$stats_a" "$stats_b" "$stats_ck"' EXIT
+NKT_STATS=1 NKT_TRACE_DIR="$stats_a" \
+    cargo run --release --offline --example fourier_dns > /dev/null
+NKT_STATS=1 NKT_TRACE_DIR="$stats_b" \
+    cargo run --release --offline --example fourier_dns > /dev/null
+for f in "$stats_a"/STATS_*.json; do
+    name="$(basename "$f")"
+    if ! cmp -s "$f" "$stats_b/$name"; then
+        echo "FAIL: $name differs between two identical instrumented runs" >&2
+        exit 1
+    fi
+done
+# Restart identity: the recorder rides in the checkpoint tandem shard,
+# so a run resumed from the epoch-2 cut must reproduce the full series
+# bitwise — samples before the cut restored, ledger counters rebased.
+NKT_STATS=1 NKT_CKPT_EVERY=2 NKT_CKPT_DIR="$stats_ck" NKT_TRACE_DIR="$stats_b" \
+    cargo run --release --offline --example fourier_dns > /dev/null
+NKT_STATS=1 NKT_CKPT_EVERY=2 NKT_CKPT_DIR="$stats_ck" NKT_TRACE_DIR="$stats_ck" \
+    cargo run --release --offline --example fourier_dns > "$stats_ck/out.txt"
+grep -q 'resumed from checkpoint' "$stats_ck/out.txt"
+for f in "$stats_b"/STATS_*.json; do
+    name="$(basename "$f")"
+    if ! cmp -s "$f" "$stats_ck/$name"; then
+        echo "FAIL: $name differs between a straight run and a restart from the cut" >&2
+        exit 1
+    fi
+done
+# Watchdog trip: poisoning the state at step 2 must abort with a typed
+# error naming step/rank/field, and every rank dumps its flight ring.
+nan_out="$(NKT_HEALTH=1 NKT_INJECT_NAN=2 NKT_TRACE_DIR="$stats_a" \
+    cargo run --release --offline --example fourier_dns || true)"
+if ! grep -q "non-finite value in field 'v' on rank 0 at step 2" <<< "$nan_out"; then
+    echo "FAIL: NaN injection did not trip the watchdog with the typed error" >&2
+    echo "$nan_out" >&2
+    exit 1
+fi
+for r in 0 1 2 3; do
+    if [[ ! -f "$stats_a/FLIGHT_fourier_dns_roadrunner_myr_r$r.json" ]]; then
+        echo "FAIL: rank $r did not dump its flight recorder on the watchdog trip" >&2
+        exit 1
+    fi
+done
+# Serial recorder goes through the same schema/gate.
+NKT_STATS=1 NKT_TRACE_DIR="$stats_a" \
+    cargo run --release --offline --example cylinder_wake > /dev/null
+# Self-diff is a pure parse check; then a dry run against the committed
+# baselines notes drift without gating (baselines refresh alongside
+# intentional physics changes). Gate deliberately with:
+# scripts/stats_diff
+cargo run --release --offline -p nkt-stats --bin stats_diff -- \
+    --fresh "$stats_a" --baseline "$stats_a" > /dev/null
+cargo run --release --offline -p nkt-stats --bin stats_diff -- \
+    --fresh "$stats_a" || echo "stats_diff: drift noted (dry run, not gating)"
+
 echo "== bench harness smoke (fast mode) + bench_diff dry run =="
 NKT_BENCH_FAST=1 NKT_RESULTS_DIR="$trace_dir" \
     cargo bench --offline -p nkt-bench > /dev/null
