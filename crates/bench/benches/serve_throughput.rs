@@ -1,0 +1,89 @@
+//! Serving-engine benchmarks: end-to-end `nkt_serve::serve` latency for
+//! a small contended batch, plus the scheduler's deterministic figures
+//! (ticks, preemptions, queue wait) recorded as exact baselines. Emits
+//! `results/BENCH_serve.json`.
+//!
+//! Two kinds of entries, mirroring `overlap_ablation`:
+//!
+//! * `bench` entries time the host-side cost of running a whole batch
+//!   through admission, the tick barrier, one checkpoint-backed
+//!   eviction, and the resume — the serving engine's overhead on top of
+//!   the solvers themselves.
+//! * `report` entries pin the *schedule*: tick count, eviction count and
+//!   total queue-wait ticks are pure functions of the batch, so
+//!   `bench_diff` flags any scheduler change that shifts them, exactly
+//!   like a modeled virtual-clock number.
+
+use nkt_net::NetId;
+use nkt_serve::{serve, JobSpec, ServeConfig, SolverKind};
+use nkt_testkit::{Bench, Throughput};
+use std::path::PathBuf;
+
+/// Minimal eviction drama: a 2-rank Fourier victim cutting every step
+/// and a high-priority serial latecomer fighting over one world slot.
+fn batch() -> Vec<JobSpec> {
+    vec![
+        JobSpec {
+            name: "victim".into(),
+            tenant: "cfd".into(),
+            solver: SolverKind::Fourier { nz: 4, pr: 2, pc: 1 },
+            ranks: 2,
+            net: NetId::RoadRunnerMyr,
+            steps: 4,
+            priority: 0,
+            ckpt_every: 1,
+            stats_every: 0,
+            submit_tick: 0,
+        },
+        JobSpec {
+            name: "intruder".into(),
+            tenant: "viz".into(),
+            solver: SolverKind::Serial2d,
+            ranks: 1,
+            net: NetId::MusesLam,
+            steps: 1,
+            priority: 10,
+            ckpt_every: 0,
+            stats_every: 0,
+            submit_tick: 1,
+        },
+    ]
+}
+
+fn rank_steps(jobs: &[JobSpec]) -> u64 {
+    jobs.iter().map(|j| j.steps * j.ranks as u64).sum()
+}
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("nkt_bench_serve_{}", std::process::id()));
+    let cfg = |sub: &str| -> ServeConfig {
+        ServeConfig { root: root.join(sub), max_worlds: 1 }
+    };
+
+    let mut b = Bench::new("serve");
+
+    // Host-side engine cost: the whole contended batch, eviction included.
+    let mut g = b.group("engine");
+    g.throughput(Throughput::Elements(rank_steps(&batch())));
+    g.sample_size(3);
+    g.bench("contended_batch", || {
+        serve(batch(), &cfg("timed")).expect("bench serve")
+    });
+    g.finish();
+
+    // The schedule itself, pinned exactly: any drift here is a scheduler
+    // semantics change, not noise.
+    let rep = serve(batch(), &cfg("pinned")).expect("pinned serve");
+    assert!(rep.jobs.iter().all(|j| j.finished()), "bench batch must finish");
+    assert!(rep.preemptions >= 1, "the intruder must evict the victim");
+    let waited: u64 = rep.jobs.iter().map(|j| j.queue_wait_ticks).sum();
+    let mut g = b.group("schedule");
+    g.report("ticks", rep.ticks as f64);
+    g.report("preemptions", rep.preemptions as f64);
+    g.report("queue_wait_ticks", waited as f64);
+    g.finish();
+
+    let path: PathBuf = b.finish();
+    let _ = std::fs::remove_dir_all(&root);
+    eprintln!("serve bench -> {}", path.display());
+}

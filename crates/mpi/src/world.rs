@@ -64,6 +64,9 @@ impl World {
             opts: WorldOpts::default(),
             on_rank_start: None,
             on_rank_exit: None,
+            trace_scope: None,
+            trace_dir: None,
+            flight_run: None,
         }
     }
 
@@ -81,6 +84,9 @@ pub struct WorldBuilder {
     opts: WorldOpts,
     on_rank_start: Option<RankHook>,
     on_rank_exit: Option<RankHook>,
+    trace_scope: Option<u64>,
+    trace_dir: Option<std::path::PathBuf>,
+    flight_run: Option<String>,
 }
 
 impl WorldBuilder {
@@ -119,6 +125,35 @@ impl WorldBuilder {
         self
     }
 
+    /// Tags every rank thread with a trace isolation scope (see
+    /// `nkt_trace::set_thread_scope`): the world's spans/counters drain
+    /// into the collector under this scope, so concurrent worlds in one
+    /// process keep separate trace state and
+    /// `nkt_trace::take_collected_for(scope)` retrieves exactly this
+    /// world's data.
+    pub fn trace_scope(mut self, scope: u64) -> Self {
+        self.trace_scope = Some(scope);
+        self
+    }
+
+    /// Routes every rank thread's observability artifacts (STATS dumps,
+    /// flight-recorder post-mortems — anything resolved through
+    /// `nkt_trace::out_dir()`) into `dir` instead of the process-global
+    /// default, without touching env vars other worlds may be reading.
+    pub fn trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Names the flight-recorder run for every rank thread (see
+    /// `nkt_trace::flight::set_thread_run`), so a failing rank's dump is
+    /// `FLIGHT_<run>_r<rank>.json` under this world's name even when
+    /// other worlds run concurrently.
+    pub fn flight_run(mut self, run: impl Into<String>) -> Self {
+        self.flight_run = Some(run.into());
+        self
+    }
+
     /// Hook run on every rank after the rank closure returns — e.g.
     /// flush a final checkpoint epoch or assert quiescence
     /// ([`Comm::quiesce`]) before the world tears down.
@@ -149,6 +184,9 @@ impl WorldBuilder {
         let opts = self.opts;
         let on_start = self.on_rank_start;
         let on_exit = self.on_rank_exit;
+        let trace_scope = self.trace_scope;
+        let trace_dir = self.trace_dir;
+        let flight_run = self.flight_run;
         let poison = Arc::new(AtomicBool::new(false));
         let blocked = Arc::new(BlockTable::new(p));
         let mut txs = Vec::with_capacity(p);
@@ -168,12 +206,26 @@ impl WorldBuilder {
                 let blocked = Arc::clone(&blocked);
                 let on_start = on_start.clone();
                 let on_exit = on_exit.clone();
+                let trace_dir = trace_dir.clone();
+                let flight_run = flight_run.clone();
                 handles.push(scope.spawn(move || {
                     // If this rank unwinds, poison the world so peers blocked
                     // in recv panic too instead of deadlocking (every rank
                     // holds sender clones to every rank, itself included, so
                     // channel disconnection alone cannot wake them).
                     let _guard = PoisonOnPanic(Arc::clone(&poison));
+                    // Isolation knobs go first so everything the rank
+                    // records — including its thread meta — lands in the
+                    // right scope and directory.
+                    if let Some(s) = trace_scope {
+                        nkt_trace::set_thread_scope(s);
+                    }
+                    if trace_dir.is_some() {
+                        nkt_trace::set_thread_dir(trace_dir);
+                    }
+                    if let Some(run) = &flight_run {
+                        nkt_trace::flight::set_thread_run(Some(run));
+                    }
                     nkt_trace::set_thread_meta(format!("rank {rank}"), Some(rank));
                     let mut comm =
                         Comm::new(rank, p, net, txs, rx, poison, blocked, opts.recv_deadline);

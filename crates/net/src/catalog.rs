@@ -37,6 +37,47 @@ pub enum NetId {
 }
 
 impl NetId {
+    /// All eleven configurations in catalog order.
+    pub const ALL: [NetId; 11] = [
+        NetId::Ap3000,
+        NetId::Sp2Thin2,
+        NetId::Sp2Silver,
+        NetId::MusesMpich,
+        NetId::MusesLam,
+        NetId::Onyx2,
+        NetId::RoadRunnerEth,
+        NetId::RoadRunnerMyr,
+        NetId::T3e,
+        NetId::Ncsa,
+        NetId::Hitachi,
+    ];
+
+    /// Stable machine-readable slug (lowercase, underscores) — the
+    /// inverse of [`NetId::parse`], used by job specs and artifact
+    /// names.
+    pub fn slug(self) -> &'static str {
+        match self {
+            NetId::Ap3000 => "ap3000",
+            NetId::Sp2Thin2 => "sp2_thin2",
+            NetId::Sp2Silver => "sp2_silver",
+            NetId::MusesMpich => "muses_mpich",
+            NetId::MusesLam => "muses_lam",
+            NetId::Onyx2 => "onyx2",
+            NetId::RoadRunnerEth => "roadrunner_eth",
+            NetId::RoadRunnerMyr => "roadrunner_myr",
+            NetId::T3e => "t3e",
+            NetId::Ncsa => "ncsa",
+            NetId::Hitachi => "hitachi",
+        }
+    }
+
+    /// Parses a [`NetId::slug`] back to its id (`None` for unknown
+    /// names). Matching is case-insensitive.
+    pub fn parse(s: &str) -> Option<NetId> {
+        let want = s.trim().to_ascii_lowercase();
+        NetId::ALL.into_iter().find(|id| id.slug() == want)
+    }
+
     /// Paper display name.
     pub fn name(self) -> &'static str {
         cluster(self).name
@@ -276,5 +317,16 @@ mod tests {
         for id in [NetId::Sp2Silver, NetId::Ap3000, NetId::Sp2Thin2, NetId::RoadRunnerMyr] {
             assert!(t3e > cluster(id).inter.bandwidth_mbs);
         }
+    }
+
+    #[test]
+    fn slugs_round_trip_and_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for id in NetId::ALL {
+            assert!(seen.insert(id.slug()), "duplicate slug {}", id.slug());
+            assert_eq!(NetId::parse(id.slug()), Some(id));
+            assert_eq!(NetId::parse(&id.slug().to_ascii_uppercase()), Some(id));
+        }
+        assert_eq!(NetId::parse("not_a_net"), None);
     }
 }

@@ -26,6 +26,7 @@ fn vspan(
 fn rank_thread(tid: u64, rank: usize, events: Vec<SpanEvent>) -> ThreadData {
     ThreadData {
         tid,
+        scope: 0,
         rank: Some(rank),
         name: Some(format!("rank {rank}")),
         events,

@@ -1,0 +1,497 @@
+//! Executes one scheduling *slice* of a job: spin up the job's virtual
+//! cluster, restore from the newest checkpoint epoch if one exists, step
+//! until the budget is spent or the scheduler preempts at an epoch cut,
+//! and (on finish) write the job's `STATS_` artifact and manifest.
+//!
+//! ## Preemption protocol (worker side)
+//!
+//! At every interior checkpoint cut the solver folds its stats, writes
+//! the epoch, and then rank 0 exchanges with the scheduler:
+//! `Event::AtCut` out, one [`Directive`] back, broadcast to the peer
+//! ranks as a single f64 over the job's own net model. The exchange sits
+//! *inside* the fold/rebaseline bracket, so the engine round-trip is
+//! excluded from the stats MPI ledger — a preempted-and-resumed run and
+//! an uninterrupted run perform byte-identical sampling. `Preempt`
+//! breaks the step loop right after the epoch landed: the on-disk state
+//! is exactly the state the next slice restores, which is what makes
+//! eviction bitwise invisible.
+//!
+//! Final-step cuts skip the exchange — the job is about to exit anyway,
+//! and the scheduler expects exactly one event per running job per tick.
+
+use crate::sched::{Directive, Event};
+use crate::spec::{host_machine, JobSpec, SolverKind};
+use crate::store::{write_manifest, ArtifactEntry, ManifestData};
+use nektar::ale::{AleConfig, NektarAle};
+use nektar::fourier::{FourierConfig, NektarF};
+use nektar::serial2d::{Serial2dSolver, SolverConfig};
+use nektar::stats::{sample_ale, sample_fourier, sample_serial2d};
+use nektar::stats::{ALE_CHANNELS, FOURIER_CHANNELS, SERIAL2D_CHANNELS};
+use nkt_ckpt::{
+    restore_latest, restore_latest_serial, write_epoch, write_epoch_serial, Checkpointable,
+    CkptConfig, Tandem, TandemMut,
+};
+use nkt_mesh::{bluff_body_mesh, rect_quads, wing_box_mesh};
+use nkt_mpi::{Comm, World};
+use nkt_net::cluster;
+use nkt_partition::{partition_kway, Graph, PartitionOptions};
+use nkt_stats::{RuleLimits, StatsRecorder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Mutex;
+
+/// Final numbers a finished job reports back through the scheduler.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// FNV hash of the full solver state at the final step.
+    pub state_hash: u64,
+    /// Steps executed (== the spec's budget).
+    pub steps: u64,
+    /// Final kinetic energy — a physical smoke value for callers.
+    pub energy: f64,
+}
+
+/// How a slice ended.
+#[derive(Debug)]
+pub(crate) enum SliceExit {
+    Finished(JobResult),
+    /// Evicted at the epoch cut after `step`; state is on disk.
+    Preempted { step: u64 },
+    Failed(String),
+}
+
+/// Everything a slice needs besides its channel endpoints.
+pub(crate) struct SliceCtx {
+    pub job_id: usize,
+    pub spec: JobSpec,
+    /// Per-job artifact directory.
+    pub dir: PathBuf,
+    /// Trace scope tagging this job's rank threads; constant across
+    /// slices so preempted spans and the finishing slice drain together.
+    pub scope: u64,
+    /// Preemptions suffered so far (manifest bookkeeping).
+    pub preemptions: u64,
+    /// Eligible-but-queued ticks so far (manifest bookkeeping).
+    pub wait_ticks: u64,
+    pub event_tx: Sender<Event>,
+    pub directive_rx: Receiver<Directive>,
+}
+
+/// Worker-thread entry point: runs the slice, exports per-job
+/// trace/profile artifacts on finish, and always sends exactly one
+/// `Event::Exited` — even if the world panicked.
+pub(crate) fn run_slice(ctx: SliceCtx) {
+    let SliceCtx { job_id, spec, dir, scope, preemptions, wait_ticks, event_tx, directive_rx } =
+        ctx;
+    let jc = JobCtx { job_id, spec, dir, scope, preemptions, wait_ticks };
+    // The worker thread itself records under the job's identity too:
+    // spans emitted here (artifact export) belong to the job, and any
+    // flight dump from a failure lands in the job's directory.
+    nkt_trace::set_thread_scope(jc.scope);
+    nkt_trace::set_thread_dir(Some(jc.dir.clone()));
+    nkt_trace::flight::set_thread_run(Some(&jc.spec.name));
+    let exit = catch_unwind(AssertUnwindSafe(|| match jc.spec.solver {
+        SolverKind::Fourier { .. } => run_fourier(&jc, &event_tx, directive_rx),
+        SolverKind::Serial2d => run_serial2d(&jc, &event_tx, directive_rx),
+        SolverKind::Ale => run_ale(&jc, &event_tx, directive_rx),
+    }))
+    .unwrap_or_else(|p| {
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic>".to_string());
+        SliceExit::Failed(format!("world panicked: {msg}"))
+    });
+    if !matches!(exit, SliceExit::Preempted { .. }) {
+        export_job_observability(&jc);
+    }
+    // The scheduler owns the receiver for the whole batch; a send can
+    // only fail if serve() itself already bailed out.
+    let _ = event_tx.send(Event::Exited { job: job_id, exit });
+}
+
+struct JobCtx {
+    job_id: usize,
+    spec: JobSpec,
+    dir: PathBuf,
+    scope: u64,
+    preemptions: u64,
+    wait_ticks: u64,
+}
+
+impl JobCtx {
+    fn ckpt(&self) -> CkptConfig {
+        let every = (self.spec.ckpt_every > 0).then_some(self.spec.ckpt_every);
+        CkptConfig::new(self.dir.clone(), &self.spec.name, every)
+    }
+}
+
+/// Per-rank end state of a slice; only rank 0's copy is consulted.
+struct RankEnd {
+    preempted_at: Option<u64>,
+    hash: u64,
+    steps: u64,
+    energy: f64,
+}
+
+/// Rank 0 asks the scheduler whether to continue past this epoch cut;
+/// the verdict rides to the peers as one f64 over the job's own net.
+/// Returns false to preempt. A vanished scheduler reads as `Preempt`:
+/// the epoch just landed, so stopping here is always safe.
+fn exchange(
+    c: &mut Comm,
+    link: &Mutex<(Sender<Event>, Receiver<Directive>)>,
+    job: usize,
+    step: u64,
+) -> bool {
+    let mut cont = [1.0f64];
+    if c.rank() == 0 {
+        let sp = nkt_trace::span("serve.cut", "serve");
+        let l = link.lock().unwrap();
+        cont[0] = if l.0.send(Event::AtCut { job, step }).is_ok() {
+            match l.1.recv() {
+                Ok(Directive::Continue) => 1.0,
+                Ok(Directive::Preempt) | Err(_) => 0.0,
+            }
+        } else {
+            0.0
+        };
+        drop(l);
+        drop(sp);
+    }
+    c.bcast(0, &mut cont);
+    cont[0] >= 1.0
+}
+
+/// Serial twin of [`exchange`] — no broadcast, no lock.
+fn exchange_serial(
+    tx: &Sender<Event>,
+    rx: &Receiver<Directive>,
+    job: usize,
+    step: u64,
+) -> bool {
+    let sp = nkt_trace::span("serve.cut", "serve");
+    let cont = if tx.send(Event::AtCut { job, step }).is_ok() {
+        matches!(rx.recv(), Ok(Directive::Continue))
+    } else {
+        false
+    };
+    drop(sp);
+    cont
+}
+
+/// Rank 0's finishing duties: STATS artifact (when sampling), then the
+/// deterministic manifest inventorying everything in the job directory.
+fn finish_rank0(
+    jc: &JobCtx,
+    rec: &StatsRecorder,
+    hash: u64,
+    steps: u64,
+    ckpt: &CkptConfig,
+) -> Result<(), String> {
+    let spec = &jc.spec;
+    std::fs::create_dir_all(&jc.dir).map_err(|e| format!("create {}: {e}", jc.dir.display()))?;
+    let mut artifacts = Vec::new();
+    if spec.stats_every > 0 {
+        let body = rec.to_json(&spec.name);
+        let name = format!("STATS_{}.json", spec.name);
+        std::fs::write(jc.dir.join(&name), &body).map_err(|e| format!("write {name}: {e}"))?;
+        artifacts.push(ArtifactEntry::hashed(name, body.as_bytes()));
+    }
+    if ckpt.enabled() {
+        let mut epochs = ckpt.list_epochs();
+        epochs.sort_unstable();
+        for e in epochs {
+            for r in 0..spec.ranks {
+                let shard = ckpt
+                    .shard_path(e, r)
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                artifacts.push(
+                    ArtifactEntry::hashed_shard(&jc.dir, shard)
+                        .map_err(|err| format!("hash shard e{e} r{r}: {err}"))?,
+                );
+            }
+            let man = ckpt
+                .manifest_path(e)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            artifacts.push(
+                ArtifactEntry::hashed_file(&jc.dir, man)
+                    .map_err(|err| format!("hash ckpt manifest e{e}: {err}"))?,
+            );
+        }
+    }
+    if nkt_trace::mode() == nkt_trace::TraceMode::Spans {
+        artifacts.push(ArtifactEntry::named(format!("TRACE_{}.json", spec.name)));
+    }
+    if nkt_prof::enabled() {
+        artifacts.push(ArtifactEntry::named(format!(
+            "PROF_{}.json",
+            nkt_prof::slug(&spec.name)
+        )));
+    }
+    let m = ManifestData {
+        spec,
+        machine: nkt_machine::machine(host_machine(spec.net)).name,
+        state_hash: hash,
+        steps_done: steps,
+        preemptions: jc.preemptions,
+        queue_wait_ticks: jc.wait_ticks,
+        artifacts,
+    };
+    write_manifest(&jc.dir, &m).map_err(|e| format!("write manifest: {e}"))?;
+    Ok(())
+}
+
+/// Drains the job's scope from the trace collector and writes the
+/// per-job `TRACE_`/`PROF_` artifacts (when tracing/profiling is on).
+/// Runs on the worker thread after the world joined, so every rank's
+/// buffer — including ones parked there by preempted slices — is in.
+fn export_job_observability(jc: &JobCtx) {
+    let tracing = nkt_trace::mode() == nkt_trace::TraceMode::Spans;
+    let profiling = nkt_prof::enabled();
+    if !tracing && !profiling {
+        return;
+    }
+    let threads = nkt_trace::take_collected_for(jc.scope);
+    if threads.is_empty() {
+        return;
+    }
+    if let Err(e) = std::fs::create_dir_all(&jc.dir) {
+        eprintln!("serve: cannot create {}: {e}", jc.dir.display());
+        return;
+    }
+    if tracing {
+        let path = jc.dir.join(format!("TRACE_{}.json", jc.spec.name));
+        if let Err(e) = std::fs::write(&path, nkt_trace::export::chrome_json(&threads)) {
+            eprintln!("serve: cannot write {}: {e}", path.display());
+        }
+    }
+    if profiling {
+        let profile = nkt_prof::Profile::build(&jc.spec.name, &threads);
+        if let Err(e) = profile.write_to(&jc.dir) {
+            eprintln!("serve: cannot write profile for {}: {e}", jc.spec.name);
+        }
+    }
+}
+
+/// Folds per-rank outcomes into the slice verdict. Errors are collective
+/// in this codebase (samplers and checkpoint writes return the same
+/// typed error on every rank), so rank 0 speaks for the world.
+fn slice_exit(outs: Vec<Result<RankEnd, String>>) -> SliceExit {
+    match outs.into_iter().next().expect("world returned no ranks") {
+        Err(e) => SliceExit::Failed(e),
+        Ok(end) => match end.preempted_at {
+            Some(step) => SliceExit::Preempted { step },
+            None => SliceExit::Finished(JobResult {
+                state_hash: end.hash,
+                steps: end.steps,
+                energy: end.energy,
+            }),
+        },
+    }
+}
+
+fn fourier_init(x: [f64; 3]) -> [f64; 3] {
+    let pi = std::f64::consts::PI;
+    let (sx, cx) = (pi * x[0]).sin_cos();
+    let (sy, cy) = (pi * x[1]).sin_cos();
+    [
+        2.0 * pi * sx * sx * sy * cy * (1.0 + 0.3 * x[2].cos()),
+        -2.0 * pi * sx * cx * sy * sy * (1.0 + 0.3 * x[2].cos()),
+        0.0,
+    ]
+}
+
+fn run_fourier(jc: &JobCtx, tx: &Sender<Event>, rx: Receiver<Directive>) -> SliceExit {
+    let SolverKind::Fourier { nz, pr, pc } = jc.spec.solver else {
+        unreachable!("run_fourier dispatched for {:?}", jc.spec.solver)
+    };
+    let spec = &jc.spec;
+    let link = Mutex::new((tx.clone(), rx));
+    let mesh = rect_quads(0.0, 1.0, 0.0, 1.0, 3, 3);
+    let cfg = FourierConfig {
+        order: 4,
+        dt: 1e-3,
+        nu: 0.02,
+        nz,
+        lz: 2.0 * std::f64::consts::PI,
+        scheme_order: 2,
+    };
+    let health = nkt_stats::health_enabled();
+    let outs = World::from_env()
+        .ranks(spec.ranks)
+        .net(cluster(spec.net))
+        .trace_scope(jc.scope)
+        .trace_dir(jc.dir.clone())
+        .flight_run(spec.name.clone())
+        .run(|c| {
+            let mut solver = NektarF::try_new_with_grid(c, &mesh, cfg.clone(), pr, pc)
+                .map_err(|e| e.to_string())?;
+            solver.set_initial(fourier_init);
+            let mut rec =
+                StatsRecorder::new(FOURIER_CHANNELS.to_vec(), spec.stats_every, c.size());
+            let limits = RuleLimits::default();
+            let ckpt = jc.ckpt();
+            if ckpt.enabled() {
+                let mut tandem = TandemMut { main: &mut solver, rider: &mut rec };
+                let _ = restore_latest(c, &ckpt, &mut tandem);
+            }
+            rec.rebaseline(c);
+            let mut preempted_at = None;
+            for step in (solver.steps() as u64 + 1)..=spec.steps {
+                solver.step(c);
+                if rec.due(step) {
+                    sample_fourier(&mut solver, c, &mut rec, step, &limits, health)
+                        .map_err(|e| e.to_string())?;
+                }
+                if step < spec.steps && ckpt.should(step as usize) {
+                    rec.fold(c);
+                    let tandem = Tandem { main: &solver, rider: &rec };
+                    write_epoch(c, &ckpt, step as usize, &tandem).map_err(|e| e.to_string())?;
+                    let cont = exchange(c, &link, jc.spec_job_id(), step);
+                    rec.rebaseline(c);
+                    if !cont {
+                        preempted_at = Some(step);
+                        break;
+                    }
+                }
+            }
+            let hash = solver.state_hash();
+            let steps = solver.steps() as u64;
+            let energy = solver.kinetic_energy(c);
+            if preempted_at.is_none() && c.rank() == 0 {
+                finish_rank0(jc, &rec, hash, steps, &ckpt)?;
+            }
+            Ok(RankEnd { preempted_at, hash, steps, energy })
+        });
+    slice_exit(outs)
+}
+
+fn run_serial2d(jc: &JobCtx, tx: &Sender<Event>, rx: Receiver<Directive>) -> SliceExit {
+    let spec = &jc.spec;
+    // The serial solver runs on the worker thread itself; name it so its
+    // spans read like a one-rank world in the per-job timeline.
+    nkt_trace::set_thread_meta(format!("{} rank 0", spec.name), Some(0));
+    let mesh = bluff_body_mesh(1);
+    let cfg = SolverConfig { order: 4, dt: 2e-3, nu: 0.01, scheme_order: 2, advect: true };
+    let health = nkt_stats::health_enabled();
+    let run = || -> Result<RankEnd, String> {
+        let mut solver = Serial2dSolver::new(
+            mesh,
+            cfg,
+            |x| if x[0] < -14.0 { 1.0 } else { 0.0 },
+            |_| 0.0,
+        );
+        solver.set_initial(|_| 1.0, |_| 0.0);
+        let mut rec = StatsRecorder::new(SERIAL2D_CHANNELS.to_vec(), spec.stats_every, 1);
+        let limits = RuleLimits::default();
+        let ckpt = jc.ckpt();
+        if ckpt.enabled() {
+            let mut tandem = TandemMut { main: &mut solver, rider: &mut rec };
+            let _ = restore_latest_serial(&ckpt, &mut tandem);
+        }
+        let mut preempted_at = None;
+        for step in (solver.steps() as u64 + 1)..=spec.steps {
+            solver.step();
+            if rec.due(step) {
+                sample_serial2d(&mut solver, &mut rec, step, &limits, health)
+                    .map_err(|e| e.to_string())?;
+            }
+            if step < spec.steps && ckpt.should(step as usize) {
+                let tandem = Tandem { main: &solver, rider: &rec };
+                write_epoch_serial(&ckpt, step as usize, &tandem).map_err(|e| e.to_string())?;
+                if !exchange_serial(tx, &rx, jc.spec_job_id(), step) {
+                    preempted_at = Some(step);
+                    break;
+                }
+            }
+        }
+        let hash = solver.state_hash();
+        let steps = solver.steps() as u64;
+        let energy = solver.kinetic_energy();
+        if preempted_at.is_none() {
+            finish_rank0(jc, &rec, hash, steps, &ckpt)?;
+        }
+        Ok(RankEnd { preempted_at, hash, steps, energy })
+    };
+    slice_exit(vec![run()])
+}
+
+fn run_ale(jc: &JobCtx, tx: &Sender<Event>, rx: Receiver<Directive>) -> SliceExit {
+    let spec = &jc.spec;
+    let link = Mutex::new((tx.clone(), rx));
+    let mesh = wing_box_mesh(1);
+    let dual = Graph::from_edges(mesh.nelems(), &mesh.dual_edges());
+    let part = partition_kway(&dual, spec.ranks, &PartitionOptions::default());
+    let cfg = AleConfig {
+        order: 2,
+        dt: 2e-3,
+        nu: 1e-3,
+        scheme_order: 2,
+        advect: true,
+        motion_amp: 0.05,
+        motion_omega: 2.0 * std::f64::consts::PI,
+        pcg_tol: 1e-6,
+        pcg_max_iter: 2000,
+    };
+    let health = nkt_stats::health_enabled();
+    let outs = World::from_env()
+        .ranks(spec.ranks)
+        .net(cluster(spec.net))
+        .trace_scope(jc.scope)
+        .trace_dir(jc.dir.clone())
+        .flight_run(spec.name.clone())
+        .run(|c| {
+            let mut solver = NektarAle::new(c, mesh.clone(), &part, cfg.clone());
+            solver.set_initial(c, |_| [1.0, 0.0, 0.0]);
+            let mut rec = StatsRecorder::new(ALE_CHANNELS.to_vec(), spec.stats_every, c.size());
+            let limits = RuleLimits::default();
+            let ckpt = jc.ckpt();
+            if ckpt.enabled() {
+                // ALE restore rebuilds the moved-mesh operators, so it
+                // goes through the solver's own entry point.
+                let _ = solver.restore_ckpt_with(c, &ckpt, &mut rec);
+            }
+            rec.rebaseline(c);
+            let mut preempted_at = None;
+            for step in (solver.steps() as u64 + 1)..=spec.steps {
+                solver.step(c);
+                if rec.due(step) {
+                    sample_ale(&mut solver, c, &mut rec, step, &limits, health)
+                        .map_err(|e| e.to_string())?;
+                }
+                if step < spec.steps && ckpt.should(step as usize) {
+                    rec.fold(c);
+                    let tandem = Tandem { main: &solver, rider: &rec };
+                    write_epoch(c, &ckpt, step as usize, &tandem).map_err(|e| e.to_string())?;
+                    let cont = exchange(c, &link, jc.spec_job_id(), step);
+                    rec.rebaseline(c);
+                    if !cont {
+                        preempted_at = Some(step);
+                        break;
+                    }
+                }
+            }
+            let hash = solver.state_hash();
+            let steps = solver.steps() as u64;
+            let energy = solver.kinetic_energy(c);
+            if preempted_at.is_none() && c.rank() == 0 {
+                finish_rank0(jc, &rec, hash, steps, &ckpt)?;
+            }
+            Ok(RankEnd { preempted_at, hash, steps, energy })
+        });
+    slice_exit(outs)
+}
+
+impl JobCtx {
+    /// The scheduler-side job id that rides in every event.
+    fn spec_job_id(&self) -> usize {
+        self.job_id
+    }
+}

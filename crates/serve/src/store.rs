@@ -1,0 +1,273 @@
+//! Deterministic per-job results store and `MANIFEST_<job>.json` writer.
+//!
+//! Every job owns one directory under the serve root, named after the
+//! job; all of its artifacts (`STATS_`, `CKPT_`, `TRACE_`, `PROF_`,
+//! `FLIGHT_`) land there, routed through the per-thread output-dir
+//! override in `nkt-trace`. Rank 0 of the finishing slice writes a
+//! manifest (schema [`MANIFEST_SCHEMA`]) that inventories the artifacts
+//! and records the final state hash. The manifest is **byte
+//! deterministic**: no timestamps, artifacts in a fixed order, and
+//! content hashes (FNV-1a) only for files whose bytes are themselves
+//! deterministic (STATS and checkpoint files — `TRACE_`/`PROF_` carry
+//! host wall-clock times, so they are listed by name only).
+
+use crate::spec::JobSpec;
+use nkt_trace::json::quote;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest schema tag.
+pub const MANIFEST_SCHEMA: &str = "nkt-serve-1";
+
+/// FNV-1a over a byte slice — same constants as the checkpoint codec,
+/// so manifest hashes and state hashes speak one dialect.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The serve root: one directory per job underneath.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    pub fn new(root: impl Into<PathBuf>) -> Store {
+        Store { root: root.into() }
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The per-job artifact directory.
+    pub fn job_dir(&self, job: &str) -> PathBuf {
+        self.root.join(job)
+    }
+
+    /// Where the job's manifest lands.
+    pub fn manifest_path(&self, job: &str) -> PathBuf {
+        self.job_dir(job).join(format!("MANIFEST_{job}.json"))
+    }
+
+    /// Wipes and recreates a job's directory. Called once per job at its
+    /// *first* admission in a batch, so re-serving into the same root is
+    /// deterministic (no stale epochs from a previous run to restore).
+    pub fn reset_job(&self, job: &str) -> io::Result<()> {
+        let dir = self.job_dir(job);
+        match std::fs::remove_dir_all(&dir) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        std::fs::create_dir_all(&dir)
+    }
+}
+
+/// One manifest line item. `bytes`/`fnv` are present only for artifacts
+/// with deterministic contents.
+#[derive(Debug, Clone)]
+pub struct ArtifactEntry {
+    pub name: String,
+    pub bytes: Option<u64>,
+    pub fnv: Option<u64>,
+}
+
+impl ArtifactEntry {
+    /// Name-only entry (artifact exists but carries host timestamps).
+    pub fn named(name: impl Into<String>) -> ArtifactEntry {
+        ArtifactEntry { name: name.into(), bytes: None, fnv: None }
+    }
+
+    /// Entry with size and content hash, from in-memory bytes.
+    pub fn hashed(name: impl Into<String>, bytes: &[u8]) -> ArtifactEntry {
+        ArtifactEntry {
+            name: name.into(),
+            bytes: Some(bytes.len() as u64),
+            fnv: Some(fnv1a(bytes)),
+        }
+    }
+
+    /// [`ArtifactEntry::hashed`] over a file's bytes.
+    pub fn hashed_file(dir: &Path, name: impl Into<String>) -> io::Result<ArtifactEntry> {
+        let name = name.into();
+        let bytes = std::fs::read(dir.join(&name))?;
+        Ok(ArtifactEntry::hashed(name, &bytes))
+    }
+
+    /// Entry for a checkpoint *shard*: `bytes` is the file length, but
+    /// `fnv` digests the sections **excluding** the wall-clock ledger —
+    /// the same recipe as `Checkpointable::state_hash`. A shard's clock
+    /// section records host wall times, the one part of a checkpoint
+    /// that is not a pure function of the physics; hashing around it
+    /// keeps the manifest byte-deterministic across scheduler reruns.
+    pub fn hashed_shard(dir: &Path, name: impl Into<String>) -> io::Result<ArtifactEntry> {
+        let name = name.into();
+        let path = dir.join(&name);
+        let len = std::fs::metadata(&path)?.len();
+        let file = nkt_ckpt::CkptFile::open(&path)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let sections: Vec<String> = file.section_names().map(str::to_string).collect();
+        let mut h = nkt_ckpt::Fnv1a::new();
+        for s in &sections {
+            if s == nkt_ckpt::CLOCK_SECTION {
+                continue;
+            }
+            let payload = file.section(s).unwrap_or(&[]);
+            h.update(s.as_bytes());
+            h.update(&(payload.len() as u64).to_le_bytes());
+            h.update(payload);
+        }
+        Ok(ArtifactEntry { name, bytes: Some(len), fnv: Some(h.finish()) })
+    }
+}
+
+/// Everything rank 0 knows at job finish, ready to render.
+#[derive(Debug)]
+pub struct ManifestData<'a> {
+    pub spec: &'a JobSpec,
+    /// Display name of the host machine backing the job's net model.
+    pub machine: &'static str,
+    /// FNV state hash of the solver at the final step.
+    pub state_hash: u64,
+    /// Steps actually executed (== `spec.steps` for a finished job).
+    pub steps_done: u64,
+    /// Times this job was evicted and later resumed.
+    pub preemptions: u64,
+    /// Scheduler ticks the job spent eligible-but-queued.
+    pub queue_wait_ticks: u64,
+    /// Inventory, already in deterministic order.
+    pub artifacts: Vec<ArtifactEntry>,
+}
+
+/// Renders the manifest JSON. Pure function of its input — reruns with
+/// identical scheduling produce identical bytes.
+pub fn render_manifest(m: &ManifestData) -> String {
+    let s = m.spec;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": {},", quote(MANIFEST_SCHEMA));
+    let _ = writeln!(out, "  \"job\": {},", quote(&s.name));
+    let _ = writeln!(out, "  \"tenant\": {},", quote(&s.tenant));
+    let _ = writeln!(out, "  \"solver\": {},", quote(s.solver.name()));
+    let _ = writeln!(out, "  \"machine\": {},", quote(m.machine));
+    let _ = writeln!(out, "  \"net\": {},", quote(s.net.slug()));
+    let _ = writeln!(out, "  \"ranks\": {},", s.ranks);
+    if let crate::spec::SolverKind::Fourier { nz, pr, pc } = s.solver {
+        let _ = writeln!(out, "  \"grid\": {},", quote(&format!("{pr}x{pc}")));
+        let _ = writeln!(out, "  \"nz\": {nz},");
+    }
+    let _ = writeln!(out, "  \"steps\": {},", s.steps);
+    let _ = writeln!(out, "  \"priority\": {},", s.priority);
+    let _ = writeln!(out, "  \"ckpt_every\": {},", s.ckpt_every);
+    let _ = writeln!(out, "  \"stats_every\": {},", s.stats_every);
+    let _ = writeln!(out, "  \"steps_done\": {},", m.steps_done);
+    let _ = writeln!(out, "  \"preemptions\": {},", m.preemptions);
+    let _ = writeln!(out, "  \"queue_wait_ticks\": {},", m.queue_wait_ticks);
+    let _ = writeln!(out, "  \"state_hash\": {},", quote(&format!("{:016x}", m.state_hash)));
+    let _ = writeln!(out, "  \"artifacts\": [");
+    for (i, a) in m.artifacts.iter().enumerate() {
+        let comma = if i + 1 < m.artifacts.len() { "," } else { "" };
+        match (a.bytes, a.fnv) {
+            (Some(b), Some(h)) => {
+                let _ = writeln!(
+                    out,
+                    "    {{\"name\": {}, \"bytes\": {b}, \"fnv\": {}}}{comma}",
+                    quote(&a.name),
+                    quote(&format!("{h:016x}")),
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "    {{\"name\": {}}}{comma}", quote(&a.name));
+            }
+        }
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Writes `MANIFEST_<job>.json` into `dir`. Returns the path.
+pub fn write_manifest(dir: &Path, m: &ManifestData) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("MANIFEST_{}.json", m.spec.name));
+    std::fs::write(&path, render_manifest(m))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{host_machine, parse_jobs, SPEC_SCHEMA};
+
+    fn spec() -> JobSpec {
+        parse_jobs(&format!(
+            "{{\"schema\": \"{SPEC_SCHEMA}\", \"jobs\": [
+               {{\"name\": \"m\", \"solver\": \"fourier\", \"ranks\": 2,
+                 \"nz\": 4, \"steps\": 5, \"ckpt_every\": 2, \"stats_every\": 1}}]}}"
+        ))
+        .unwrap()
+        .remove(0)
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn manifest_is_byte_deterministic_and_parses() {
+        let s = spec();
+        let m = ManifestData {
+            spec: &s,
+            machine: nkt_machine::machine(host_machine(s.net)).name,
+            state_hash: 0xdead_beef,
+            steps_done: 5,
+            preemptions: 1,
+            queue_wait_ticks: 3,
+            artifacts: vec![
+                ArtifactEntry::hashed("STATS_m.json", b"{}"),
+                ArtifactEntry::named("TRACE_m.json"),
+            ],
+        };
+        let a = render_manifest(&m);
+        let b = render_manifest(&m);
+        assert_eq!(a, b);
+        let doc = nkt_trace::json::parse(&a).expect("manifest parses");
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some(MANIFEST_SCHEMA));
+        assert_eq!(doc.get("job").and_then(|v| v.as_str()), Some("m"));
+        assert_eq!(doc.get("grid").and_then(|v| v.as_str()), Some("2x1"));
+        assert_eq!(doc.get("preemptions").and_then(|v| v.as_f64()), Some(1.0));
+        let arts = doc.get("artifacts").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(arts.len(), 2);
+        assert!(arts[0].get("fnv").is_some());
+        assert!(arts[1].get("fnv").is_none());
+        assert_eq!(
+            doc.get("state_hash").and_then(|v| v.as_str()),
+            Some("00000000deadbeef")
+        );
+    }
+
+    #[test]
+    fn reset_job_wipes_stale_artifacts() {
+        let root = std::env::temp_dir().join(format!("nkt_serve_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let st = Store::new(&root);
+        std::fs::create_dir_all(st.job_dir("j")).unwrap();
+        std::fs::write(st.job_dir("j").join("stale.bin"), b"x").unwrap();
+        st.reset_job("j").unwrap();
+        assert!(st.job_dir("j").exists());
+        assert!(!st.job_dir("j").join("stale.bin").exists());
+        st.reset_job("never-made").unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

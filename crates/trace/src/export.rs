@@ -57,6 +57,24 @@ pub fn take_collected() -> Vec<ThreadData> {
     threads
 }
 
+/// Flushes the current thread, then drains and returns only the threads
+/// recorded under `scope` (see [`crate::set_thread_scope`]), leaving
+/// every other scope's data in the collector. This is the isolation
+/// primitive for concurrent worlds: each drains its own ranks' data
+/// without observing (or losing) a sibling's. Sorted by tid like
+/// [`take_collected`].
+pub fn take_collected_for(scope: u64) -> Vec<ThreadData> {
+    flush_thread();
+    let mut coll = COLLECTOR.lock().unwrap();
+    let all = std::mem::take(&mut *coll);
+    let (mut matched, rest): (Vec<_>, Vec<_>) =
+        all.into_iter().partition(|t| t.scope == scope);
+    *coll = rest;
+    drop(coll);
+    matched.sort_by_key(|t| t.tid);
+    matched
+}
+
 /// Exports everything recorded so far to `TRACE_<run>.json` in the
 /// configured directory. Returns the path, or `None` when tracing is
 /// off. Drains the collector: a second export only sees newer data.
@@ -276,12 +294,16 @@ pub fn json_f64_exact(x: f64) -> String {
     }
 }
 
-/// The directory trace artifacts go to: the in-process override from
+/// The directory trace artifacts go to: the per-thread override from
+/// [`crate::set_thread_dir`], else the process-wide override from
 /// [`crate::set_dir`], else `NKT_TRACE_DIR`, else [`results_dir`]. The
 /// flight recorder and `nkt-stats` write next to the trace dump through
-/// this, so one knob redirects every observability artifact of a run.
+/// this, so one knob redirects every observability artifact of a run —
+/// and the thread-level layer lets concurrent worlds each have their
+/// own without env-var races.
 pub fn out_dir() -> PathBuf {
-    crate::dir_override()
+    crate::thread_dir()
+        .or_else(crate::dir_override)
         .or_else(|| std::env::var("NKT_TRACE_DIR").ok().map(PathBuf::from))
         .unwrap_or_else(results_dir)
 }
@@ -326,6 +348,7 @@ mod tests {
     fn chrome_json_shape() {
         let t = ThreadData {
             tid: 7,
+            scope: 0,
             rank: Some(3),
             name: Some("rank 3".to_string()),
             events: vec![SpanEvent {
@@ -396,6 +419,23 @@ mod tests {
         let big: Vec<u64> =
             got.iter().map(|t| t.tid).filter(|&t| t >= u64::MAX - 1).collect();
         assert_eq!(big, vec![u64::MAX - 1, u64::MAX]);
+    }
+
+    #[test]
+    fn take_collected_for_drains_only_its_scope() {
+        // Park data under two synthetic scopes; draining one must return
+        // exactly its threads and leave the other's in the collector.
+        let sa = u64::MAX - 10;
+        let sb = u64::MAX - 11;
+        let _ = take_collected();
+        collect(ThreadData { tid: 1001, scope: sa, ..ThreadData::default() });
+        collect(ThreadData { tid: 1002, scope: sb, ..ThreadData::default() });
+        collect(ThreadData { tid: 1003, scope: sa, ..ThreadData::default() });
+        let got_a = take_collected_for(sa);
+        assert_eq!(got_a.iter().map(|t| t.tid).collect::<Vec<_>>(), vec![1001, 1003]);
+        let got_b = take_collected_for(sb);
+        assert_eq!(got_b.iter().map(|t| t.tid).collect::<Vec<_>>(), vec![1002]);
+        assert!(take_collected_for(sa).is_empty());
     }
 
     #[test]

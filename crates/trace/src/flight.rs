@@ -83,11 +83,32 @@ thread_local! {
 
 static RUN_NAME: Mutex<String> = Mutex::new(String::new());
 
+thread_local! {
+    static THREAD_RUN: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
 /// Names the current run; dump files are `FLIGHT_<run>_r<rank>.json`.
 /// Call once per example/test run (examples set it next to their
 /// checkpoint run name).
 pub fn set_run(name: &str) {
     *RUN_NAME.lock().unwrap() = name.to_string();
+}
+
+/// Names the run for *this thread only*, taking precedence over
+/// [`set_run`]. Concurrent per-job worlds tag their rank threads with
+/// the job name so a failing rank's post-mortem lands under its own
+/// job, not whichever run last touched the process-global name. `None`
+/// restores the global name.
+pub fn set_thread_run(name: Option<&str>) {
+    THREAD_RUN.with(|r| *r.borrow_mut() = name.map(str::to_string));
+}
+
+/// The run name in effect on this thread: the thread override, else the
+/// global [`set_run`] name (empty string when neither is set).
+fn effective_run() -> String {
+    THREAD_RUN
+        .with(|r| r.borrow().clone())
+        .unwrap_or_else(|| RUN_NAME.lock().unwrap().clone())
 }
 
 /// Records one operation into this thread's ring. Always on — the cost
@@ -105,7 +126,7 @@ pub fn note(name: &'static str, cat: &'static str, vt0: f64, vt1: f64, arg: f64)
 /// design: a post-mortem writer that panics on a full disk would mask
 /// the original failure, so IO errors only print to stderr.
 pub fn dump_current(rank: usize, reason: &str) -> Option<PathBuf> {
-    if RUN_NAME.lock().unwrap().is_empty() {
+    if effective_run().is_empty() {
         return None;
     }
     dump_current_to(&out_dir(), rank, reason)
@@ -114,7 +135,7 @@ pub fn dump_current(rank: usize, reason: &str) -> Option<PathBuf> {
 /// [`dump_current`] into an explicit directory (tests; skips the
 /// [`set_run`] gate).
 pub fn dump_current_to(dir: &std::path::Path, rank: usize, reason: &str) -> Option<PathBuf> {
-    let run = RUN_NAME.lock().unwrap().clone();
+    let run = effective_run();
     let run = if run.is_empty() { "run".to_string() } else { run };
     let (entries, total) = RING.with(|r| {
         let ring = r.borrow();

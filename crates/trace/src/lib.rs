@@ -41,14 +41,17 @@ pub mod json;
 pub mod metrics;
 pub mod span;
 
-pub use export::{export, flush_thread, json_f64_exact, out_dir, results_dir, take_collected};
+pub use export::{
+    export, flush_thread, json_f64_exact, out_dir, results_dir, take_collected,
+    take_collected_for,
+};
 pub use metrics::{
     counter_add, gauge_set, histogram_record, intern_label, merge_counters, merge_gauges,
     merge_hists, thread_counter, thread_counter_prefix_sum, Hist, HIST_BUCKETS,
 };
 pub use span::{
-    current_tid, record_vspan, record_vspan_args, set_thread_meta, span, span_v, Span, SpanArgs,
-    SpanEvent, ThreadData,
+    current_scope, current_tid, record_vspan, record_vspan_args, set_thread_meta,
+    set_thread_scope, span, span_v, Span, SpanArgs, SpanEvent, ThreadData,
 };
 
 use std::path::PathBuf;
@@ -140,6 +143,25 @@ pub fn set_dir(dir: Option<PathBuf>) {
 
 pub(crate) fn dir_override() -> Option<PathBuf> {
     DIR_OVERRIDE.lock().unwrap().clone()
+}
+
+thread_local! {
+    static THREAD_DIR: std::cell::RefCell<Option<PathBuf>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Overrides the output directory for *this thread only* — it takes
+/// precedence over [`set_dir`] and the env vars in [`out_dir`]. This is
+/// how concurrent per-job worlds route their artifacts (STATS, flight
+/// dumps, checkpoints resolved through [`out_dir`]) into per-job
+/// directories without racing on process-global state; `None` restores
+/// the global resolution.
+pub fn set_thread_dir(dir: Option<PathBuf>) {
+    THREAD_DIR.with(|d| *d.borrow_mut() = dir);
+}
+
+pub(crate) fn thread_dir() -> Option<PathBuf> {
+    THREAD_DIR.with(|d| d.borrow().clone())
 }
 
 /// Applies a [`TraceConfig`]: unset fields keep the current behaviour.

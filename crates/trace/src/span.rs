@@ -59,6 +59,12 @@ impl SpanEvent {
 pub struct ThreadData {
     /// Stable per-process thread id (assigned at first recording).
     pub tid: u64,
+    /// Isolation scope this thread records under (0 = the ambient
+    /// process scope). Concurrent `World`s in one process tag their rank
+    /// threads with distinct scopes so
+    /// [`crate::export::take_collected_for`] can drain one world's data
+    /// without touching another's.
+    pub scope: u64,
     /// Rank label, when the thread is an `nkt-mpi` rank.
     pub rank: Option<usize>,
     /// Display name (`rank 3`, ...).
@@ -103,9 +109,10 @@ impl ThreadBuf {
 
     pub(crate) fn take_data(&mut self) -> ThreadData {
         let tid = self.data.tid;
+        let scope = self.data.scope;
         std::mem::replace(
             &mut self.data,
-            ThreadData { tid, ..ThreadData::default() },
+            ThreadData { tid, scope, ..ThreadData::default() },
         )
     }
 }
@@ -153,6 +160,21 @@ pub fn set_thread_meta(name: String, rank: Option<usize>) {
 /// The current thread's trace id (for tests filtering collected data).
 pub fn current_tid() -> u64 {
     with_buf(|b| b.data.tid)
+}
+
+/// Tags the current thread with an isolation scope: everything it
+/// records from here on drains into the collector under `scope`, and
+/// [`crate::export::take_collected_for`] retrieves exactly the threads
+/// of one scope. Unlike [`set_thread_meta`] this is *not* gated on the
+/// trace mode — scope identity must be stable even when recording is
+/// toggled mid-run. Scope 0 is the ambient process scope.
+pub fn set_thread_scope(scope: u64) {
+    with_buf(|b| b.data.scope = scope);
+}
+
+/// The current thread's isolation scope (0 = ambient).
+pub fn current_scope() -> u64 {
+    with_buf(|b| b.data.scope)
 }
 
 /// An RAII span guard. Inert (zero work on drop) unless spans mode was

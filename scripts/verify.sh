@@ -191,6 +191,26 @@ cargo run --release --offline -p nkt-stats --bin stats_diff -- \
 cargo run --release --offline -p nkt-stats --bin stats_diff -- \
     --fresh "$stats_a" || echo "stats_diff: drift noted (dry run, not gating)"
 
+echo "== serve smoke (job farm: preemption, then byte-identical manifests on rerun) =="
+# serve_farm runs a four-job contended batch (two world slots, a
+# high-priority ALE latecomer forcing checkpoint-backed evictions), then
+# re-serves every job solo and exits nonzero unless each farm job's
+# state hash and STATS bytes match its solo run bitwise. Two farm runs
+# must also produce byte-identical MANIFEST_*.json: the schedule and the
+# hashed artifacts are pure functions of the batch (DESIGN.md §15).
+serve_a="$(mktemp -d)"
+serve_b="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$prof_a" "$prof_b" "$stats_a" "$stats_b" "$stats_ck" "$serve_a" "$serve_b"' EXIT
+NKT_SERVE_OUT="$serve_a" cargo run --release --offline --example serve_farm > /dev/null
+NKT_SERVE_OUT="$serve_b" cargo run --release --offline --example serve_farm > /dev/null
+for m in "$serve_a"/farm/*/MANIFEST_*.json; do
+    rel="${m#"$serve_a"/}"
+    if ! cmp -s "$m" "$serve_b/$rel"; then
+        echo "FAIL: $rel differs between two identical serve runs" >&2
+        exit 1
+    fi
+done
+
 echo "== bench harness smoke (fast mode) + bench_diff dry run =="
 NKT_BENCH_FAST=1 NKT_RESULTS_DIR="$trace_dir" \
     cargo bench --offline -p nkt-bench > /dev/null

@@ -16,6 +16,7 @@ pub use nkt_net as net;
 pub use nkt_partition as partition;
 pub use nkt_poly as poly;
 pub use nkt_prof as prof;
+pub use nkt_serve as serve;
 pub use nkt_spectral as spectral;
 pub use nkt_stats as stats;
 pub use nkt_trace as trace;
