@@ -1,0 +1,134 @@
+//! Ablation: blocking vs split-phase gather-scatter in NekTar-ALE
+//! (DESIGN.md §16) — the nonblocking `GsHandle::start`/`finish` pair
+//! that posts the halo exchange before the interior elemental work and
+//! drains it afterwards.
+//!
+//! Like `overlap_ablation`, the measurement is the simulator's
+//! *virtual* clock — exact and repeatable — recorded through
+//! [`nkt_testkit::bench::Group::report`] so `bench_diff` gates on the
+//! modeled numbers. Two views:
+//!
+//! - native: a small flapping-wing ALE run at P = 4; asserts the two
+//!   modes are bitwise identical (FNV state hash) and charge the same
+//!   busy time, then records both walls.
+//! - replay: the Table-3 shape (15,870 elements, order 4) replayed on
+//!   the NCSA and RoadRunner-myrinet models at P = 16/64 with the
+//!   `CommItem::GsExchange` overlap credit on and off.
+
+use nektar::ale::{AleConfig, NektarAle};
+use nektar::replay::replay;
+use nektar::workload::{ale_step_workload, AleShape};
+use nkt_ckpt::Checkpointable;
+use nkt_machine::{machine, MachineId};
+use nkt_mesh::wing_box_mesh;
+use nkt_mpi::prelude::*;
+use nkt_net::{cluster, NetId};
+use nkt_partition::{partition_kway, Graph, PartitionOptions};
+use nkt_testkit::Bench;
+
+const P: usize = 4;
+
+/// Two ALE steps at P = 4 with split-phase overlap forced on or off;
+/// returns (max wall, max busy, folded state hash) across ranks.
+fn ale_times(overlap: bool) -> (f64, f64, u64) {
+    let mesh = wing_box_mesh(1);
+    let dual = Graph::from_edges(mesh.nelems(), &mesh.dual_edges());
+    let part = partition_kway(&dual, P, &PartitionOptions::default());
+    let cfg = AleConfig {
+        order: 2,
+        dt: 2e-3,
+        nu: 1e-3,
+        scheme_order: 2,
+        advect: true,
+        motion_amp: 0.05,
+        motion_omega: 2.0 * std::f64::consts::PI,
+        pcg_tol: 1e-6,
+        pcg_max_iter: 2000,
+    };
+    let out = World::builder().ranks(P).net(cluster(NetId::RoadRunnerMyr)).run(move |c| {
+        let mut s = NektarAle::new(c, mesh.clone(), &part, cfg.clone());
+        s.set_gs_overlap(overlap);
+        s.set_initial(c, |_| [1.0, 0.0, 0.0]);
+        s.step(c);
+        s.step(c);
+        (c.wtime(), c.busy(), s.state_hash())
+    });
+    out.iter().fold((0.0f64, 0.0f64, 0u64), |(w, b, h), t| {
+        (w.max(t.0), b.max(t.1), h.rotate_left(17) ^ t.2)
+    })
+}
+
+/// Table-3 replay wall at the given P with the gs overlap credit set to
+/// `frac` (0.0 = blocking).
+fn replay_wall(mid: MachineId, nid: NetId, p: usize, frac: f64) -> f64 {
+    let nelems_local = 15_870 / p;
+    let order = 4usize;
+    let surface =
+        6.0 * (nelems_local as f64).powf(2.0 / 3.0) * ((order + 1) * (order + 1)) as f64;
+    let shape = AleShape {
+        nelems_local,
+        nm: (order + 1).pow(3),
+        nq3: (order + 3).pow(3),
+        nlocal: 1_015_680 / p + surface as usize,
+        halo: surface as usize,
+        neighbors: 6.min(p - 1),
+        press_iters: 400,
+        visc_iters: 70,
+        mesh_iters: 250,
+        nm1: order + 1,
+        j: 2,
+        gs_overlap: frac,
+    };
+    replay(&ale_step_workload(&shape), &machine(mid), &cluster(nid), p).wall_total()
+}
+
+fn main() {
+    let mut b = Bench::new("gs");
+
+    let (wall_block, busy_block, hash_block) = ale_times(false);
+    let (wall_split, busy_split, hash_split) = ale_times(true);
+    assert_eq!(
+        hash_block, hash_split,
+        "split-phase gather-scatter must be bitwise neutral"
+    );
+    // Same elemental charges in both modes, accumulated at different
+    // virtual times — allow ulp-level drift (cf. overlap_ablation).
+    assert!(
+        (busy_block - busy_split).abs() <= 1e-12 * busy_block,
+        "busy must not depend on NKT_GS_OVERLAP ({busy_block} vs {busy_split})"
+    );
+    assert!(
+        wall_split < wall_block,
+        "split-phase ALE step should be faster ({wall_split} vs {wall_block})"
+    );
+    let mut g = b.group(&format!("ale/np{P}/myr"));
+    g.report("step2_wall/blocking", wall_block * 1e9);
+    g.report("step2_wall/split", wall_split * 1e9);
+    g.report("step2_busy", busy_block * 1e9);
+    g.finish();
+    eprintln!(
+        "  ale/np{P}/myr: split-phase gs hides {:.1}% of the run's idle time",
+        100.0 * (wall_block - wall_split) / (wall_block - busy_block)
+    );
+
+    for (label, mid, nid) in [
+        ("ncsa", MachineId::Ncsa, NetId::Ncsa),
+        ("myr", MachineId::RoadRunner, NetId::RoadRunnerMyr),
+    ] {
+        for p in [16usize, 64] {
+            let frac = (1.0 - 6.0 / ((15_870 / p) as f64).cbrt()).max(0.0);
+            let blocking = replay_wall(mid, nid, p, 0.0);
+            let overlap = replay_wall(mid, nid, p, frac);
+            assert!(
+                overlap < blocking,
+                "table3/{label}/p{p}: overlap credit must reduce modeled wall \
+                 ({overlap} vs {blocking})"
+            );
+            let mut g = b.group(&format!("table3/{label}/p{p}"));
+            g.report("step_wall/blocking", blocking * 1e9);
+            g.report("step_wall/overlap", overlap * 1e9);
+            g.finish();
+        }
+    }
+    b.finish();
+}

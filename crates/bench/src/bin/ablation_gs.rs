@@ -18,7 +18,7 @@ fn gs_time(nid: NetId, p: usize, shared_per_nbr: usize, strategy: GsStrategy) ->
             ids.push(((r + 1) * shared_per_nbr + k) as u64); // right-shared
         }
         ids.push(1_000_000); // corner shared by everyone
-        let gs = GsHandle::setup(c, &ids, strategy);
+        let gs = GsHandle::try_setup(c, &ids, strategy).expect("consistent sharer table");
         let t0 = c.wtime();
         let mut v: Vec<f64> = ids.iter().map(|&g| g as f64).collect();
         for _ in 0..10 {

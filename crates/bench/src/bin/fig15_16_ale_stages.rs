@@ -45,6 +45,13 @@ fn main() {
             mesh_iters: 250,
             nm1: order + 1,
             j: 2,
+            // Split-phase gs overlap window: interior-element share of a
+            // cubic partition (same estimate as table3_nektar_ale).
+            gs_overlap: if std::env::var("NKT_GS_OVERLAP").map_or(true, |v| v != "0") {
+                (1.0 - 6.0 / (nelems_local as f64).cbrt()).max(0.0)
+            } else {
+                0.0
+            },
         };
         let rec = ale_step_workload(&shape);
         let t = replay(&rec, &machine(mid), &cluster(nid), p);

@@ -54,6 +54,10 @@ fn systems() -> Vec<(&'static str, MachineId, NetId, [Option<(f64, f64)>; 4])> {
 fn main() {
     let nelems_total = 15_870usize;
     let order = 4usize;
+    // Split-phase gather-scatter overlap (NKT_GS_OVERLAP, default on):
+    // the measured window is the interior-element share of the schedule,
+    // ~ (1 - 6/V^(1/3)) for a cubic partition of V elements.
+    let gs_overlap_on = std::env::var("NKT_GS_OVERLAP").map_or(true, |v| v != "0");
     let nm = (order + 1).pow(3);
     let nq3 = (order + 3).pow(3);
     let ndof_field = 1_015_680usize; // 4,062,720 / 4 fields
@@ -89,6 +93,11 @@ fn main() {
                 mesh_iters: 250,
                 nm1: order + 1,
                 j: 2,
+                gs_overlap: if gs_overlap_on {
+                    (1.0 - 6.0 / (nelems_local as f64).cbrt()).max(0.0)
+                } else {
+                    0.0
+                },
             };
             let rec = ale_step_workload(&shape);
             let t = replay(&rec, &m, &net, p);

@@ -324,6 +324,16 @@ pub struct HexHelmholtz {
     pub weight: Vec<f64>,
     /// Assembled (GS-summed) operator diagonal.
     pub diag: Vec<f64>,
+    /// Owned-element indices (into `elem_local`) touching at least one
+    /// rank-shared dof. These run *before* the halo exchange is posted.
+    pub elem_boundary: Vec<usize>,
+    /// Owned-element indices touching no shared dof: their work fills
+    /// the overlap window between `gs.start` and `finish`.
+    pub elem_interior: Vec<usize>,
+    /// Whether [`HexHelmholtz::apply`] overlaps the halo exchange with
+    /// interior elemental work (`NKT_GS_OVERLAP`, default on). Either
+    /// setting produces bitwise-identical results.
+    pub gs_overlap: bool,
 }
 
 impl HexHelmholtz {
@@ -364,11 +374,29 @@ impl HexHelmholtz {
             .iter()
             .map(|g| numbering.dirichlet_global.get(g).copied())
             .collect();
-        let gs = GsHandle::setup(comm, &local_gids, GsStrategy::Hybrid);
+        let gs = GsHandle::try_setup(comm, &local_gids, GsStrategy::Hybrid)
+            .expect("hex numbering produces a consistent sharer table");
         // Multiplicity: GS-sum of ones.
         let mut ones = vec![1.0; local_gids.len()];
         gs.exchange(comm, &mut ones, ReduceOp::Sum);
         let weight: Vec<f64> = ones.iter().map(|&m| 1.0 / m).collect();
+        // Classify owned elements: an element is "boundary" iff any of
+        // its dofs is rank-shared. Boundary work must complete before
+        // the halo exchange is posted; interior work fills the window.
+        let mut is_halo = vec![false; local_gids.len()];
+        for l in gs.halo_locals() {
+            is_halo[l] = true;
+        }
+        let mut elem_boundary = Vec::new();
+        let mut elem_interior = Vec::new();
+        for (le, locals) in elem_local.iter().enumerate() {
+            if locals.iter().any(|&l| is_halo[l]) {
+                elem_boundary.push(le);
+            } else {
+                elem_interior.push(le);
+            }
+        }
+        let gs_overlap = std::env::var("NKT_GS_OVERLAP").map_or(true, |v| v != "0");
         let mut h = HexHelmholtz {
             p,
             lambda,
@@ -382,6 +410,9 @@ impl HexHelmholtz {
             gs,
             weight,
             diag: Vec::new(),
+            elem_boundary,
+            elem_interior,
+            gs_overlap,
         };
         // Assemble the diagonal for Jacobi preconditioning.
         let mut diag = vec![0.0; h.local_gids.len()];
@@ -438,20 +469,41 @@ impl HexHelmholtz {
         self.diag = diag;
     }
 
-    /// Applies the assembled operator: y = GS-sum(elemental (K + λM) x),
-    /// with Dirichlet rows replaced by identity. Collective.
-    pub fn apply(&self, comm: &mut Comm, x: &[f64], y: &mut [f64], rec: &mut Recorder) {
+    /// Toggles halo/compute overlap in [`HexHelmholtz::apply`]. Results
+    /// are bitwise identical either way; only the virtual-clock schedule
+    /// differs.
+    pub fn set_gs_overlap(&mut self, on: bool) {
+        self.gs_overlap = on;
+    }
+
+    /// Virtual-clock cost of one elemental operator application: the
+    /// sum-factorized form is 4 tensor terms × 3 sweeps × 2·nm⁴ flops,
+    /// charged at the canonical 100 Mflop/s the other virtual compute
+    /// charges use (e.g. `fft_virtual_secs`).
+    fn elem_virtual_secs(&self) -> f64 {
+        let nm = (self.p + 1) as f64;
+        24.0 * nm * nm * nm * nm / 1e8
+    }
+
+    /// One elemental sweep over `elems` (indices into `elem_local`),
+    /// scatter-adding into `y`.
+    fn apply_pass(
+        &self,
+        elems: &[usize],
+        x: &[f64],
+        y: &mut [f64],
+        xl: &mut [f64],
+        yl: &mut [f64],
+        rec: &mut Recorder,
+    ) {
         let nm1 = self.p + 1;
-        let nm = nm1 * nm1 * nm1;
-        y.fill(0.0);
-        let mut xl = vec![0.0; nm];
-        let mut yl = vec![0.0; nm];
-        for (le, locals) in self.elem_local.iter().enumerate() {
+        for &le in elems {
+            let locals = &self.elem_local[le];
             let [hx, hy, hz] = self.scales[le];
             for (m, &l) in locals.iter().enumerate() {
                 xl[m] = x[l];
             }
-            apply_elem_coef(&self.op1, hx, hy, hz, self.lambda, self.stiff_coef, &xl, &mut yl);
+            apply_elem_coef(&self.op1, hx, hy, hz, self.lambda, self.stiff_coef, xl, yl);
             for (m, &l) in locals.iter().enumerate() {
                 y[l] += yl[m];
             }
@@ -460,10 +512,46 @@ impl HexHelmholtz {
                 WorkItem::Gemm { m: nm1 * nm1, n: nm1, k: nm1 },
             );
         }
-        self.gs.exchange(comm, y, ReduceOp::Sum);
+    }
+
+    /// Applies the assembled operator: y = GS-sum(elemental (K + λM) x),
+    /// with Dirichlet rows replaced by identity. Collective.
+    ///
+    /// Both overlap settings run the *same* boundary-then-interior
+    /// element schedule, so every dof accumulates its contributions in
+    /// the same floating-point order and the two modes stay bitwise
+    /// identical; only the exchange posting point moves. Shared dofs
+    /// receive contributions exclusively from boundary elements, so
+    /// their values are final when the exchange is posted and the
+    /// interior sweep (which touches no shared dof) fills the window.
+    pub fn apply(&self, comm: &mut Comm, x: &[f64], y: &mut [f64], rec: &mut Recorder) {
+        let nm1 = self.p + 1;
+        let nm = nm1 * nm1 * nm1;
+        y.fill(0.0);
+        let mut xl = vec![0.0; nm];
+        let mut yl = vec![0.0; nm];
+        let esecs = self.elem_virtual_secs();
+        self.apply_pass(&self.elem_boundary, x, y, &mut xl, &mut yl, rec);
+        comm.advance(esecs * self.elem_boundary.len() as f64);
+        let overlap = if self.gs_overlap {
+            let ex = self.gs.start(comm, y, ReduceOp::Sum);
+            self.apply_pass(&self.elem_interior, x, y, &mut xl, &mut yl, rec);
+            comm.advance(esecs * self.elem_interior.len() as f64);
+            ex.finish(comm, y);
+            if self.my_elems.is_empty() {
+                0.0
+            } else {
+                self.elem_interior.len() as f64 / self.my_elems.len() as f64
+            }
+        } else {
+            self.apply_pass(&self.elem_interior, x, y, &mut xl, &mut yl, rec);
+            comm.advance(esecs * self.elem_interior.len() as f64);
+            self.gs.exchange(comm, y, ReduceOp::Sum);
+            0.0
+        };
         rec.comm(
             Stage::PressureSolve,
-            CommItem::GsExchange { neighbors: 2, bytes: 8 * self.nlocal().min(1024) },
+            CommItem::GsExchange { neighbors: 2, bytes: 8 * self.nlocal().min(1024), overlap },
         );
         for (l, d) in self.dirichlet.iter().enumerate() {
             if d.is_some() {

@@ -106,6 +106,11 @@ pub enum CommItem {
         neighbors: usize,
         /// Bytes per neighbour message.
         bytes: usize,
+        /// Measured fraction of same-stage elemental work available to
+        /// hide the exchange behind (the split-phase window): 0.0 =
+        /// blocking, interior-work share of the element schedule when
+        /// overlapped. Replay credits min(gs wall, overlap × gemm work).
+        overlap: f64,
     },
 }
 

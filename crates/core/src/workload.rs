@@ -351,6 +351,10 @@ pub struct AleShape {
     pub nm1: usize,
     /// Splitting depth.
     pub j: usize,
+    /// Interior-element fraction of the split-phase gather-scatter
+    /// window (0.0 = blocking exchanges; see
+    /// [`crate::opstream::CommItem::GsExchange`]).
+    pub gs_overlap: f64,
 }
 
 /// One NekTar-ALE per-rank step (mirrors
@@ -389,7 +393,7 @@ pub fn ale_step_workload(s: &AleShape) -> OpRecording {
     }
     rec.comm(
         Stage::PressureRhs,
-        CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * s.halo },
+        CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * s.halo, overlap: s.gs_overlap },
     );
     // Stage 5: pressure PCG. Each iteration: elemental applies (three
     // sum-factored contractions per term, ~O(nm1^4) each) + GS + dots.
@@ -401,7 +405,7 @@ pub fn ale_step_workload(s: &AleShape) -> OpRecording {
     }
     rec.comm(
         Stage::ViscousRhs,
-        CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * 3 * s.halo },
+        CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * 3 * s.halo, overlap: s.gs_overlap },
     );
     // Stage 7: three velocity PCG solves + one mesh-velocity solve.
     pcg_workload(&mut rec, Stage::ViscousSolve, s, 3 * s.visc_iters);
@@ -422,7 +426,7 @@ fn pcg_workload(rec: &mut OpRecording, stage: Stage, s: &AleShape, iters: usize)
         // One GS halo exchange per iteration.
         rec.comm(
             stage,
-            CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * s.halo },
+            CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * s.halo, overlap: s.gs_overlap },
         );
         // Three global dot products (allreduce of one scalar).
         for _ in 0..3 {
@@ -537,10 +541,44 @@ mod tests {
             mesh_iters: 50,
             nm1: 5,
             j: 2,
+            gs_overlap: 0.0,
         };
         let rec1 = ale_step_workload(&base);
         let rec2 = ale_step_workload(&AleShape { press_iters: 200, ..base });
         assert!(rec2.total_flops() > rec1.total_flops());
         assert!(rec2.comm.len() > rec1.comm.len());
+    }
+
+    /// The overlap fraction rides every GsExchange the ALE step emits,
+    /// and only changes the comm stream (the work stream is identical).
+    #[test]
+    fn ale_workload_threads_gs_overlap_through_every_exchange() {
+        let base = AleShape {
+            nelems_local: 50,
+            nm: 125,
+            nq3: 216,
+            nlocal: 5_000,
+            halo: 400,
+            neighbors: 4,
+            press_iters: 10,
+            visc_iters: 5,
+            mesh_iters: 8,
+            nm1: 5,
+            j: 2,
+            gs_overlap: 0.0,
+        };
+        let blocking = ale_step_workload(&base);
+        let overlapped = ale_step_workload(&AleShape { gs_overlap: 0.75, ..base });
+        assert_eq!(blocking.total_flops(), overlapped.total_flops());
+        let fracs: Vec<f64> = overlapped
+            .comm
+            .iter()
+            .filter_map(|(_, c)| match c {
+                CommItem::GsExchange { overlap, .. } => Some(*overlap),
+                _ => None,
+            })
+            .collect();
+        assert!(!fracs.is_empty());
+        assert!(fracs.iter().all(|&f| f == 0.75));
     }
 }

@@ -1,8 +1,25 @@
 //! Gather-scatter setup and exchange.
+//!
+//! The exchange is **split-phase**: [`GsHandle::start`] posts the
+//! pairwise halo messages (`isend`/`irecv` on the request engine) and
+//! the tree-stage [`nonblocking allreduce`](Comm::iallreduce), then
+//! returns a [`GsExchange`] holding the in-flight state; the caller
+//! computes whatever it can that does not read shared dofs, and
+//! [`GsExchange::finish`] drains the messages, runs the combines, and
+//! scatters the reductions back. The blocking [`GsHandle::exchange`]
+//! is a thin `start(..).finish(..)` wrapper, so the two paths execute
+//! the *same* combine order and are bitwise identical — only the
+//! placement of compute relative to the wire differs.
 
 use nkt_mpi::prelude::*;
 use std::collections::HashMap;
+use std::fmt;
 
+/// Wire tag for the pairwise stage. One fixed tag is safe even with
+/// several exchanges in flight: the rank program is SPMD (every rank
+/// posts its exchanges in the same program order) and the request
+/// engine matches each (source, tag) pair oldest-posted-first, so the
+/// n-th exchange's receives bind the n-th exchange's sends.
 const TAG_GS_PAIR: u64 = (1 << 61) + 200;
 
 /// Exchange strategy (the paper's three options).
@@ -18,6 +35,50 @@ pub enum GsStrategy {
     /// (vertices/edges of the partition) — the paper's "mix of these two".
     Hybrid,
 }
+
+/// A structural defect in the gather-scatter plan, found while
+/// cross-checking the broadcast sharer table against this rank's own
+/// id list during [`GsHandle::try_setup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GsError {
+    /// A sharer row lists the same rank twice; the exchange would count
+    /// that rank's contribution twice.
+    DuplicateRankRow {
+        /// The global id whose row is defective.
+        gid: u64,
+        /// The rank that appears more than once.
+        rank: usize,
+    },
+    /// The sharer table and a rank's id list disagree: the row for
+    /// `gid` names a rank that does not hold the id (its receives would
+    /// deadlock), names a rank outside the communicator, or omits a
+    /// rank that does hold it (its contribution would be dropped).
+    InconsistentSharerTable {
+        /// The global id whose row is defective.
+        gid: u64,
+        /// The rank the table and the id lists disagree about.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for GsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsError::DuplicateRankRow { gid, rank } => write!(
+                f,
+                "gs setup: sharer row for global id {gid} lists rank {rank} more than once \
+                 (its contribution would be double-counted)"
+            ),
+            GsError::InconsistentSharerTable { gid, rank } => write!(
+                f,
+                "gs setup: sharer table and id lists disagree about rank {rank} \
+                 for global id {gid}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GsError {}
 
 /// Per-rank gather-scatter handle for a fixed local→global dof map.
 #[derive(Debug, Clone)]
@@ -35,12 +96,65 @@ pub struct GsHandle {
     tree_slot: Vec<usize>,
     /// Total tree buffer length (same on all ranks).
     tree_len: usize,
+    /// Entries the finish phase writes back: those with several local
+    /// copies or any exchange participation. Single-copy private entries
+    /// are *not* rewritten (the write would be an identity), which is
+    /// what lets callers mutate them between `start` and `finish`.
+    scatter: Vec<usize>,
+}
+
+/// Splits a `u64` global id into two exactly-representable f64 words.
+/// Ids round-tripped through a single f64 corrupt silently at ≥ 2^53;
+/// each 32-bit half is exact.
+fn gid_to_words(g: u64) -> [f64; 2] {
+    [(g >> 32) as f64, (g & 0xFFFF_FFFF) as f64]
+}
+
+fn gid_from_words(hi: f64, lo: f64) -> u64 {
+    ((hi as u64) << 32) | (lo as u64)
+}
+
+/// Cross-checks the broadcast sharer table against this rank's own id
+/// set (`holds`). Factored out of [`GsHandle::try_setup`] so the error
+/// paths are unit-testable without spinning up a world.
+fn validate_sharer_table(
+    me: usize,
+    p: usize,
+    holds: &HashMap<u64, usize>,
+    shared: &[(u64, Vec<usize>)],
+) -> Result<(), GsError> {
+    for (gid, ranks) in shared {
+        let mut seen = vec![false; p];
+        for &r in ranks {
+            if r >= p {
+                return Err(GsError::InconsistentSharerTable { gid: *gid, rank: r });
+            }
+            if seen[r] {
+                return Err(GsError::DuplicateRankRow { gid: *gid, rank: r });
+            }
+            seen[r] = true;
+        }
+        let listed = seen.get(me).copied().unwrap_or(false);
+        if listed != holds.contains_key(gid) {
+            return Err(GsError::InconsistentSharerTable { gid: *gid, rank: me });
+        }
+    }
+    Ok(())
 }
 
 impl GsHandle {
     /// Builds the exchange plan. Collective: every rank calls with its own
     /// `global_ids` (one per local dof; duplicates allowed).
-    pub fn setup(comm: &mut Comm, global_ids: &[u64], strategy: GsStrategy) -> GsHandle {
+    ///
+    /// Global ids travel as exact 32-bit word pairs, so ids above 2^53
+    /// survive the exchange; the assembled sharer table is cross-checked
+    /// on every rank and structural defects come back as typed
+    /// [`GsError`]s instead of a wrong plan.
+    pub fn try_setup(
+        comm: &mut Comm,
+        global_ids: &[u64],
+        strategy: GsStrategy,
+    ) -> Result<GsHandle, GsError> {
         // Group local duplicates.
         let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
         for (i, &g) in global_ids.iter().enumerate() {
@@ -49,16 +163,18 @@ impl GsHandle {
         let mut local_of_global: Vec<(u64, Vec<usize>)> = groups.into_iter().collect();
         local_of_global.sort_by_key(|(g, _)| *g);
 
-        // Discover sharers: gather all id lists on rank 0, compute the
-        // rank set per id, broadcast back a flattened description.
-        let my_ids: Vec<f64> = local_of_global.iter().map(|(g, _)| *g as f64).collect();
+        // Discover sharers: gather all id lists on rank 0 (as exact
+        // hi/lo word pairs), compute the rank set per id, broadcast
+        // back a flattened description.
+        let my_ids: Vec<f64> =
+            local_of_global.iter().flat_map(|(g, _)| gid_to_words(*g)).collect();
         let gathered = comm.gather(0, &my_ids);
         let mut flat: Vec<f64> = Vec::new();
         if let Some(rows) = gathered {
             let mut sharers: HashMap<u64, Vec<usize>> = HashMap::new();
             for (rank, row) in rows.iter().enumerate() {
-                for &gid in row {
-                    sharers.entry(gid as u64).or_default().push(rank);
+                for w in row.chunks_exact(2) {
+                    sharers.entry(gid_from_words(w[0], w[1])).or_default().push(rank);
                 }
             }
             let mut shared: Vec<(u64, Vec<usize>)> = sharers
@@ -66,10 +182,10 @@ impl GsHandle {
                 .filter(|(_, ranks)| ranks.len() > 1)
                 .collect();
             shared.sort_by_key(|(g, _)| *g);
-            // Flatten: [n, (gid, nranks, ranks...)*].
+            // Flatten: [n, (gid_hi, gid_lo, nranks, ranks...)*].
             flat.push(shared.len() as f64);
             for (gid, ranks) in &shared {
-                flat.push(*gid as f64);
+                flat.extend_from_slice(&gid_to_words(*gid));
                 flat.push(ranks.len() as f64);
                 for &r in ranks {
                     flat.push(r as f64);
@@ -88,11 +204,11 @@ impl GsHandle {
             let n = flat[0] as usize;
             let mut pos = 1;
             for _ in 0..n {
-                let gid = flat[pos] as u64;
-                let nr = flat[pos + 1] as usize;
+                let gid = gid_from_words(flat[pos], flat[pos + 1]);
+                let nr = flat[pos + 2] as usize;
                 let ranks: Vec<usize> =
-                    (0..nr).map(|k| flat[pos + 2 + k] as usize).collect();
-                pos += 2 + nr;
+                    (0..nr).map(|k| flat[pos + 3 + k] as usize).collect();
+                pos += 3 + nr;
                 shared.push((gid, ranks));
             }
         }
@@ -100,6 +216,7 @@ impl GsHandle {
         let me = comm.rank();
         let idx_of_gid: HashMap<u64, usize> =
             local_of_global.iter().enumerate().map(|(i, (g, _))| (*g, i)).collect();
+        validate_sharer_table(me, comm.size(), &idx_of_gid, &shared)?;
         let mut pair_map: HashMap<usize, Vec<(u64, usize)>> = HashMap::new();
         let mut tree_pairs: Vec<(u64, usize)> = Vec::new();
         let mut tree_len = 0usize;
@@ -137,7 +254,45 @@ impl GsHandle {
         let tree_entries: Vec<usize> = tree_pairs.iter().map(|&(_, e)| e).collect();
         let tree_slot: Vec<usize> =
             tree_pairs.iter().map(|&(g, _)| tree_slot_of_gid[&g]).collect();
-        GsHandle { strategy, local_of_global, pairwise, tree_entries, tree_slot, tree_len }
+        // Finish writes back only entries whose value can differ from
+        // what the caller already holds: local duplicates (pre-reduced)
+        // and anything exchanged. For a single-copy private entry the
+        // old full scatter stored the entry's own value back — an
+        // identity write — so skipping it is bitwise neutral and frees
+        // those dofs for caller mutation inside the overlap window.
+        let mut exchanged = vec![false; local_of_global.len()];
+        for (_, entries) in &pairwise {
+            for &e in entries {
+                exchanged[e] = true;
+            }
+        }
+        for &e in &tree_entries {
+            exchanged[e] = true;
+        }
+        let scatter: Vec<usize> = local_of_global
+            .iter()
+            .enumerate()
+            .filter(|(e, (_, locs))| exchanged[*e] || locs.len() > 1)
+            .map(|(e, _)| e)
+            .collect();
+        Ok(GsHandle {
+            strategy,
+            local_of_global,
+            pairwise,
+            tree_entries,
+            tree_slot,
+            tree_len,
+            scatter,
+        })
+    }
+
+    /// Builds the exchange plan, panicking on a defective sharer table.
+    #[deprecated(note = "use `try_setup`, which reports plan defects as typed `GsError`s")]
+    pub fn setup(comm: &mut Comm, global_ids: &[u64], strategy: GsStrategy) -> GsHandle {
+        match Self::try_setup(comm, global_ids, strategy) {
+            Ok(h) => h,
+            Err(e) => panic!("gs setup failed: {e}"),
+        }
     }
 
     /// The strategy this handle was built with.
@@ -145,61 +300,138 @@ impl GsHandle {
         self.strategy
     }
 
-    /// Makes every copy of every shared dof hold the reduction (`op`) of
-    /// all copies across all ranks. Local duplicates are pre-reduced.
-    pub fn exchange(&self, comm: &mut Comm, values: &mut [f64], op: ReduceOp) {
-        // One trace span (and blocking-site label) for the whole
-        // exchange, so profiles attribute the pairwise messages and the
-        // embedded tree allreduce to "gs" rather than raw p2p.
-        comm.traced("gs", "mpi.coll.gs", |comm| self.exchange_impl(comm, values, op))
+    /// Local dof indices that participate in the exchange (every copy of
+    /// every rank-shared id), sorted ascending. Callers use this to
+    /// schedule work that touches shared dofs *before* [`GsHandle::start`]
+    /// and work that does not into the overlap window.
+    pub fn halo_locals(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .pairwise
+            .iter()
+            .flat_map(|(_, entries)| entries.iter())
+            .chain(self.tree_entries.iter())
+            .flat_map(|&e| self.local_of_global[e].1.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
-    fn exchange_impl(&self, comm: &mut Comm, values: &mut [f64], op: ReduceOp) {
-        // Pre-reduce local duplicates into a per-group scalar.
-        let mut group_val: Vec<f64> = self
-            .local_of_global
-            .iter()
-            .map(|(_, locs)| {
-                let mut acc = values[locs[0]];
-                for &l in &locs[1..] {
-                    acc = apply(op, acc, values[l]);
+    /// Makes every copy of every shared dof hold the reduction (`op`) of
+    /// all copies across all ranks. Local duplicates are pre-reduced.
+    /// Equivalent to `start(..).finish(..)` with nothing in between.
+    pub fn exchange(&self, comm: &mut Comm, values: &mut [f64], op: ReduceOp) {
+        self.start(comm, values, op).finish(comm, values)
+    }
+
+    /// Posts the exchange: pre-reduces local duplicates, fires the
+    /// pairwise halo messages (`irecv`s first so arrivals bind directly,
+    /// then `isend`s), and posts the tree stage's nonblocking allreduce.
+    /// Returns the in-flight [`GsExchange`]; between this call and
+    /// [`GsExchange::finish`] the caller may read `values` freely and
+    /// mutate entries of **single-copy non-shared** dofs — shared and
+    /// locally-duplicated entries are snapshotted here and overwritten
+    /// at finish.
+    pub fn start<'a>(
+        &'a self,
+        comm: &mut Comm,
+        values: &[f64],
+        op: ReduceOp,
+    ) -> GsExchange<'a> {
+        comm.traced("gs.start", "mpi.coll.gs.start", |comm| {
+            // Pre-reduce local duplicates into a per-group scalar. This
+            // is the send snapshot: every isend below reads it before
+            // any receive is combined, so k-way shared dofs accumulate
+            // each rank's *original* contribution exactly once.
+            let group_val: Vec<f64> = self
+                .local_of_global
+                .iter()
+                .map(|(_, locs)| {
+                    let mut acc = values[locs[0]];
+                    for &l in &locs[1..] {
+                        acc = apply(op, acc, values[l]);
+                    }
+                    acc
+                })
+                .collect();
+            // Pairwise stage: post every receive, then every send, in
+            // plan (ascending neighbour rank) order.
+            let mut reqs = Vec::with_capacity(self.pairwise.len());
+            for (nbr, _) in &self.pairwise {
+                reqs.push(comm.irecv(Some(*nbr), Some(TAG_GS_PAIR)));
+            }
+            for (nbr, entries) in &self.pairwise {
+                let payload: Vec<f64> = entries.iter().map(|&e| group_val[e]).collect();
+                comm.isend(*nbr, TAG_GS_PAIR, &payload);
+            }
+            // Tree stage: the tree entries are disjoint from the
+            // pairwise entries, so their contributions are final now and
+            // the reduction can ride the wire through the whole window.
+            let tree = if self.tree_len > 0 {
+                let neutral = match op {
+                    ReduceOp::Sum => 0.0,
+                    ReduceOp::Min => f64::INFINITY,
+                    ReduceOp::Max => f64::NEG_INFINITY,
+                };
+                let mut buf = vec![neutral; self.tree_len];
+                for (k, &e) in self.tree_entries.iter().enumerate() {
+                    buf[self.tree_slot[k]] = group_val[e];
                 }
-                acc
-            })
-            .collect();
-        // Pairwise stage: one message per neighbour each way. Each rank
-        // sends its *original* contribution (snapshot) so that k-way
-        // shared dofs accumulate each contribution exactly once.
-        let snapshot = group_val.clone();
-        for (nbr, entries) in &self.pairwise {
-            let payload: Vec<f64> = entries.iter().map(|&e| snapshot[e]).collect();
-            let got = comm.sendrecv(*nbr, TAG_GS_PAIR, &payload, *nbr, TAG_GS_PAIR);
-            for (k, &e) in entries.iter().enumerate() {
-                group_val[e] = apply(op, group_val[e], got[k]);
-            }
-        }
-        // Tree stage: dense allreduce over the shared-id buffer.
-        if self.tree_len > 0 {
-            let neutral = match op {
-                ReduceOp::Sum => 0.0,
-                ReduceOp::Min => f64::INFINITY,
-                ReduceOp::Max => f64::NEG_INFINITY,
+                Some(comm.iallreduce(&buf, op))
+            } else {
+                None
             };
-            let mut buf = vec![neutral; self.tree_len];
-            for (k, &e) in self.tree_entries.iter().enumerate() {
-                buf[self.tree_slot[k]] = group_val[e];
+            GsExchange { plan: self, op, group_val, reqs, tree }
+        })
+    }
+}
+
+/// An in-flight gather-scatter posted by [`GsHandle::start`]. Owns the
+/// pre-reduced contribution snapshot and the posted requests; dropping
+/// it without [`GsExchange::finish`] leaves the exchange incomplete
+/// (and this rank's neighbours blocked), hence `#[must_use]`.
+#[must_use = "a started gather-scatter must be completed with GsExchange::finish"]
+pub struct GsExchange<'a> {
+    plan: &'a GsHandle,
+    op: ReduceOp,
+    /// Pre-reduced per-entry contribution, accumulated in place by finish.
+    group_val: Vec<f64>,
+    /// One pairwise receive per neighbour, in plan order.
+    reqs: Vec<Request>,
+    /// The posted tree-stage reduction, if this plan has one.
+    tree: Option<AllreduceHandle>,
+}
+
+impl GsExchange<'_> {
+    /// Drains the pairwise receives (in posting order, applying the
+    /// reduction in the same neighbour-then-entry order as the blocking
+    /// path), completes the tree-stage allreduce, and scatters the
+    /// reductions back into `values`. Only locally-duplicated or
+    /// exchanged entries are written; other entries of `values` are
+    /// left exactly as the caller holds them.
+    pub fn finish(self, comm: &mut Comm, values: &mut [f64]) {
+        let GsExchange { plan, op, mut group_val, reqs, tree } = self;
+        comm.traced("gs.finish", "mpi.coll.gs.finish", |comm| {
+            for ((_, entries), req) in plan.pairwise.iter().zip(&reqs) {
+                let got = comm.wait(req);
+                for (k, &e) in entries.iter().enumerate() {
+                    group_val[e] = apply(op, group_val[e], got.data[k]);
+                }
             }
-            comm.allreduce(&mut buf, op);
-            for (k, &e) in self.tree_entries.iter().enumerate() {
-                group_val[e] = buf[self.tree_slot[k]];
+            if let Some(h) = tree {
+                let mut buf = vec![0.0; plan.tree_len];
+                comm.allreduce_finish(h, &mut buf);
+                for (k, &e) in plan.tree_entries.iter().enumerate() {
+                    group_val[e] = buf[plan.tree_slot[k]];
+                }
             }
-        }
-        // Scatter back to all local copies.
-        for ((_, locs), &v) in self.local_of_global.iter().zip(&group_val) {
-            for &l in locs {
-                values[l] = v;
+            for &e in &plan.scatter {
+                let v = group_val[e];
+                for &l in &plan.local_of_global[e].1 {
+                    values[l] = v;
+                }
             }
-        }
+        })
     }
 }
 
@@ -228,6 +460,10 @@ mod tests {
         cluster(NetId::Sp2Silver)
     }
 
+    fn try_setup(c: &mut Comm, ids: &[u64], s: GsStrategy) -> GsHandle {
+        GsHandle::try_setup(c, ids, s).expect("well-formed plan")
+    }
+
     /// 1-D chain decomposition: rank r owns nodes [r*2, r*2+2] with the
     /// endpoints shared with neighbours (classic FEM halo).
     fn chain_ids(rank: usize) -> Vec<u64> {
@@ -238,7 +474,7 @@ mod tests {
         let p = 4;
         let out = run(p, testnet(), move |c| {
             let ids = chain_ids(c.rank());
-            let gs = GsHandle::setup(c, &ids, strategy);
+            let gs = try_setup(c, &ids, strategy);
             // Each rank contributes 1.0 at every node: after sum-exchange,
             // shared nodes hold 2.0 and private nodes 1.0.
             let mut v = vec![1.0; ids.len()];
@@ -277,7 +513,7 @@ mod tests {
         for strategy in [GsStrategy::Pairwise, GsStrategy::Tree, GsStrategy::Hybrid] {
             let out = run(p, testnet(), move |c| {
                 let ids = vec![100u64, 200 + c.rank() as u64];
-                let gs = GsHandle::setup(c, &ids, strategy);
+                let gs = try_setup(c, &ids, strategy);
                 let mut v = vec![(c.rank() + 1) as f64, 7.0];
                 gs.exchange(c, &mut v, ReduceOp::Sum);
                 v
@@ -295,7 +531,7 @@ mod tests {
         // One rank holds the same global id twice (element-local copies).
         let out = run(2, testnet(), |c| {
             let ids: Vec<u64> = if c.rank() == 0 { vec![5, 5] } else { vec![5] };
-            let gs = GsHandle::setup(c, &ids, GsStrategy::Hybrid);
+            let gs = try_setup(c, &ids, GsStrategy::Hybrid);
             let mut v = if c.rank() == 0 { vec![1.0, 2.0] } else { vec![10.0] };
             gs.exchange(c, &mut v, ReduceOp::Sum);
             v
@@ -309,7 +545,7 @@ mod tests {
     fn min_and_max_ops() {
         let out = run(3, testnet(), |c| {
             let ids = vec![1u64];
-            let gs = GsHandle::setup(c, &ids, GsStrategy::Tree);
+            let gs = try_setup(c, &ids, GsStrategy::Tree);
             let mut lo = vec![c.rank() as f64];
             gs.exchange(c, &mut lo, ReduceOp::Min);
             let mut hi = vec![c.rank() as f64];
@@ -331,7 +567,7 @@ mod tests {
             run(p, testnet(), move |c| {
                 let r = c.rank() as u64;
                 let ids = vec![r % 2, 10 + (r / 2), 100, 1000 + r];
-                let gs = GsHandle::setup(c, &ids, s);
+                let gs = try_setup(c, &ids, s);
                 let mut v: Vec<f64> =
                     ids.iter().map(|&g| (g as f64) * 0.5 + c.rank() as f64).collect();
                 gs.exchange(c, &mut v, ReduceOp::Sum);
@@ -348,11 +584,136 @@ mod tests {
     #[test]
     fn single_rank_is_local_reduction_only() {
         let out = run(1, testnet(), |c| {
-            let gs = GsHandle::setup(c, &[3, 3, 4], GsStrategy::Hybrid);
+            let gs = try_setup(c, &[3, 3, 4], GsStrategy::Hybrid);
             let mut v = vec![1.0, 5.0, 9.0];
             gs.exchange(c, &mut v, ReduceOp::Sum);
             v
         });
         assert_eq!(out[0], vec![6.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn gids_above_2_pow_53_survive_setup() {
+        // Regression: ids used to round-trip through a single f64, which
+        // is lossy at ≥ 2^53. These two ids collapse to the same f64.
+        let a: u64 = (1 << 53) + 1;
+        let b: u64 = 1 << 53;
+        assert_eq!(a as f64, b as f64, "precondition: ids are f64-indistinguishable");
+        for strategy in [GsStrategy::Pairwise, GsStrategy::Tree, GsStrategy::Hybrid] {
+            let out = run(2, testnet(), move |c| {
+                // Rank 0 holds {a, b}; rank 1 holds {a}. Only `a` is
+                // shared; `b` must stay private.
+                let ids: Vec<u64> = if c.rank() == 0 { vec![a, b] } else { vec![a] };
+                let gs = try_setup(c, &ids, strategy);
+                let mut v = if c.rank() == 0 { vec![2.0, 30.0] } else { vec![5.0] };
+                gs.exchange(c, &mut v, ReduceOp::Sum);
+                v
+            });
+            assert_eq!(out[0], vec![7.0, 30.0], "{strategy:?}: b leaked into the exchange");
+            assert_eq!(out[1], vec![7.0], "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn split_phase_allows_mutating_private_dofs_in_window() {
+        // The caller may update single-copy non-shared dofs between
+        // start and finish; finish must not clobber them.
+        let out = run(2, testnet(), |c| {
+            let ids: Vec<u64> = vec![7, 100 + c.rank() as u64];
+            let gs = try_setup(c, &ids, GsStrategy::Hybrid);
+            let mut v = vec![1.0, 0.0];
+            let ex = gs.start(c, &v, ReduceOp::Sum);
+            v[1] = 42.0; // private dof mutated inside the overlap window
+            ex.finish(c, &mut v);
+            v
+        });
+        for v in out {
+            assert_eq!(v, vec![2.0, 42.0]);
+        }
+    }
+
+    #[test]
+    fn deprecated_setup_still_builds_a_working_plan() {
+        let out = run(2, testnet(), |c| {
+            #[allow(deprecated)]
+            let gs = GsHandle::setup(c, &[1, 2 + c.rank() as u64], GsStrategy::Hybrid);
+            let mut v = vec![1.0, 1.0];
+            gs.exchange(c, &mut v, ReduceOp::Sum);
+            v
+        });
+        assert_eq!(out[0], vec![2.0, 1.0]);
+        assert_eq!(out[1], vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_rank_rows() {
+        let holds: HashMap<u64, usize> = [(9u64, 0usize)].into_iter().collect();
+        let shared = vec![(9u64, vec![0usize, 1, 1])];
+        assert_eq!(
+            validate_sharer_table(0, 4, &holds, &shared),
+            Err(GsError::DuplicateRankRow { gid: 9, rank: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_row_listing_a_non_holder() {
+        // The table says rank 0 shares gid 9, but rank 0 does not hold it.
+        let holds: HashMap<u64, usize> = HashMap::new();
+        let shared = vec![(9u64, vec![0usize, 1])];
+        assert_eq!(
+            validate_sharer_table(0, 4, &holds, &shared),
+            Err(GsError::InconsistentSharerTable { gid: 9, rank: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_row_omitting_a_holder() {
+        // Rank 2 holds gid 9 but the row omits it: its contribution
+        // would be silently dropped.
+        let holds: HashMap<u64, usize> = [(9u64, 0usize)].into_iter().collect();
+        let shared = vec![(9u64, vec![0usize, 1])];
+        assert_eq!(
+            validate_sharer_table(2, 4, &holds, &shared),
+            Err(GsError::InconsistentSharerTable { gid: 9, rank: 2 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rank() {
+        let holds: HashMap<u64, usize> = HashMap::new();
+        let shared = vec![(9u64, vec![1usize, 7])];
+        assert_eq!(
+            validate_sharer_table(0, 4, &holds, &shared),
+            Err(GsError::InconsistentSharerTable { gid: 9, rank: 7 })
+        );
+    }
+
+    #[test]
+    fn validate_accepts_consistent_table() {
+        let holds: HashMap<u64, usize> = [(9u64, 0usize)].into_iter().collect();
+        let shared = vec![(9u64, vec![0usize, 1]), (11, vec![1, 2])];
+        assert_eq!(validate_sharer_table(0, 4, &holds, &shared), Ok(()));
+    }
+
+    #[test]
+    fn error_display_names_the_defect() {
+        let d = GsError::DuplicateRankRow { gid: 5, rank: 3 }.to_string();
+        assert!(d.contains("global id 5") && d.contains("rank 3"), "{d}");
+        assert!(d.contains("more than once"), "{d}");
+        let i = GsError::InconsistentSharerTable { gid: 8, rank: 2 }.to_string();
+        assert!(i.contains("global id 8") && i.contains("rank 2"), "{i}");
+        assert!(i.contains("disagree"), "{i}");
+    }
+
+    #[test]
+    fn halo_locals_lists_every_copy_of_shared_ids() {
+        let out = run(2, testnet(), |c| {
+            // gid 5 shared (two local copies on rank 0), gid 6/7 private.
+            let ids: Vec<u64> = if c.rank() == 0 { vec![5, 6, 5] } else { vec![5, 7] };
+            let gs = try_setup(c, &ids, GsStrategy::Hybrid);
+            gs.halo_locals()
+        });
+        assert_eq!(out[0], vec![0, 2]);
+        assert_eq!(out[1], vec![0]);
     }
 }

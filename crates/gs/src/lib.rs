@@ -8,11 +8,27 @@
 //! shared by many processors. The latter approach is essentially a global
 //! reduction operation on a subset of the total number of processors."
 //!
-//! A [`GsHandle`] is set up once from each rank's local→global dof map;
-//! [`GsHandle::exchange`] then makes every shared dof consistent (sum /
-//! min / max over all copies). Three strategies ([`GsStrategy`]) feed the
-//! `gs_strategies` ablation bench.
+//! A [`GsHandle`] is set up once from each rank's local→global dof map
+//! via [`GsHandle::try_setup`] (typed [`GsError`] on a defective plan).
+//! The exchange is split-phase: [`GsHandle::start`] posts the pairwise
+//! halo messages and the tree-stage nonblocking allreduce and returns an
+//! in-flight [`GsExchange`]; [`GsExchange::finish`] drains and scatters.
+//! The blocking [`GsHandle::exchange`] (`start` + `finish` back to back)
+//! makes every shared dof consistent (sum / min / max over all copies)
+//! in one call — bitwise identical to the overlapped path. Three
+//! strategies ([`GsStrategy`]) feed the `gs_strategies` ablation bench.
+//!
+//! Downstream code should import through [`prelude`]:
+//!
+//! ```
+//! use nkt_gs::prelude::*;
+//! ```
 
 mod handle;
 
-pub use handle::{GsHandle, GsStrategy};
+/// The one-line import surface: everything a gather-scatter user needs.
+pub mod prelude {
+    pub use crate::handle::{GsError, GsExchange, GsHandle, GsStrategy};
+}
+
+pub use handle::{GsError, GsExchange, GsHandle, GsStrategy};

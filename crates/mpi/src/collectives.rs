@@ -22,6 +22,10 @@ pub(crate) const TAG_BCAST: Tag = (1 << 62) + (2 << 20);
 pub(crate) const TAG_GATHER: Tag = (1 << 62) + (3 << 20);
 pub(crate) const TAG_A2A: Tag = (1 << 62) + (4 << 20);
 pub(crate) const TAG_IA2A: Tag = (1 << 62) + (5 << 20);
+/// `iallreduce` owns two tag slots per generation (reduce phase at
+/// `TAG_IARED + 2·gen`, broadcast phase at `+ 1`), so generations run
+/// mod 2^19 and the family spans `[6 << 20, 8 << 20)`.
+pub(crate) const TAG_IARED: Tag = (1 << 62) + (6 << 20);
 
 /// A collective's view of the participating ranks: the whole world or a
 /// [`crate::subcomm::SubComm`] subset. Algorithms address peers by group
@@ -111,6 +115,47 @@ impl AlltoallHandle {
     /// Number of outstanding partner exchanges.
     pub fn partners(&self) -> usize {
         self.reqs.len()
+    }
+}
+
+/// An in-flight nonblocking allreduce posted by [`Comm::iallreduce`];
+/// complete it with [`Comm::allreduce_finish`].
+///
+/// The split-phase schedule mirrors the blocking binomial tree exactly
+/// (same combine order, so results are **bitwise identical** to
+/// [`Comm::allreduce`]): at post time every rank pre-posts the receives
+/// for its tree children, and pure leaves — ranks with no children —
+/// fire their contribution upward immediately, so that message's wire
+/// time accrues while the caller computes. The completion wait drains
+/// children in tree order, forwards to the parent, and runs the
+/// broadcast phase.
+#[must_use = "an iallreduce must be completed with Comm::allreduce_finish"]
+pub struct AllreduceHandle {
+    /// This rank's contribution; the finish combines children into it.
+    data: Vec<f64>,
+    /// Receive requests for tree children, in mask (= combine) order.
+    child_reqs: Vec<Request>,
+    /// True when this rank is a pure leaf whose upward send was already
+    /// posted at `iallreduce` time.
+    sent: bool,
+    op: ReduceOp,
+    /// Reduce-phase tag (the broadcast phase uses `tag + 1`).
+    tag: Tag,
+    /// Profiler op name for the completion wait.
+    op_name: &'static str,
+    /// Invocation counter bumped by the completion wait.
+    wait_counter: &'static str,
+}
+
+impl AllreduceHandle {
+    /// Element count of the posted reduction.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the reduction payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
     }
 }
 
@@ -298,6 +343,14 @@ impl Comm {
     }
 
     pub(crate) fn grp_bcast(&mut self, g: Grp<'_>, root: usize, data: &mut [f64]) {
+        self.grp_bcast_tag(g, root, data, g.tag_base + TAG_BCAST)
+    }
+
+    /// The binomial broadcast with an explicit wire tag, so nonblocking
+    /// collectives ([`Comm::allreduce_finish`]) can run their broadcast
+    /// phase in a per-generation tag slot instead of the shared
+    /// `TAG_BCAST` space.
+    pub(crate) fn grp_bcast_tag(&mut self, g: Grp<'_>, root: usize, data: &mut [f64], tag: Tag) {
         let p = g.p;
         if p == 1 {
             return;
@@ -312,7 +365,7 @@ impl Comm {
         if rel != 0 {
             let parent_rel = rel & (rel - 1); // clear lowest set bit
             let parent = (parent_rel + root) % p;
-            let msg = self.recv(Some(g.world_of(parent)), Some(g.tag_base + TAG_BCAST));
+            let msg = self.recv(Some(g.world_of(parent)), Some(tag));
             data.copy_from_slice(&msg.data);
         }
         // Children: rel + bit for bits below the lowest set bit of rel.
@@ -322,7 +375,7 @@ impl Comm {
             let child_rel = rel | bit;
             if child_rel < p && child_rel != rel {
                 let child = (child_rel + root) % p;
-                self.send(g.world_of(child), g.tag_base + TAG_BCAST, data);
+                self.send(g.world_of(child), tag, data);
             }
             bit >>= 1;
         }
@@ -549,6 +602,109 @@ impl Comm {
                 recv[src * block..(src + 1) * block].copy_from_slice(&msg.data);
             }
         });
+    }
+
+    /// Posts a nonblocking allreduce and returns a handle to complete it
+    /// with [`Comm::allreduce_finish`]. The reduction runs the same
+    /// root-0 binomial reduce + binomial broadcast as the blocking
+    /// [`Comm::allreduce`], in the same combine order, so the completed
+    /// result is **bitwise identical** — only the schedule differs:
+    ///
+    /// * every rank pre-posts the receives for its tree children, so
+    ///   arriving partials bind directly instead of queueing;
+    /// * pure leaves (ranks with no tree children — half the world)
+    ///   `isend` their contribution at post time, so its network charge
+    ///   accrues while the caller computes between post and finish.
+    ///
+    /// Interior tree ranks cannot forward until their children arrive,
+    /// so their upward send happens in [`Comm::allreduce_finish`]; the
+    /// overlap win is the leaf wave plus the pre-posted bindings.
+    /// Several reductions may be in flight at once; each call gets a
+    /// fresh tag generation. World-communicator only (the gather-scatter
+    /// tree stage's shape); sub-communicators keep the blocking path.
+    pub fn iallreduce(&mut self, data: &[f64], op: ReduceOp) -> AllreduceHandle {
+        let gen = self.iared_gen;
+        self.iared_gen = (self.iared_gen + 1) % (1 << 19);
+        let tag = TAG_IARED + 2 * gen;
+        nkt_trace::counter_add("mpi.coll.iallreduce", 1);
+        let g = self.world_grp();
+        let p = g.p;
+        let rel = g.me; // root is rank 0: relative rank = rank
+        let buf = data.to_vec();
+        let mut child_reqs = Vec::new();
+        let mut sent = false;
+        if p > 1 {
+            let prev = self.op_label;
+            self.op_label = "iallreduce";
+            // Post child receives in mask order — the combine order of
+            // the blocking binomial tree — stopping at the parent mask.
+            let mut mask = 1usize;
+            let mut parent_mask = None;
+            while mask < p {
+                if rel & mask != 0 {
+                    parent_mask = Some(mask);
+                    break;
+                }
+                if (rel | mask) < p {
+                    child_reqs.push(self.irecv(Some(g.world_of(rel | mask)), Some(tag)));
+                }
+                mask <<= 1;
+            }
+            // A pure leaf has nothing to combine: fire upward now so the
+            // message is on the wire during the caller's overlap window.
+            if let Some(mask) = parent_mask {
+                if child_reqs.is_empty() {
+                    self.isend(g.world_of(rel & !mask), tag, &buf);
+                    sent = true;
+                }
+            }
+            self.op_label = prev;
+        }
+        AllreduceHandle {
+            data: buf,
+            child_reqs,
+            sent,
+            op,
+            tag,
+            op_name: "iallreduce",
+            wait_counter: "mpi.coll.iallreduce.wait",
+        }
+    }
+
+    /// Completes a posted [`Comm::iallreduce`]: drains the children in
+    /// tree order, forwards the partial to the parent (unless this rank
+    /// was a pure leaf that already sent at post time), runs the
+    /// broadcast phase, and writes the full reduction into `out`.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than the posted payload.
+    pub fn allreduce_finish(&mut self, h: AllreduceHandle, out: &mut [f64]) {
+        let AllreduceHandle { mut data, child_reqs, sent, op, tag, op_name, wait_counter } = h;
+        assert!(out.len() >= data.len(), "allreduce_finish: out buffer too short");
+        let g = self.world_grp();
+        let p = g.p;
+        self.traced(op_name, wait_counter, |c| {
+            if p > 1 {
+                let rel = g.me;
+                let mut reqs = child_reqs.iter();
+                let mut mask = 1usize;
+                while mask < p {
+                    if rel & mask != 0 {
+                        if !sent {
+                            c.send(g.world_of(rel & !mask), tag, &data);
+                        }
+                        break;
+                    }
+                    if (rel | mask) < p {
+                        let msg = c.wait(reqs.next().expect("one request per child"));
+                        op.apply(&mut data, &msg.data);
+                    }
+                    mask <<= 1;
+                }
+                c.grp_bcast_tag(g, 0, &mut data, tag + 1);
+            }
+        });
+        out[..data.len()].copy_from_slice(&data);
     }
 
     /// Bruck's log-round alltoall.

@@ -107,6 +107,10 @@ pub struct Comm {
     /// same pair can be in flight without aliasing (all ranks post
     /// collectives in the same order, so generations agree globally).
     pub(crate) ia2a_gen: Tag,
+    /// Tag generation for `iallreduce` (same global-agreement argument as
+    /// `ia2a_gen`; a separate counter so interleaved nonblocking
+    /// collectives of different kinds never perturb each other's tags).
+    pub(crate) iared_gen: Tag,
     /// Virtual wall clock, seconds.
     clock: f64,
     /// Virtual CPU (busy) time, seconds.
@@ -165,6 +169,7 @@ impl Comm {
             reqs: Vec::new(),
             next_req_id: 0,
             ia2a_gen: 0,
+            iared_gen: 0,
             clock: 0.0,
             busy: 0.0,
             nic_free: 0.0,

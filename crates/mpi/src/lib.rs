@@ -48,7 +48,7 @@ pub mod world;
 
 /// The one-line import surface: everything a rank program needs.
 pub mod prelude {
-    pub use crate::collectives::{AlltoallAlgo, AlltoallHandle, ReduceOp};
+    pub use crate::collectives::{AllreduceHandle, AlltoallAlgo, AlltoallHandle, ReduceOp};
     pub use crate::comm::{Comm, CommStats, Message, Tag};
     pub use crate::error::MpiError;
     pub use crate::request::{Request, SendRequest};
@@ -56,7 +56,7 @@ pub mod prelude {
     pub use crate::world::{World, WorldBuilder, WorldOpts};
 }
 
-pub use collectives::{AlltoallAlgo, AlltoallHandle, ReduceOp};
+pub use collectives::{AllreduceHandle, AlltoallAlgo, AlltoallHandle, ReduceOp};
 pub use comm::{Comm, CommStats, Message, Tag};
 pub use diag::{BlockSite, BlockTable};
 pub use error::MpiError;

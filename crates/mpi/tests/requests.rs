@@ -362,3 +362,90 @@ fn p2p_spans_carry_peer_bytes_seq_and_wait_args() {
     assert_eq!(recv.arg("late"), Some(1.0), "wait > 0 is a late sender");
     assert!(recv.vdur().unwrap() >= wait, "span covers the wait plus overhead");
 }
+
+#[test]
+fn iallreduce_is_bitwise_identical_to_blocking_allreduce() {
+    // Same binomial tree, same combine order — the completed result must
+    // match the blocking collective to the bit, for every op, including
+    // non-power-of-two worlds and values where summation order matters.
+    for p in [1usize, 2, 3, 4, 5, 8] {
+        let out = World::builder().ranks(p).net(testnet()).run(move |c| {
+            let r = c.rank() as f64;
+            let data: Vec<f64> = (0..16)
+                .map(|i| (1.0 + r * 0.1) * (i as f64 + 0.3).sin() * 1e3_f64.powf(r % 3.0))
+                .collect();
+            let mut results = Vec::new();
+            for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+                let mut blocking = data.clone();
+                c.allreduce(&mut blocking, op);
+                let h = c.iallreduce(&data, op);
+                let mut split = vec![0.0; data.len()];
+                c.allreduce_finish(h, &mut split);
+                results.push((blocking, split));
+            }
+            results
+        });
+        for results in out {
+            for (blocking, split) in results {
+                assert_eq!(
+                    blocking.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    split.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "split-phase allreduce must be bitwise identical (p={p})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_iallreduces_complete_independently() {
+    // Two reductions in flight at once, finished in reverse post order:
+    // per-generation tags must keep their payloads apart.
+    let out = World::builder().ranks(4).net(testnet()).run(|c| {
+        let r = c.rank() as f64;
+        let a: Vec<f64> = vec![r + 1.0; 4];
+        let b: Vec<f64> = vec![10.0 * (r + 1.0); 4];
+        let ha = c.iallreduce(&a, ReduceOp::Sum);
+        let hb = c.iallreduce(&b, ReduceOp::Max);
+        let mut out_b = vec![0.0; 4];
+        c.allreduce_finish(hb, &mut out_b);
+        let mut out_a = vec![0.0; 4];
+        c.allreduce_finish(ha, &mut out_a);
+        (out_a, out_b)
+    });
+    for (a, b) in out {
+        assert_eq!(a, vec![10.0; 4]); // 1+2+3+4
+        assert_eq!(b, vec![40.0; 4]); // max of 10,20,30,40
+    }
+}
+
+#[test]
+fn iallreduce_overlap_hides_leaf_send_in_wtime_not_busy() {
+    // A pure leaf posts its upward send at iallreduce time; compute done
+    // between post and finish overlaps the wire in wtime while busy still
+    // pays every charge.
+    let out = World::builder().ranks(2).net(testnet()).run(|c| {
+        let data = vec![c.rank() as f64; 4096];
+        let h = c.iallreduce(&data, ReduceOp::Sum);
+        c.advance(1e-3); // overlap window
+        let mut res = vec![0.0; 4096];
+        c.allreduce_finish(h, &mut res);
+        (res[0], c.wtime(), c.busy())
+    });
+    for (v, _, _) in &out {
+        assert_eq!(*v, 1.0);
+    }
+    // The blocking reference: same work, same compute charge, no overlap.
+    let blk = World::builder().ranks(2).net(testnet()).run(|c| {
+        let mut data = vec![c.rank() as f64; 4096];
+        c.advance(1e-3);
+        c.allreduce(&mut data, ReduceOp::Sum);
+        (data[0], c.wtime(), c.busy())
+    });
+    let split_wall = out.iter().map(|t| t.1).fold(0.0_f64, f64::max);
+    let blk_wall = blk.iter().map(|t| t.1).fold(0.0_f64, f64::max);
+    assert!(
+        split_wall < blk_wall,
+        "overlapped leaf send must shrink wall time: split {split_wall} vs blocking {blk_wall}"
+    );
+}

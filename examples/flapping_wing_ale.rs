@@ -15,6 +15,7 @@
 //! `results/STATS_flapping_wing_ale.json`; `NKT_HEALTH=1` arms the
 //! NaN/Inf and KE-growth watchdog rules.
 
+use nektar_repro::ckpt::Checkpointable;
 use nektar_repro::mesh::wing_box_mesh;
 use nektar_repro::mpi::prelude::*;
 use nektar_repro::nektar::ale::{AleConfig, NektarAle};
@@ -110,15 +111,24 @@ fn main() {
             solver.total_volume(c),
             solver.last_iters,
             solver.clock.ale_group_percentages(),
+            solver.state_hash(),
         ))
     });
-    let (energy, volume, (pit, vit, mit), (a, b, cgrp)) = match &out[0] {
+    let (energy, volume, (pit, vit, mit), (a, b, cgrp), _) = match &out[0] {
         Ok(v) => *v,
         Err(e) => {
             println!("{e}");
             std::process::exit(1);
         }
     };
+    // Fold the per-rank FNV digests into one run-level state hash: the
+    // gs-overlap smoke in verify.sh pins this line across NKT_GS_OVERLAP
+    // modes (split-phase gather-scatter must be bitwise neutral).
+    let state_hash = out
+        .iter()
+        .filter_map(|r| r.as_ref().ok().map(|v| v.4))
+        .fold(0u64, |acc, h| acc.rotate_left(17) ^ h);
+    println!("  state hash {state_hash:016x}");
     println!("after 2 ALE steps on modeled RoadRunner/Myrinet:");
     println!("  kinetic energy {energy:.4}, mesh volume {volume:.4} (conserved)");
     println!("  PCG iterations: pressure {pit}, velocity (3 comps) {vit}, mesh-velocity {mit}");

@@ -43,6 +43,31 @@ if [[ "$overlap_on" != "$overlap_off" ]]; then
     exit 1
 fi
 
+echo "== gs smoke (NKT_GS_OVERLAP=1 vs 0: identical state, split-phase spans) =="
+# The split-phase gather-scatter must be a pure scheduling change: the
+# ALE example prints a folded per-rank FNV state hash that cannot depend
+# on NKT_GS_OVERLAP (DESIGN.md §16).
+gs_on="$(NKT_GS_OVERLAP=1 cargo run --release --offline --example flapping_wing_ale | grep 'state hash')"
+gs_off="$(NKT_GS_OVERLAP=0 cargo run --release --offline --example flapping_wing_ale | grep 'state hash')"
+if [[ "$gs_on" != "$gs_off" ]]; then
+    echo "FAIL: state hash depends on NKT_GS_OVERLAP" >&2
+    echo "NKT_GS_OVERLAP=1: $gs_on" >&2
+    echo "NKT_GS_OVERLAP=0: $gs_off" >&2
+    exit 1
+fi
+# The two phases must be attributed as first-class ops: the profiled run
+# has gs.start and gs.finish rows in the MPI attribution table.
+gs_prof="$(mktemp -d)"
+NKT_PROF=1 NKT_TRACE_DIR="$gs_prof" \
+    cargo run --release --offline --example flapping_wing_ale > /dev/null
+for op in '"gs.start"' '"gs.finish"'; do
+    if ! grep -q "$op" "$gs_prof"/PROF_flapping_wing_ale.json; then
+        echo "FAIL: ALE profile is missing the $op split-phase op" >&2
+        exit 1
+    fi
+done
+rm -rf "$gs_prof"
+
 echo "== pencil smoke (2-D grid: bitwise slab equality, runs past P = nz/2) =="
 # A 4x2 pencil grid runs 8 ranks where the slab caps at P = nz/2 = 4;
 # pencil rank (r, c) must end with the same FNV state hash as slab rank
