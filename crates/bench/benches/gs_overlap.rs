@@ -78,6 +78,7 @@ fn replay_wall(mid: MachineId, nid: NetId, p: usize, frac: f64) -> f64 {
         nm1: order + 1,
         j: 2,
         gs_overlap: frac,
+        stage_overlap: None,
     };
     replay(&ale_step_workload(&shape), &machine(mid), &cluster(nid), p).wall_total()
 }

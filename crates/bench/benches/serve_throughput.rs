@@ -57,7 +57,7 @@ fn rank_steps(jobs: &[JobSpec]) -> u64 {
 fn main() {
     let root = std::env::temp_dir().join(format!("nkt_bench_serve_{}", std::process::id()));
     let cfg = |sub: &str| -> ServeConfig {
-        ServeConfig { root: root.join(sub), max_worlds: 1 }
+        ServeConfig { root: root.join(sub), max_worlds: 1, events: None }
     };
 
     let mut b = Bench::new("serve");

@@ -46,12 +46,17 @@ fn main() {
             nm1: order + 1,
             j: 2,
             // Split-phase gs overlap window: interior-element share of a
-            // cubic partition (same estimate as table3_nektar_ale).
+            // cubic partition (same estimate as table3_nektar_ale),
+            // upgraded to measured per-stage windows when a native
+            // calibration is committed.
             gs_overlap: if std::env::var("NKT_GS_OVERLAP").map_or(true, |v| v != "0") {
                 (1.0 - 6.0 / (nelems_local as f64).cbrt()).max(0.0)
             } else {
                 0.0
             },
+            stage_overlap: std::env::var("NKT_GS_OVERLAP")
+                .map_or(true, |v| v != "0")
+                .then(|| nkt_bench::ale_stage_overlap(nelems_local).0),
         };
         let rec = ale_step_workload(&shape);
         let t = replay(&rec, &machine(mid), &cluster(nid), p);

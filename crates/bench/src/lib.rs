@@ -26,6 +26,39 @@ use nkt_machine::{machine, MachineId};
 use nkt_mesh::bluff_body_mesh;
 use nkt_spectral::{Assembly, QuadBasis};
 
+/// Per-stage split-phase overlap windows for an ALE replay with
+/// `nelems_local` elements per rank.
+///
+/// Prefers the *measured* surface coefficients from the committed
+/// native calibration (`results/CALIB_flapping_wing_ale.json`, written
+/// by `NKT_CALIB=1 NKT_GS_OVERLAP=1` runs of the flapping-wing
+/// example), re-expanded at this volume via
+/// [`nkt_calib::window_at`]; stages the native run never measured get
+/// the apply-weighted merged coefficient. Falls back to the analytic
+/// `1 − 6/V^{1/3}` estimate everywhere when no calibration is
+/// committed. Returns the windows plus whether they are measured.
+pub fn ale_stage_overlap(nelems_local: usize) -> ([f64; 7], bool) {
+    use nektar::timers::Stage;
+    let vol = nelems_local as f64;
+    let mut w = [nkt_calib::window_at(nkt_calib::ANALYTIC_COEF, vol); 7];
+    let path = nkt_trace::results_dir().join("CALIB_flapping_wing_ale.json");
+    let Ok(windows) = nkt_calib::load_windows(&path) else {
+        return (w, false);
+    };
+    let Some(merged) = nkt_calib::merged_coef(&windows) else {
+        return (w, false);
+    };
+    for s in Stage::ALL {
+        let coef = windows
+            .iter()
+            .find(|x| x.stage == s.name())
+            .map(|x| x.coef())
+            .unwrap_or(merged);
+        w[s.index()] = nkt_calib::window_at(coef, vol);
+    }
+    (w, true)
+}
+
 /// The NetPIPE-style byte sizes the kernel figures sweep (paper x-axis:
 /// 100 B – 1 MB+).
 pub fn kernel_sweep_bytes() -> Vec<usize> {

@@ -1,0 +1,350 @@
+//! Diffs a fresh calibration run against the committed baselines in
+//! `results/CALIB_*.json` and fails (exit 1) when the measured-vs-
+//! modeled story regresses:
+//!
+//! * a comm op's share of modeled time grows (more fiction to explain),
+//! * a stage's measured overlap window shrinks (less work to hide
+//!   communication behind),
+//! * a fitted channel or kernel constant drifts in either direction
+//!   beyond tolerance (the calibration itself moved).
+//!
+//! Calibrations are built from deterministic virtual-time quantities,
+//! so a mismatch means the *code path* changed, not the machine.
+//!
+//! ```sh
+//! NKT_CALIB=1 NKT_TRACE_DIR=/tmp/fresh cargo run --release --example fourier_dns -- --np 4
+//! cargo run -p nkt-calib --bin calib_diff -- --fresh /tmp/fresh
+//! ```
+//!
+//! `scripts/calib_diff` wraps both steps.
+
+use nkt_trace::json::{parse, Value};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The gated numbers read back from one `CALIB_*.json`.
+#[derive(Debug, Clone, Default)]
+struct Gauges {
+    /// `(op, vshare)` for comm-class drift rows, file order.
+    comm_shares: Vec<(String, f64)>,
+    /// `(stage, window)` for measured overlap windows, file order.
+    windows: Vec<(String, f64)>,
+    /// `(label, value)` for fit constants: `alpha_us`, `beta_mbs`, and
+    /// per-kernel `r_inf[<kernel>]`.
+    fits: Vec<(String, f64)>,
+}
+
+/// Which direction of movement counts as a regression.
+#[derive(Debug, Clone, Copy)]
+enum Sense {
+    /// Growth regresses (comm share).
+    Up,
+    /// Shrinkage regresses (overlap window).
+    Down,
+    /// Any movement regresses (calibration constants).
+    Either,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Ok,
+    Better,
+    Regressed,
+}
+
+/// Band check with a direction: fresh may move within
+/// `abs + rel * |base|` of the baseline; beyond that, the `sense`
+/// decides whether the move is a regression or an improvement.
+fn judge(base: f64, fresh: f64, abs: f64, rel: f64, sense: Sense) -> Verdict {
+    let tol = abs + rel * base.abs();
+    if (fresh - base).abs() <= tol {
+        return Verdict::Ok;
+    }
+    let grew = fresh > base;
+    match sense {
+        Sense::Up => {
+            if grew {
+                Verdict::Regressed
+            } else {
+                Verdict::Better
+            }
+        }
+        Sense::Down => {
+            if grew {
+                Verdict::Better
+            } else {
+                Verdict::Regressed
+            }
+        }
+        Sense::Either => Verdict::Regressed,
+    }
+}
+
+fn load_gauges(path: &Path) -> Result<Gauges, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut g = Gauges::default();
+    if let Some(arr) = doc.get("drift").and_then(Value::as_arr) {
+        for d in arr {
+            if d.get("class").and_then(Value::as_str) != Some("comm") {
+                continue;
+            }
+            let name = d
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{}: drift row without a name", path.display()))?;
+            let share = d
+                .get("vshare")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{}: comm row {name} without vshare", path.display()))?;
+            g.comm_shares.push((name.to_string(), share));
+        }
+    }
+    if let Some(arr) = doc.get("windows").and_then(Value::as_arr) {
+        for w in arr {
+            let stage = w
+                .get("stage")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{}: window without a stage", path.display()))?;
+            let win = w
+                .get("window")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{}: window {stage} without value", path.display()))?;
+            g.windows.push((stage.to_string(), win));
+        }
+    }
+    if let Some(ab) = doc.get("alpha_beta") {
+        if let Some(a) = ab.get("alpha_us").and_then(Value::as_f64) {
+            g.fits.push(("alpha_us".to_string(), a));
+        }
+        if let Some(b) = ab.get("beta_mbs").and_then(Value::as_f64) {
+            g.fits.push(("beta_mbs".to_string(), b));
+        }
+    }
+    if let Some(arr) = doc.get("kernel_fits").and_then(Value::as_arr) {
+        for k in arr {
+            let (Some(name), Some(r)) = (
+                k.get("kernel").and_then(Value::as_str),
+                k.get("r_inf").and_then(Value::as_f64),
+            ) else {
+                continue;
+            };
+            g.fits.push((format!("r_inf[{name}]"), r));
+        }
+    }
+    Ok(g)
+}
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    abs: f64,
+    rel: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: calib_diff --fresh <dir> [--baseline <dir>] [--abs <frac>] [--rel <frac>]\n\
+         \n\
+         --fresh     directory holding the fresh CALIB_*.json run (required)\n\
+         --baseline  committed baselines (default: <workspace>/results)\n\
+         --abs       absolute tolerance on gated values (default: 0.02)\n\
+         --rel       relative tolerance on gated values (default: 0.10 = 10%)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut abs = 0.02;
+    let mut rel = 0.10;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("calib_diff: {name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(val("--baseline"))),
+            "--fresh" => fresh = Some(PathBuf::from(val("--fresh"))),
+            "--abs" => abs = val("--abs").parse().unwrap_or_else(|_| usage()),
+            "--rel" => rel = val("--rel").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    Args {
+        baseline: baseline.unwrap_or_else(nkt_trace::results_dir),
+        fresh: fresh.unwrap_or_else(|| usage()),
+        abs,
+        rel,
+    }
+}
+
+fn calib_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("CALIB_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    v.sort();
+    v
+}
+
+fn label(v: Verdict, regressions: &mut usize) -> &'static str {
+    match v {
+        Verdict::Ok => "ok",
+        Verdict::Better => "better",
+        Verdict::Regressed => {
+            *regressions += 1;
+            "REGRESSED"
+        }
+    }
+}
+
+/// Prints one metric group, judging fresh rows against matching
+/// baseline rows by name.
+fn diff_group(
+    title: &str,
+    base: &[(String, f64)],
+    fresh: &[(String, f64)],
+    sense: Sense,
+    args: &Args,
+    regressions: &mut usize,
+) {
+    for (name, b) in base {
+        let Some((_, fr)) = fresh.iter().find(|(n, _)| n == name) else {
+            println!(
+                "{:<32} {:>10.4} {:>10}  MISSING from fresh run",
+                format!("{title}[{name}]"),
+                b,
+                "-"
+            );
+            *regressions += 1;
+            continue;
+        };
+        let v = judge(*b, *fr, args.abs, args.rel, sense);
+        println!(
+            "{:<32} {:>10.4} {:>10.4}  {}",
+            format!("{title}[{name}]"),
+            b,
+            fr,
+            label(v, regressions)
+        );
+    }
+    for (name, fr) in fresh {
+        if !base.iter().any(|(n, _)| n == name) {
+            println!(
+                "{:<32} {:>10} {:>10.4}  new (no baseline)",
+                format!("{title}[{name}]"),
+                "-",
+                fr
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let fresh_files = calib_files(&args.fresh);
+    if fresh_files.is_empty() {
+        eprintln!("calib_diff: no CALIB_*.json in {}", args.fresh.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "calib_diff: fresh {} vs baseline {} (tolerance: {:.3} abs + {:.0}% rel)",
+        args.fresh.display(),
+        args.baseline.display(),
+        args.abs,
+        100.0 * args.rel
+    );
+
+    let mut regressions = 0usize;
+    for fresh_path in &fresh_files {
+        let fname = fresh_path.file_name().unwrap().to_str().unwrap();
+        let base_path = args.baseline.join(fname);
+        let fresh = match load_gauges(fresh_path) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("calib_diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if !base_path.exists() {
+            println!("\n{fname}: no committed baseline — skipped");
+            continue;
+        }
+        let base = match load_gauges(&base_path) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("calib_diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("\n{fname}:");
+        println!("{:<32} {:>10} {:>10}  verdict", "metric", "base", "fresh");
+        diff_group("comm_share", &base.comm_shares, &fresh.comm_shares, Sense::Up, &args, &mut regressions);
+        diff_group("window", &base.windows, &fresh.windows, Sense::Down, &args, &mut regressions);
+        diff_group("fit", &base.fits, &fresh.fits, Sense::Either, &args, &mut regressions);
+    }
+
+    if regressions > 0 {
+        println!("\ncalib_diff: {regressions} regression(s) beyond the tolerance band");
+        ExitCode::FAILURE
+    } else {
+        println!("\ncalib_diff: OK — no regressions");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sense_decides_which_direction_regresses() {
+        // base 0.50, abs 0.02, rel 10% → tol 0.07.
+        assert_eq!(judge(0.50, 0.56, 0.02, 0.10, Sense::Up), Verdict::Ok);
+        assert_eq!(judge(0.50, 0.60, 0.02, 0.10, Sense::Up), Verdict::Regressed);
+        assert_eq!(judge(0.50, 0.40, 0.02, 0.10, Sense::Up), Verdict::Better);
+        assert_eq!(judge(0.50, 0.40, 0.02, 0.10, Sense::Down), Verdict::Regressed);
+        assert_eq!(judge(0.50, 0.60, 0.02, 0.10, Sense::Down), Verdict::Better);
+        assert_eq!(judge(0.50, 0.60, 0.02, 0.10, Sense::Either), Verdict::Regressed);
+        assert_eq!(judge(0.50, 0.40, 0.02, 0.10, Sense::Either), Verdict::Regressed);
+    }
+
+    #[test]
+    fn load_gauges_reads_the_calib_schema() {
+        let dir = std::env::temp_dir().join("nkt_calib_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("CALIB_sample.json");
+        std::fs::write(
+            &p,
+            r#"{"schema":"nkt-calib-1","run":"sample",
+                "drift":[{"class":"stage","name":"NonLinear","vshare":0.9},
+                         {"class":"comm","name":"alltoall","vshare":0.6},
+                         {"class":"comm","name":"p2p.send","vshare":0.4}],
+                "alpha_beta":{"alpha_us":240.0,"beta_mbs":8.5},
+                "kernel_fits":[{"kernel":"dgemm","r_inf":180.0}],
+                "windows":[{"stage":"PressureSolve","window":0.82}]}"#,
+        )
+        .unwrap();
+        let g = load_gauges(&p).unwrap();
+        // Only comm-class drift rows are gated.
+        assert_eq!(g.comm_shares.len(), 2);
+        assert_eq!(g.comm_shares[0], ("alltoall".to_string(), 0.6));
+        assert_eq!(g.windows, vec![("PressureSolve".to_string(), 0.82)]);
+        assert_eq!(g.fits.len(), 3);
+        assert!(g.fits.contains(&("r_inf[dgemm]".to_string(), 180.0)));
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -1,0 +1,382 @@
+//! The assembled calibration document: construction from either trace
+//! source, the deterministic `CALIB_<run>.json` writer, and the
+//! "fact or fiction" report with measured-vs-modeled ratios.
+
+use crate::drift::{drift_rows, DriftRow};
+use crate::fit::{alpha_beta_fit, host_sweep, kernel_fits, AlphaBetaFit, KernelFit};
+use crate::overlap::{overlap_windows, OverlapWindow};
+use nkt_machine::{machine, Machine, MachineId};
+use nkt_net::{cluster, NetId};
+use nkt_prof::{from_threads, from_trace_json, PRank};
+use nkt_trace::{json_f64_exact, ThreadData};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Finds the network configuration a run name encodes, taking the
+/// longest catalog slug that appears as a substring (`fourier_dns_
+/// roadrunner_eth_grid2x4` names `roadrunner_eth`, not `roadrunner`).
+pub fn net_from_run(run: &str) -> Option<NetId> {
+    NetId::ALL
+        .into_iter()
+        .filter(|id| run.contains(id.slug()))
+        .max_by_key(|id| id.slug().len())
+}
+
+/// The machine model whose kernels ran on that network's nodes.
+/// Defaults to RoadRunner — the paper's protagonist cluster.
+pub fn machine_for(net: Option<NetId>) -> MachineId {
+    match net {
+        Some(NetId::RoadRunnerEth) | Some(NetId::RoadRunnerMyr) | None => MachineId::RoadRunner,
+        Some(NetId::MusesMpich) | Some(NetId::MusesLam) => MachineId::Muses,
+        Some(NetId::Sp2Silver) => MachineId::Sp2Silver,
+        Some(NetId::Sp2Thin2) => MachineId::Sp2Thin2,
+        Some(NetId::Onyx2) => MachineId::Onyx2,
+        Some(NetId::Ncsa) => MachineId::Ncsa,
+        Some(NetId::Ap3000) => MachineId::Ap3000,
+        Some(NetId::T3e) => MachineId::T3e,
+        Some(NetId::Hitachi) => MachineId::Hitachi,
+    }
+}
+
+/// A complete calibration of one traced run.
+///
+/// Everything serialized by [`Calibration::to_json`] is a function of
+/// the virtual timeline and exact counters, so `CALIB_<run>.json` is
+/// byte-identical across reruns of the same seeded simulation. Host
+/// wall times (the "fact" side of fact-or-fiction) appear only in
+/// [`Calibration::report`].
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Run name (`CALIB_<run>.json`).
+    pub run: String,
+    /// Rank ids present, ascending.
+    pub ranks: Vec<usize>,
+    /// Network configuration recovered from the run name, if any.
+    pub net: Option<NetId>,
+    /// Machine model the kernel fits are computed against.
+    pub machine_id: MachineId,
+    /// Measured-vs-modeled drift rows (stage / comm / kernel classes).
+    pub drift: Vec<DriftRow>,
+    /// Fitted α–β point-to-point channel (`None` when the run sent no
+    /// p2p messages).
+    pub alpha_beta: Option<AlphaBetaFit>,
+    /// Hockney-form fits of the machine-model kernel curves, one per
+    /// Figure 1–6 family.
+    pub kernel_fits: Vec<KernelFit>,
+    /// Measured per-stage overlap windows (empty when split-phase
+    /// gather-scatter was off).
+    pub windows: Vec<OverlapWindow>,
+}
+
+impl Calibration {
+    /// Builds a calibration from in-process collected thread data.
+    pub fn build(run: &str, threads: &[ThreadData]) -> Calibration {
+        Self::from_ranks(run, from_threads(threads))
+    }
+
+    /// Builds a calibration from an exported `TRACE_<run>.json` document.
+    pub fn from_trace_json(run: &str, text: &str) -> Result<Calibration, String> {
+        Ok(Self::from_ranks(run, from_trace_json(text)?))
+    }
+
+    fn from_ranks(run: &str, ranks: Vec<PRank>) -> Calibration {
+        let net = net_from_run(run);
+        let machine_id = machine_for(net);
+        let statics = net.map(|id| cluster(id).inter);
+        Calibration {
+            run: run.to_string(),
+            net,
+            machine_id,
+            drift: drift_rows(&ranks),
+            alpha_beta: alpha_beta_fit(&ranks, statics.as_ref()),
+            kernel_fits: kernel_fits(&machine(machine_id)),
+            windows: overlap_windows(&ranks),
+            ranks: ranks.into_iter().map(|r| r.rank).collect(),
+        }
+    }
+
+    fn machine(&self) -> Machine {
+        machine(self.machine_id)
+    }
+
+    /// Serializes the deterministic part of the calibration. Valid JSON
+    /// with fixed key order, sorted collections, and full-round-trip
+    /// float formatting — two runs of the same seeded simulation produce
+    /// byte-identical documents.
+    pub fn to_json(&self) -> String {
+        let f = json_f64_exact;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"nkt-calib-1\",");
+        let _ = writeln!(out, "  \"run\": {},", json_str(&self.run));
+        let _ = writeln!(out, "  \"ranks\": {},", self.ranks.len());
+        let net = self.net.map_or("null".to_string(), |id| json_str(id.slug()));
+        let _ = writeln!(out, "  \"net\": {net},");
+        let _ = writeln!(out, "  \"machine\": {},", json_str(self.machine().name));
+        out.push_str("  \"drift\": [\n");
+        for (i, d) in self.drift.iter().enumerate() {
+            let c = if i + 1 < self.drift.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"class\": {}, \"name\": {}, \"calls\": {}, \"vsecs\": {}, \"bytes\": {}, \"flops\": {}, \"vshare\": {}}}{c}",
+                json_str(d.class),
+                json_str(&d.name),
+                d.calls,
+                f(d.vsecs),
+                d.bytes,
+                f(d.flops),
+                f(d.vshare),
+            );
+        }
+        out.push_str("  ],\n");
+        match &self.alpha_beta {
+            None => out.push_str("  \"alpha_beta\": null,\n"),
+            Some(ab) => {
+                let opt = |v: Option<f64>| v.map_or("null".to_string(), f);
+                let _ = writeln!(
+                    out,
+                    "  \"alpha_beta\": {{\"channel\": {}, \"samples\": {}, \"alpha_us\": {}, \"beta_mbs\": {}, \"max_resid_us\": {}, \"static_alpha_us\": {}, \"static_beta_mbs\": {}}},",
+                    json_str(&ab.channel),
+                    ab.samples,
+                    f(ab.alpha_us),
+                    f(ab.beta_mbs),
+                    f(ab.max_resid_us),
+                    opt(ab.static_alpha_us),
+                    opt(ab.static_beta_mbs),
+                );
+            }
+        }
+        out.push_str("  \"kernel_fits\": [\n");
+        for (i, k) in self.kernel_fits.iter().enumerate() {
+            let c = if i + 1 < self.kernel_fits.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"kernel\": {}, \"unit\": {}, \"r_inf\": {}, \"n_half\": {}, \"points\": {}, \"max_rel_err\": {}}}{c}",
+                json_str(k.kernel),
+                json_str(k.unit),
+                f(k.r_inf),
+                f(k.n_half),
+                k.points,
+                f(k.max_rel_err),
+            );
+        }
+        out.push_str("  ],\n  \"windows\": [\n");
+        for (i, w) in self.windows.iter().enumerate() {
+            let c = if i + 1 < self.windows.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"stage\": {}, \"applies\": {}, \"interior\": {}, \"boundary\": {}, \"window\": {}, \"coef\": {}}}{c}",
+                json_str(&w.stage),
+                w.applies,
+                w.interior,
+                w.boundary,
+                f(w.window()),
+                f(w.coef()),
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `CALIB_<run>.json` into `dir`, returning the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("CALIB_{}.json", self.run));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes `CALIB_<run>.json` into the configured results directory
+    /// (`NKT_TRACE_DIR` if set, else `<workspace>/results`).
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("NKT_TRACE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| nkt_trace::results_dir());
+        self.write_to(&dir)
+    }
+
+    /// Renders the "fact or fiction" report: drift rows with their
+    /// measured-host-seconds ratios, the fitted α–β channel against the
+    /// static catalog, kernel fits, a native BLAS sweep over every
+    /// Figure 1–6 family, and the measured overlap windows.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "nkt-calib — run '{}', {} rank(s), machine {}{}",
+            self.run,
+            self.ranks.len(),
+            self.machine().name,
+            self.net.map_or(String::new(), |id| format!(", net {}", id.slug())),
+        );
+
+        if !self.drift.is_empty() {
+            let _ = writeln!(out, "\nDrift: modeled virtual vs measured host seconds");
+            let _ = writeln!(
+                out,
+                "  {:<7} {:<20} {:>7} {:>12} {:>7} {:>12} {:>8}",
+                "class", "name", "calls", "modeled", "share", "measured", "ratio"
+            );
+            for d in &self.drift {
+                let ratio = d
+                    .ratio()
+                    .map_or_else(|| format!("{:>8}", "-"), |r| format!("{r:>8.3}"));
+                let _ = writeln!(
+                    out,
+                    "  {:<7} {:<20} {:>7} {:>12.6} {:>6.1}% {:>12.6} {}",
+                    d.class,
+                    d.name,
+                    d.calls,
+                    d.vsecs,
+                    100.0 * d.vshare,
+                    d.host_s,
+                    ratio,
+                );
+            }
+        }
+
+        if let Some(ab) = &self.alpha_beta {
+            let _ = writeln!(out, "\nFitted p2p channel ({} message(s))", ab.samples);
+            let stat = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.2}"));
+            let _ = writeln!(
+                out,
+                "  alpha {:.2} us (static {}), beta {:.2} MB/s (static {}), max residual {:.2} us",
+                ab.alpha_us,
+                stat(ab.static_alpha_us),
+                ab.beta_mbs,
+                stat(ab.static_beta_mbs),
+                ab.max_resid_us,
+            );
+        }
+
+        if !self.kernel_fits.is_empty() {
+            let _ = writeln!(out, "\nKernel model fits r(n) = R_inf * n/(n + n_half)");
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>10} {:>10} {:>10}",
+                "kernel", "R_inf", "n_half", "fit err"
+            );
+            for k in &self.kernel_fits {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:>10.1} {:>10.1} {:>9.1}%  ({})",
+                    k.kernel,
+                    k.r_inf,
+                    k.n_half,
+                    100.0 * k.max_rel_err,
+                    k.unit,
+                );
+            }
+        }
+
+        let sweep = host_sweep(&self.machine());
+        if !sweep.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nNative BLAS sweep vs {} model (host rates; not serialized)",
+                self.machine().name,
+            );
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>8} {:>12} {:>12} {:>8}",
+                "kernel", "n", "measured", "modeled", "ratio"
+            );
+            for p in &sweep {
+                let ratio = if p.modeled > 0.0 { p.measured / p.modeled } else { 0.0 };
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:>8} {:>12.1} {:>12.1} {:>8.2}",
+                    p.kernel, p.n, p.measured, p.modeled, ratio,
+                );
+            }
+        }
+
+        if !self.windows.is_empty() {
+            let _ = writeln!(out, "\nMeasured overlap windows (split-phase gather-scatter)");
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>8} {:>10} {:>10} {:>8} {:>7}",
+                "stage", "applies", "interior", "boundary", "window", "coef"
+            );
+            for w in &self.windows {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>8} {:>10} {:>10} {:>7.1}% {:>7.3}",
+                    w.stage,
+                    w.applies,
+                    w.interior,
+                    w.boundary,
+                    100.0 * w.window(),
+                    w.coef(),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// JSON string escape (same rules as the trace exporter).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_from_run_prefers_longest_slug() {
+        assert_eq!(net_from_run("fourier_dns_roadrunner_eth_grid2x4"), Some(NetId::RoadRunnerEth));
+        assert_eq!(net_from_run("fourier_dns_roadrunner_myr"), Some(NetId::RoadRunnerMyr));
+        assert_eq!(net_from_run("serve_muses_lam_x"), Some(NetId::MusesLam));
+        assert_eq!(net_from_run("flapping_wing_ale"), None);
+    }
+
+    #[test]
+    fn machine_mapping_covers_every_net() {
+        assert_eq!(machine_for(None), MachineId::RoadRunner);
+        for id in NetId::ALL {
+            // Every catalog network maps without panicking, and the two
+            // RoadRunner fabrics share the RoadRunner nodes.
+            let m = machine_for(Some(id));
+            if matches!(id, NetId::RoadRunnerEth | NetId::RoadRunnerMyr) {
+                assert_eq!(m, MachineId::RoadRunner);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_run_serializes_and_parses() {
+        let c = Calibration::build("fourier_dns_roadrunner_eth", &[]);
+        assert!(c.drift.is_empty());
+        assert!(c.alpha_beta.is_none());
+        assert_eq!(c.kernel_fits.len(), 5);
+        let json = c.to_json();
+        let doc = nkt_trace::json::parse(&json).expect("valid JSON");
+        use nkt_trace::json::Value;
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some("nkt-calib-1"));
+        assert_eq!(doc.get("net").and_then(Value::as_str), Some("roadrunner_eth"));
+        assert_eq!(
+            doc.get("kernel_fits").and_then(Value::as_arr).map(|a| a.len()),
+            Some(5)
+        );
+        // Serialization is a pure function of the virtual data.
+        assert_eq!(json, Calibration::build("fourier_dns_roadrunner_eth", &[]).to_json());
+    }
+}

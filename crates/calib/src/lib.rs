@@ -1,0 +1,114 @@
+//! # nkt-calib — a "fact or fiction" observatory
+//!
+//! The paper's title is a question: does the modeled story — kernel
+//! rooflines (Figures 1–6), α–β networks (Figures 7–8), overlap
+//! estimates (Table 3) — survive contact with a real machine? This
+//! crate answers it continuously, for every traced run:
+//!
+//! * **Drift tracking**: per-stage, per-comm-op and per-kernel rows of
+//!   modeled virtual seconds next to measured host seconds, with the
+//!   drift ratio in the report.
+//! * **Machine-model calibration**: deterministic least-squares fits —
+//!   an α–β latency/bandwidth channel recovered from the run's own p2p
+//!   spans (compared against the static `nkt-net` catalog), and
+//!   Hockney-form `R∞`/`n½` compressions of every `nkt-machine` kernel
+//!   curve, checked against a native BLAS sweep in the report.
+//! * **Measured overlap windows**: the interior/boundary element split
+//!   each split-phase gather-scatter apply actually had, folded per
+//!   stage — the Table 3 / Figures 15–16 replays consume these instead
+//!   of the analytic `1 − 6/V^{1/3}` estimate.
+//!
+//! ## Data flow
+//!
+//! ```text
+//! solvers ──spans──▶ nkt-trace ──┬─ take_collected() ─▶ Calibration::build           (in-process)
+//!                                └─ TRACE_<run>.json ─▶ Calibration::from_trace_json (offline)
+//!                                                          │
+//!                                results/CALIB_<run>.json ◀┴▶ Calibration::report()
+//! ```
+//!
+//! Everything serialized lives on the **virtual** timeline (or is an
+//! exact counter), so `CALIB_<run>.json` is byte-identical across runs
+//! of the same seeded simulation and gateable by `calib_diff`; measured
+//! host times appear only in the printed report.
+//!
+//! ## Configuration
+//!
+//! | env var     | values                | effect                                            |
+//! |-------------|-----------------------|---------------------------------------------------|
+//! | `NKT_CALIB` | `1` \| `on` \| `true` | solvers calibrate the run and write `CALIB_<run>.json` |
+//!
+//! `NKT_CALIB=1` implies span recording: [`prepare`] raises the trace
+//! mode to [`nkt_trace::TraceMode::Spans`] like `NKT_PROF` does, so the
+//! two observers can share one collector drain.
+
+pub mod document;
+pub mod drift;
+pub mod fit;
+pub mod overlap;
+
+pub use document::{machine_for, net_from_run, Calibration};
+pub use drift::{drift_rows, DriftRow, CANONICAL_MFLOPS};
+pub use fit::{alpha_beta_fit, host_sweep, kernel_fits, AlphaBetaFit, HostPoint, KernelFit};
+pub use overlap::{
+    load_windows, merged_coef, overlap_windows, window_at, OverlapWindow, ANALYTIC_COEF,
+};
+
+use std::sync::OnceLock;
+
+/// Whether calibration was requested via `NKT_CALIB` (`1`, `on`,
+/// `true`; anything else — including unset — is off). Latched on first
+/// call so a run is calibrated consistently end to end.
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("NKT_CALIB")
+            .map(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "on" | "true"))
+            .unwrap_or(false)
+    })
+}
+
+/// Arms the trace layer for calibration: raises the recording mode to
+/// spans. Call once at solver startup when [`enabled`] is true.
+pub fn prepare() {
+    if nkt_trace::mode() < nkt_trace::TraceMode::Spans {
+        nkt_trace::set_mode(nkt_trace::TraceMode::Spans);
+    }
+}
+
+/// The solver-side convenience wrapper: when [`enabled`], builds the
+/// calibration for `run` from already-drained thread data, prints the
+/// report, and writes `CALIB_<run>.json` (returning its path).
+///
+/// Takes the thread data instead of draining internally because
+/// `nkt_trace::take_collected` empties the collector — a run observed
+/// by both `NKT_PROF` and `NKT_CALIB` must drain once and hand the same
+/// snapshot to both. A no-op returning `None` when `NKT_CALIB` is off.
+pub fn calibrate_and_write(run: &str, threads: &[nkt_trace::ThreadData]) -> Option<std::path::PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    let c = Calibration::build(run, threads);
+    print!("{}", c.report());
+    match c.write() {
+        Ok(path) => {
+            println!("calib: wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("calib: cannot write CALIB_{run}.json: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_raises_mode_to_spans() {
+        prepare();
+        assert_eq!(nkt_trace::mode(), nkt_trace::TraceMode::Spans);
+    }
+}

@@ -54,6 +54,28 @@ pub(crate) fn fft_virtual_secs(len: usize, batch: usize) -> f64 {
     5.0 * len as f64 * (len as f64).log2().max(1.0) * batch as f64 / 1e8
 }
 
+/// Runs one field's host-side FFT work (pack or unpack closure) inside
+/// a `kernel`-cat span carrying the modeled flop count, then charges
+/// the modeled virtual seconds. The span's host duration measures the
+/// real transform work, so `nkt-calib` can put measured next to modeled
+/// for the FFT kernel family.
+pub(crate) fn fft_kernel<T>(
+    comm: &mut Comm,
+    len: usize,
+    batch: usize,
+    work: impl FnOnce() -> T,
+) -> T {
+    let secs = fft_virtual_secs(len, batch);
+    let sp = nkt_trace::span_v("fft", "kernel", comm.wtime());
+    let out = work();
+    comm.advance(secs);
+    sp.end_v_args(
+        comm.wtime(),
+        &[("len", len as f64), ("batch", batch as f64), ("flops", secs * 1e8)],
+    );
+    out
+}
+
 /// Why a NekTar-F configuration cannot be decomposed — a reportable
 /// error instead of an abort, covering both decompositions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -267,15 +289,17 @@ impl Decomposition for Slab {
                 sends.iter().map(|s| comm.ialltoall(s, fblock)).collect();
             for (fi, h) in handles.into_iter().enumerate() {
                 comm.alltoall_finish(h, &mut recv);
-                unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims);
-                comm.advance(fft_virtual_secs(nz, npts));
+                fft_kernel(comm, nz, npts, || {
+                    unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims)
+                });
                 ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
             }
         } else {
             for (fi, send) in sends.iter().enumerate() {
                 comm.alltoall_with(ctx.algo, send, fblock, &mut recv);
-                unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims);
-                comm.advance(fft_virtual_secs(nz, npts));
+                fft_kernel(comm, nz, npts, || {
+                    unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims)
+                });
                 ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
             }
         }
@@ -344,8 +368,7 @@ impl Decomposition for Slab {
         if ctx.overlap {
             let mut handles = Vec::with_capacity(nf);
             for fi in 0..nf {
-                let send = pack_field(fi, &mut spectrum);
-                comm.advance(fft_virtual_secs(nz, npts));
+                let send = fft_kernel(comm, nz, npts, || pack_field(fi, &mut spectrum));
                 ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
                 handles.push(comm.ialltoall(&send, fblock));
             }
@@ -355,8 +378,7 @@ impl Decomposition for Slab {
             }
         } else {
             for fi in 0..nf {
-                let send = pack_field(fi, &mut spectrum);
-                comm.advance(fft_virtual_secs(nz, npts));
+                let send = fft_kernel(comm, nz, npts, || pack_field(fi, &mut spectrum));
                 ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
                 comm.alltoall_with(ctx.algo, &send, fblock, &mut recv);
                 unpack_field(fi, &recv, &mut out);
@@ -486,15 +508,17 @@ impl Decomposition for Pencil2D {
             }
             for (fi, h) in handles.into_iter().enumerate() {
                 comm.alltoall_finish(h, &mut recv);
-                unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims);
-                comm.advance(fft_virtual_secs(nz, npts));
+                fft_kernel(comm, nz, npts, || {
+                    unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims)
+                });
                 ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
             }
         } else {
             for (fi, send) in sends.iter().enumerate() {
                 self.col_comm.alltoall_with(comm, ctx.algo, send, fblock, &mut recv);
-                unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims);
-                comm.advance(fft_virtual_secs(nz, npts));
+                fft_kernel(comm, nz, npts, || {
+                    unpack_phys_field(&recv, &mut out[fi], &mut spectrum, &fft, dims)
+                });
                 ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
             }
         }
@@ -586,8 +610,7 @@ impl Decomposition for Pencil2D {
         if ctx.overlap {
             let mut col_handles = Vec::with_capacity(nf);
             for fi in 0..nf {
-                let send = pack_field(fi, &mut spectrum);
-                comm.advance(fft_virtual_secs(nz, npts));
+                let send = fft_kernel(comm, nz, npts, || pack_field(fi, &mut spectrum));
                 ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
                 col_handles.push(self.col_comm.ialltoall(comm, &send, fblock));
             }
@@ -603,8 +626,7 @@ impl Decomposition for Pencil2D {
             }
         } else {
             for fi in 0..nf {
-                let send = pack_field(fi, &mut spectrum);
-                comm.advance(fft_virtual_secs(nz, npts));
+                let send = fft_kernel(comm, nz, npts, || pack_field(fi, &mut spectrum));
                 ctx.recorder.work(Stage::NonLinear, WorkItem::FftBatch { len: nz, batch: npts });
                 self.col_comm.alltoall_with(comm, ctx.algo, &send, fblock, &mut col_recv);
                 let rsend = replicate(&col_recv);

@@ -573,11 +573,21 @@ impl NektarF {
             // same matrices").
             let t0 = StageTimer::start(Stage::PressureSolve);
             let zeros = vec![0.0; ndofp];
+            let kdp = self.pressure[mi].matrix.kd();
+            let ksp = nkt_trace::span("banded_solve", "kernel");
             let (pa, _) =
                 self.pressure[mi].solve_with_rhs(rhs_a, &zeros, SolveMethod::BandedDirect);
             let (pb, _) =
                 self.pressure[mi].solve_with_rhs(rhs_b, &zeros, SolveMethod::BandedDirect);
-            let kdp = self.pressure[mi].matrix.kd();
+            ksp.end_v_args(
+                f64::NAN,
+                &[
+                    ("n", ndofp as f64),
+                    ("kd", kdp as f64),
+                    ("solves", 2.0),
+                    ("flops", 2.0 * 4.0 * ndofp as f64 * (kdp + 1) as f64),
+                ],
+            );
             for _ in 0..2 {
                 self.recorder
                     .work(Stage::PressureSolve, WorkItem::BandedSolve { n: ndofp, kd: kdp });
@@ -650,12 +660,22 @@ impl NektarF {
             };
             let mut comps: [ModeCoeffs; 3] = Default::default();
             let rhs_taken = rhs;
+            let kdv = solver.matrix.kd();
+            let ksp = nkt_trace::span("banded_solve", "kernel");
             for (c, (ra, rb)) in rhs_taken.into_iter().enumerate() {
                 let (na, _) = solver.solve_with_rhs(ra, &ud, SolveMethod::BandedDirect);
                 let (nb, _) = solver.solve_with_rhs(rb, &ud, SolveMethod::BandedDirect);
                 comps[c] = ModeCoeffs { a: na, b: nb };
             }
-            let kdv = solver.matrix.kd();
+            ksp.end_v_args(
+                f64::NAN,
+                &[
+                    ("n", ndofv as f64),
+                    ("kd", kdv as f64),
+                    ("solves", 6.0),
+                    ("flops", 6.0 * 4.0 * ndofv as f64 * (kdv + 1) as f64),
+                ],
+            );
             for _ in 0..6 {
                 self.recorder
                     .work(Stage::ViscousSolve, WorkItem::BandedSolve { n: ndofv, kd: kdv });

@@ -531,21 +531,48 @@ impl HexHelmholtz {
         let mut xl = vec![0.0; nm];
         let mut yl = vec![0.0; nm];
         let esecs = self.elem_virtual_secs();
+        let (nb, ni) = (self.elem_boundary.len(), self.elem_interior.len());
+        let ksp = nkt_trace::span_v("helmholtz", "kernel", comm.wtime());
         self.apply_pass(&self.elem_boundary, x, y, &mut xl, &mut yl, rec);
-        comm.advance(esecs * self.elem_boundary.len() as f64);
+        comm.advance(esecs * nb as f64);
+        ksp.end_v_args(
+            comm.wtime(),
+            &[("elems", nb as f64), ("flops", esecs * nb as f64 * 1e8)],
+        );
         let overlap = if self.gs_overlap {
+            let w0 = comm.wtime();
             let ex = self.gs.start(comm, y, ReduceOp::Sum);
+            let ksp = nkt_trace::span_v("helmholtz", "kernel", comm.wtime());
             self.apply_pass(&self.elem_interior, x, y, &mut xl, &mut yl, rec);
-            comm.advance(esecs * self.elem_interior.len() as f64);
+            comm.advance(esecs * ni as f64);
+            ksp.end_v_args(
+                comm.wtime(),
+                &[("elems", ni as f64), ("flops", esecs * ni as f64 * 1e8)],
+            );
             ex.finish(comm, y);
+            // The measured overlap window: how many elements this apply
+            // really had available to hide the exchange behind, consumed
+            // per stage by nkt-calib (`gs.window` records).
+            nkt_trace::record_vspan_args(
+                "gs.window",
+                "gs",
+                w0,
+                comm.wtime(),
+                &[("interior", ni as f64), ("boundary", nb as f64)],
+            );
             if self.my_elems.is_empty() {
                 0.0
             } else {
-                self.elem_interior.len() as f64 / self.my_elems.len() as f64
+                ni as f64 / self.my_elems.len() as f64
             }
         } else {
+            let ksp = nkt_trace::span_v("helmholtz", "kernel", comm.wtime());
             self.apply_pass(&self.elem_interior, x, y, &mut xl, &mut yl, rec);
-            comm.advance(esecs * self.elem_interior.len() as f64);
+            comm.advance(esecs * ni as f64);
+            ksp.end_v_args(
+                comm.wtime(),
+                &[("elems", ni as f64), ("flops", esecs * ni as f64 * 1e8)],
+            );
             self.gs.exchange(comm, y, ReduceOp::Sum);
             0.0
         };

@@ -355,6 +355,20 @@ pub struct AleShape {
     /// window (0.0 = blocking exchanges; see
     /// [`crate::opstream::CommItem::GsExchange`]).
     pub gs_overlap: f64,
+    /// Per-stage overlap windows (indexed by [`Stage::index`]),
+    /// overriding `gs_overlap` where present — e.g. measured windows
+    /// from a native `NKT_CALIB` run instead of the analytic
+    /// surface-to-volume estimate.
+    pub stage_overlap: Option<[f64; 7]>,
+}
+
+impl AleShape {
+    /// The overlap window a GS exchange in `stage` should carry: the
+    /// per-stage measured value when one is loaded, else the uniform
+    /// `gs_overlap`.
+    pub fn overlap_for(&self, stage: Stage) -> f64 {
+        self.stage_overlap.map_or(self.gs_overlap, |w| w[stage.index()])
+    }
 }
 
 /// One NekTar-ALE per-rank step (mirrors
@@ -393,7 +407,11 @@ pub fn ale_step_workload(s: &AleShape) -> OpRecording {
     }
     rec.comm(
         Stage::PressureRhs,
-        CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * s.halo, overlap: s.gs_overlap },
+        CommItem::GsExchange {
+            neighbors: s.neighbors,
+            bytes: 8 * s.halo,
+            overlap: s.overlap_for(Stage::PressureRhs),
+        },
     );
     // Stage 5: pressure PCG. Each iteration: elemental applies (three
     // sum-factored contractions per term, ~O(nm1^4) each) + GS + dots.
@@ -405,7 +423,11 @@ pub fn ale_step_workload(s: &AleShape) -> OpRecording {
     }
     rec.comm(
         Stage::ViscousRhs,
-        CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * 3 * s.halo, overlap: s.gs_overlap },
+        CommItem::GsExchange {
+            neighbors: s.neighbors,
+            bytes: 8 * 3 * s.halo,
+            overlap: s.overlap_for(Stage::ViscousRhs),
+        },
     );
     // Stage 7: three velocity PCG solves + one mesh-velocity solve.
     pcg_workload(&mut rec, Stage::ViscousSolve, s, 3 * s.visc_iters);
@@ -426,7 +448,11 @@ fn pcg_workload(rec: &mut OpRecording, stage: Stage, s: &AleShape, iters: usize)
         // One GS halo exchange per iteration.
         rec.comm(
             stage,
-            CommItem::GsExchange { neighbors: s.neighbors, bytes: 8 * s.halo, overlap: s.gs_overlap },
+            CommItem::GsExchange {
+                neighbors: s.neighbors,
+                bytes: 8 * s.halo,
+                overlap: s.overlap_for(stage),
+            },
         );
         // Three global dot products (allreduce of one scalar).
         for _ in 0..3 {
@@ -542,6 +568,7 @@ mod tests {
             nm1: 5,
             j: 2,
             gs_overlap: 0.0,
+            stage_overlap: None,
         };
         let rec1 = ale_step_workload(&base);
         let rec2 = ale_step_workload(&AleShape { press_iters: 200, ..base });
@@ -566,6 +593,7 @@ mod tests {
             nm1: 5,
             j: 2,
             gs_overlap: 0.0,
+            stage_overlap: None,
         };
         let blocking = ale_step_workload(&base);
         let overlapped = ale_step_workload(&AleShape { gs_overlap: 0.75, ..base });
@@ -580,5 +608,22 @@ mod tests {
             .collect();
         assert!(!fracs.is_empty());
         assert!(fracs.iter().all(|&f| f == 0.75));
+
+        // Per-stage measured windows override the uniform estimate,
+        // stage by stage, without touching the work stream.
+        let mut windows = [0.75; 7];
+        windows[Stage::PressureSolve.index()] = 0.9;
+        windows[Stage::PressureRhs.index()] = 0.1;
+        let measured = ale_step_workload(&AleShape {
+            gs_overlap: 0.75,
+            stage_overlap: Some(windows),
+            ..base
+        });
+        assert_eq!(blocking.total_flops(), measured.total_flops());
+        for (stage, c) in &measured.comm {
+            if let CommItem::GsExchange { overlap, .. } = c {
+                assert_eq!(*overlap, windows[stage.index()], "stage {}", stage.name());
+            }
+        }
     }
 }

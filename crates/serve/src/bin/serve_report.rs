@@ -1,0 +1,62 @@
+//! Renders a serve event timeline (`EVENTS_<run>.jsonl`) as text.
+//!
+//! ```text
+//! serve_report <events.jsonl> [more.jsonl ...]
+//! serve_report            # every EVENTS_*.jsonl under the results dir
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn events_files(dir: &std::path::Path) -> Vec<PathBuf> {
+    let Ok(rd) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut v: Vec<PathBuf> = rd
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("EVENTS_") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: serve_report [EVENTS_<run>.jsonl ...]");
+        eprintln!("With no arguments, renders every EVENTS_*.jsonl in the results dir.");
+        return ExitCode::from(2);
+    }
+    let paths: Vec<PathBuf> = if args.is_empty() {
+        let dir = nkt_trace::results_dir();
+        let found = events_files(&dir);
+        if found.is_empty() {
+            eprintln!("serve_report: no EVENTS_*.jsonl under {}", dir.display());
+            return ExitCode::from(2);
+        }
+        found
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+    for path in paths {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("serve_report: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        println!("== {} ==", path.display());
+        match nkt_serve::render_events(&text) {
+            Ok(r) => println!("{r}"),
+            Err(e) => {
+                eprintln!("serve_report: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -25,15 +25,21 @@
 //! Observability rides the existing substrate: `serve.tick`/`serve.cut`
 //! spans, `serve.*` counters (admissions, preemptions, queue wait,
 //! finished/failed) and a `serve.worlds.running` gauge, all under
-//! `NKT_TRACE`. See `examples/serve_farm.rs` for a mixed batch driven
-//! end-to-end and DESIGN.md §15 for the scheduler state machine.
+//! `NKT_TRACE`. With [`ServeConfig::events`] set, the scheduler also
+//! appends its decision timeline (admit/resume/cut/preempt/complete/
+//! fail, with tick/tenant/usage) to a byte-deterministic
+//! `EVENTS_<run>.jsonl` — see [`events`] and the `serve_report` binary.
+//! See `examples/serve_farm.rs` for a mixed batch driven end-to-end and
+//! DESIGN.md §15 for the scheduler state machine.
 
+pub mod events;
 pub mod sched;
 pub mod spec;
 pub mod store;
 
 mod runner;
 
+pub use events::{render_events, EventLog};
 pub use runner::JobResult;
 pub use sched::{serve, JobReport, ServeConfig, ServeError, ServeReport};
 pub use spec::{

@@ -27,6 +27,7 @@
 //! from that epoch bitwise — see `runner` for why eviction is invisible
 //! in the job's artifacts.
 
+use crate::events::EventLog;
 use crate::runner::{self, JobResult, SliceCtx};
 use crate::spec::JobSpec;
 use crate::store::Store;
@@ -42,6 +43,10 @@ pub struct ServeConfig {
     pub root: PathBuf,
     /// Cap on concurrently-running worlds (admission control).
     pub max_worlds: usize,
+    /// When set, append the scheduler's decision timeline to
+    /// `<root>/EVENTS_<run>.jsonl` (see [`crate::events`]). The file is
+    /// byte-deterministic for a given batch.
+    pub events: Option<String>,
 }
 
 /// Scheduler → worker verdict at an epoch cut.
@@ -149,7 +154,7 @@ struct Book {
 static NEXT_SCOPE: AtomicU64 = AtomicU64::new(1);
 
 enum Parked {
-    AtCut,
+    AtCut { step: u64 },
     Exited(runner::SliceExit),
 }
 
@@ -169,6 +174,10 @@ pub fn serve(jobs: Vec<JobSpec>, cfg: &ServeConfig) -> Result<ServeReport, Serve
     }
     std::fs::create_dir_all(&cfg.root).map_err(ServeError::Io)?;
     let store = Store::new(cfg.root.clone());
+    let mut elog: Option<EventLog> = match &cfg.events {
+        Some(run) => Some(EventLog::create(&cfg.root, run).map_err(ServeError::Io)?),
+        None => None,
+    };
 
     // One scope per job plus one for the scheduler thread itself; the
     // caller's scope is restored on the way out.
@@ -216,6 +225,16 @@ pub fn serve(jobs: Vec<JobSpec>, cfg: &ServeConfig) -> Result<ServeReport, Serve
             let Some(j) = pick_next(&books, &usage, tick) else { break };
             admit(j, &mut books[j], &store, &event_tx, &mut admit_counter);
             nkt_trace::counter_add("serve.admissions", 1);
+            if let Some(log) = &mut elog {
+                let b = &books[j];
+                let tag = match b.state {
+                    JState::Running if b.preemptions > 0 => "resume",
+                    JState::Running => "admit",
+                    _ => "fail",
+                };
+                let u = usage.get(&b.spec.tenant).copied().unwrap_or(0);
+                log.record(tick, tag, &b.spec.name, &b.spec.tenant, b.steps_done, b.preemptions, u);
+            }
             if books[j].state == JState::Running {
                 running.push(j);
             }
@@ -263,7 +282,7 @@ pub fn serve(jobs: Vec<JobSpec>, cfg: &ServeConfig) -> Result<ServeReport, Serve
                     // Cuts only happen on new work: a slice's first cut
                     // is strictly past the epoch it restored from.
                     debug_assert!(step > books[job].steps_done);
-                    status.insert(job, Parked::AtCut);
+                    status.insert(job, Parked::AtCut { step });
                 }
                 Event::Exited { job, exit } => {
                     status.insert(job, Parked::Exited(exit));
@@ -274,9 +293,13 @@ pub fn serve(jobs: Vec<JobSpec>, cfg: &ServeConfig) -> Result<ServeReport, Serve
         // --- Process exits (ascending job id via BTreeMap order). ---
         let mut parked: Vec<usize> = Vec::new();
         for (&j, st) in &status {
-            match st {
-                Parked::AtCut => parked.push(j),
-                Parked::Exited(_) => {}
+            if let Parked::AtCut { step } = st {
+                parked.push(j);
+                if let Some(log) = &mut elog {
+                    let b = &books[j];
+                    let u = usage.get(&b.spec.tenant).copied().unwrap_or(0);
+                    log.record(tick, "cut", &b.spec.name, &b.spec.tenant, *step, b.preemptions, u);
+                }
             }
         }
         for (j, st) in status {
@@ -287,6 +310,8 @@ pub fn serve(jobs: Vec<JobSpec>, cfg: &ServeConfig) -> Result<ServeReport, Serve
                     exit,
                     &mut usage,
                     &mut total_preemptions,
+                    tick,
+                    &mut elog,
                 );
             }
         }
@@ -351,7 +376,7 @@ pub fn serve(jobs: Vec<JobSpec>, cfg: &ServeConfig) -> Result<ServeReport, Serve
                     }
                 }
             };
-            finalize(v, &mut books[v], exit, &mut usage, &mut total_preemptions);
+            finalize(v, &mut books[v], exit, &mut usage, &mut total_preemptions, tick, &mut elog);
         }
         drop(sp);
         nkt_trace::counter_add("serve.ticks", 1);
@@ -442,12 +467,15 @@ fn admit(
 
 /// Consumes a slice exit: joins the worker, settles the tenant ledger,
 /// and moves the job to its next state (Done, requeued, or Failed).
+#[allow(clippy::too_many_arguments)]
 fn finalize(
     j: usize,
     book: &mut Book,
     exit: runner::SliceExit,
     usage: &mut BTreeMap<String, u64>,
     total_preemptions: &mut u64,
+    tick: u64,
+    elog: &mut Option<EventLog>,
 ) {
     if let Some(h) = book.handle.take() {
         let _ = h.join();
@@ -457,13 +485,14 @@ fn finalize(
         let steps = upto.saturating_sub(book.steps_done);
         *usage.entry(book.spec.tenant.clone()).or_insert(0) += steps * book.spec.ranks as u64;
     };
-    match exit {
+    let tag = match exit {
         runner::SliceExit::Finished(res) => {
             charge(usage, book, res.steps);
             book.steps_done = res.steps;
             book.result = Some(res);
             book.state = JState::Done;
             nkt_trace::counter_add("serve.jobs.finished", 1);
+            "complete"
         }
         runner::SliceExit::Preempted { step } => {
             charge(usage, book, step);
@@ -472,12 +501,18 @@ fn finalize(
             *total_preemptions += 1;
             book.state = JState::Queued;
             nkt_trace::counter_add("serve.preemptions", 1);
+            "preempt"
         }
         runner::SliceExit::Failed(msg) => {
             book.error = Some(msg);
             book.state = JState::Failed;
             nkt_trace::counter_add("serve.jobs.failed", 1);
+            "fail"
         }
+    };
+    if let Some(log) = elog {
+        let u = usage.get(&book.spec.tenant).copied().unwrap_or(0);
+        log.record(tick, tag, &book.spec.name, &book.spec.tenant, book.steps_done, book.preemptions, u);
     }
     let _ = j;
 }

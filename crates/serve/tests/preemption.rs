@@ -67,12 +67,12 @@ prop_check! {
         let root = fresh_dir("prop");
         let solo = serve(
             vec![victim(every)],
-            &ServeConfig { root: root.join("solo"), max_worlds: 1 },
+            &ServeConfig { root: root.join("solo"), max_worlds: 1, events: None },
         )
         .expect("solo serve");
         let mix = serve(
             vec![victim(every), intruder(arrive)],
-            &ServeConfig { root: root.join("mix"), max_worlds: 1 },
+            &ServeConfig { root: root.join("mix"), max_worlds: 1, events: None },
         )
         .expect("contended serve");
 
@@ -162,9 +162,27 @@ fn mixed_batch() -> Vec<JobSpec> {
 #[test]
 fn rerun_manifests_are_byte_identical() {
     let root = fresh_dir("rerun");
-    let cfg = |sub: &str| ServeConfig { root: root.join(sub), max_worlds: 2 };
+    let cfg = |sub: &str| ServeConfig {
+        root: root.join(sub),
+        max_worlds: 2,
+        events: Some("mixed".into()),
+    };
     let first = serve(mixed_batch(), &cfg("one")).expect("first serve");
     let second = serve(mixed_batch(), &cfg("two")).expect("second serve");
+
+    // The scheduler's decision timeline is itself a deterministic
+    // artifact: byte-identical across reruns, renderable, and it
+    // records the eviction (preempt then resume) the batch forces.
+    let ea = std::fs::read_to_string(root.join("one").join("EVENTS_mixed.jsonl"))
+        .expect("first events file");
+    let eb = std::fs::read_to_string(root.join("two").join("EVENTS_mixed.jsonl"))
+        .expect("second events file");
+    assert_eq!(ea, eb, "EVENTS bytes differ across scheduler reruns");
+    for tag in ["\"admit\"", "\"cut\"", "\"preempt\"", "\"resume\"", "\"complete\""] {
+        assert!(ea.contains(tag), "timeline is missing a {tag} event:\n{ea}");
+    }
+    let rendered = nkt_serve::render_events(&ea).expect("timeline renders");
+    assert!(rendered.contains("preempt"), "{rendered}");
 
     assert!(first.preemptions >= 1, "the ALE latecomer should evict a slot holder");
     assert_eq!(first.preemptions, second.preemptions);

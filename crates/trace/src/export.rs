@@ -78,11 +78,18 @@ pub fn take_collected_for(scope: u64) -> Vec<ThreadData> {
 /// Exports everything recorded so far to `TRACE_<run>.json` in the
 /// configured directory. Returns the path, or `None` when tracing is
 /// off. Drains the collector: a second export only sees newer data.
+///
+/// Under `NKT_TRACE=summary` no file is written: the per-stage
+/// host/virtual digest is printed instead and `None` is returned.
 pub fn export(run: &str) -> Option<PathBuf> {
     if mode() == TraceMode::Off {
         return None;
     }
     let threads = take_collected();
+    if crate::summary_enabled() {
+        print!("{}", summary_digest(run, &threads));
+        return None;
+    }
     let dir = out_dir();
     std::fs::create_dir_all(&dir)
         .unwrap_or_else(|e| panic!("trace: cannot create {}: {e}", dir.display()));
@@ -97,6 +104,57 @@ pub fn export(run: &str) -> Option<PathBuf> {
         path.display()
     );
     Some(path)
+}
+
+/// The `NKT_TRACE=summary` rendering: one line per stage (first-seen
+/// order across tid-sorted threads) with call count, summed host time
+/// and summed virtual time, plus a totals line. Spans with category
+/// `stage` only — the digest answers "where did the step go" without
+/// the full timeline's weight.
+pub fn summary_digest(run: &str, threads: &[ThreadData]) -> String {
+    let mut rows: Vec<(&str, u64, f64, f64)> = Vec::new(); // name, calls, host_s, virt_s
+    for t in threads {
+        for e in &t.events {
+            if e.cat != "stage" {
+                continue;
+            }
+            let host = if e.dur_us.is_finite() { e.dur_us * 1e-6 } else { 0.0 };
+            let virt = e.vdur().unwrap_or(0.0);
+            match rows.iter_mut().find(|r| r.0 == e.name) {
+                Some(r) => {
+                    r.1 += 1;
+                    r.2 += host;
+                    r.3 += virt;
+                }
+                None => rows.push((e.name, 1, host, virt)),
+            }
+        }
+    }
+    let mut out = String::new();
+    if rows.is_empty() {
+        let _ = writeln!(out, "trace summary '{run}': no stage spans recorded");
+        return out;
+    }
+    let (mut th, mut tv, mut tc) = (0.0, 0.0, 0u64);
+    for (name, calls, host, virt) in &rows {
+        tc += calls;
+        th += host;
+        tv += virt;
+        let _ = writeln!(
+            out,
+            "trace summary '{run}': {name:<14} calls {calls:>5}  host {:>9.3} ms  virt {:>9.3} ms",
+            host * 1e3,
+            virt * 1e3,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "trace summary '{run}': {:<14} calls {tc:>5}  host {:>9.3} ms  virt {:>9.3} ms",
+        "total",
+        th * 1e3,
+        tv * 1e3,
+    );
+    out
 }
 
 /// Serializes collected thread data as Chrome trace-event JSON.
@@ -436,6 +494,40 @@ mod tests {
         let got_b = take_collected_for(sb);
         assert_eq!(got_b.iter().map(|t| t.tid).collect::<Vec<_>>(), vec![1002]);
         assert!(take_collected_for(sa).is_empty());
+    }
+
+    #[test]
+    fn summary_digest_aggregates_stage_spans() {
+        let ev = |name: &'static str, dur_us: f64, vt0: f64, vt1: f64| SpanEvent {
+            name,
+            cat: "stage",
+            ts_us: 0.0,
+            dur_us,
+            vt0,
+            vt1,
+            depth: 0,
+            args: Vec::new(),
+        };
+        let t = ThreadData {
+            tid: 1,
+            events: vec![
+                ev("NonLinear", 1000.0, 0.0, 0.002),
+                ev("NonLinear", 3000.0, 0.002, 0.006),
+                ev("PressureSolve", 500.0, f64::NAN, f64::NAN),
+                SpanEvent { cat: "mpi", ..ev("alltoall", 9.9e6, 0.0, 9.9) },
+            ],
+            ..ThreadData::default()
+        };
+        let s = summary_digest("demo", &[t]);
+        assert!(s.contains("NonLinear"), "{s}");
+        assert!(s.contains("calls     2"), "{s}");
+        assert!(s.contains("4.000 ms"), "{s}"); // 1 ms + 3 ms host
+        assert!(s.contains("6.000 ms"), "{s}"); // 2 ms + 4 ms virtual
+        assert!(s.contains("PressureSolve"), "{s}");
+        assert!(s.contains("total"), "{s}");
+        assert!(!s.contains("alltoall"), "non-stage spans excluded: {s}");
+        assert_eq!(s.lines().count(), 3, "{s}");
+        assert!(summary_digest("empty", &[]).contains("no stage spans"));
     }
 
     #[test]

@@ -217,6 +217,83 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraparound_at_exactly_capacity() {
+        // The boundary case: exactly FLIGHT_CAPACITY pushes fill the ring
+        // with zero drops and head back at 0, so ordered() must return
+        // everything in push order without rotating through the seam.
+        let mut r = Ring::new();
+        for i in 0..FLIGHT_CAPACITY as u64 {
+            r.push(FlightEntry { name: "op", cat: "mpi", vt0: i as f64, vt1: i as f64, arg: 0.0 });
+        }
+        assert_eq!(r.total, FLIGHT_CAPACITY as u64);
+        assert_eq!(r.head, 0, "a full ring's next write is slot 0");
+        let got = r.ordered();
+        assert_eq!(got.len(), FLIGHT_CAPACITY);
+        assert_eq!(got[0].vt0, 0.0, "entry 0 survived at exactly capacity");
+        assert_eq!(got.last().unwrap().vt0, (FLIGHT_CAPACITY - 1) as f64);
+        // One more push overwrites exactly the oldest entry.
+        r.push(FlightEntry {
+            name: "op",
+            cat: "mpi",
+            vt0: FLIGHT_CAPACITY as f64,
+            vt1: 0.0,
+            arg: 0.0,
+        });
+        let got = r.ordered();
+        assert_eq!(got.len(), FLIGHT_CAPACITY);
+        assert_eq!(r.total, FLIGHT_CAPACITY as u64 + 1);
+        assert_eq!(got[0].vt0, 1.0, "only entry 0 was dropped");
+        assert_eq!(got.last().unwrap().vt0, FLIGHT_CAPACITY as f64);
+    }
+
+    #[test]
+    fn cross_thread_dumps_are_isolated_and_ordered() {
+        // Rings are thread-local: two worker threads tagged with distinct
+        // scopes and thread-run names must each dump exactly their own
+        // entries, oldest-first, no matter how the host interleaves them.
+        // Each dump's bytes are a pure function of that thread's pushes,
+        // so the files are deterministic across runs.
+        let dir = std::env::temp_dir()
+            .join(format!("nkt_flight_scope_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let worker = |rank: usize, dir: std::path::PathBuf| {
+            std::thread::spawn(move || {
+                crate::set_thread_scope(100 + rank as u64);
+                set_thread_run(Some(&format!("scope_job_{rank}")));
+                // Overfill past one wrap so ordering crosses the seam.
+                for i in 0..(FLIGHT_CAPACITY + 5) {
+                    note("op", "mpi", (rank * 10_000 + i) as f64, 0.0, rank as f64);
+                }
+                let path = dump_current_to(&dir, rank, "scope test").expect("dump");
+                std::fs::read_to_string(path).unwrap()
+            })
+        };
+        let ha = worker(1, dir.clone());
+        let hb = worker(2, dir.clone());
+        let (ta, tb) = (ha.join().unwrap(), hb.join().unwrap());
+        for (rank, text) in [(1usize, &ta), (2, &tb)] {
+            assert!(text.contains(&format!("\"run\": \"scope_job_{rank}\"")), "{text}");
+            // Exactly this thread's entries: args are the rank id.
+            assert!(text.contains(&format!("\"arg\": {rank}")));
+            let other = if rank == 1 { 2 } else { 1 };
+            assert!(!text.contains(&format!("\"arg\": {other}")), "foreign entries leaked");
+            // Oldest-first: vt0 values strictly increase down the file.
+            let vts: Vec<f64> = text
+                .lines()
+                .filter(|l| l.contains("\"vt0\":"))
+                .map(|l| {
+                    let v = l.split("\"vt0\": ").nth(1).unwrap();
+                    v.split(',').next().unwrap().parse().unwrap()
+                })
+                .collect();
+            assert_eq!(vts.len(), FLIGHT_CAPACITY);
+            assert_eq!(vts[0], (rank * 10_000 + 5) as f64, "5 oldest dropped");
+            assert!(vts.windows(2).all(|w| w[0] < w[1]), "dump out of order");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn dump_writes_schema_run_and_reason() {
         let dir = std::env::temp_dir().join(format!("nkt_flight_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

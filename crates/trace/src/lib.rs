@@ -28,8 +28,13 @@
 //!
 //! | env var         | values                   | effect                          |
 //! |-----------------|--------------------------|---------------------------------|
-//! | `NKT_TRACE`     | `off` \| `counters` \| `spans` | recording mode (default `off`) |
+//! | `NKT_TRACE`     | `off` \| `counters` \| `spans` \| `summary` | recording mode (default `off`) |
 //! | `NKT_TRACE_DIR` | directory path           | where `TRACE_<run>.json` lands (default `<workspace>/results`) |
+//!
+//! `summary` records spans like `spans` but [`export`] prints a one-line
+//! per-stage host/virtual digest instead of writing `TRACE_<run>.json`.
+//! The flag lives outside the mode byte and is only consulted at export
+//! time, so the recording off-path stays a single relaxed atomic load.
 //!
 //! The mode is latched from the environment on first use; embedders and
 //! tests can override it programmatically via [`set_mode`] /
@@ -42,8 +47,8 @@ pub mod metrics;
 pub mod span;
 
 pub use export::{
-    export, flush_thread, json_f64_exact, out_dir, results_dir, take_collected,
-    take_collected_for,
+    export, flush_thread, json_f64_exact, out_dir, results_dir, summary_digest,
+    take_collected, take_collected_for,
 };
 pub use metrics::{
     counter_add, gauge_set, histogram_record, intern_label, merge_counters, merge_gauges,
@@ -77,14 +82,21 @@ pub struct TraceConfig {
     /// Output directory for `TRACE_<run>.json` (None = `NKT_TRACE_DIR`
     /// env, falling back to `<workspace>/results`).
     pub dir: Option<PathBuf>,
+    /// `NKT_TRACE=summary`: record spans, but [`export`] prints a
+    /// per-stage digest instead of writing the full JSON timeline.
+    pub summary: bool,
 }
 
 impl TraceConfig {
     /// Reads `NKT_TRACE` and `NKT_TRACE_DIR`.
     pub fn from_env() -> TraceConfig {
+        let raw = std::env::var("NKT_TRACE").ok();
         TraceConfig {
-            mode: std::env::var("NKT_TRACE").ok().map(|v| parse_mode(&v)),
+            mode: raw.as_deref().map(parse_mode),
             dir: std::env::var("NKT_TRACE_DIR").ok().map(PathBuf::from),
+            summary: raw
+                .as_deref()
+                .is_some_and(|v| v.trim().eq_ignore_ascii_case("summary")),
         }
     }
 }
@@ -92,7 +104,9 @@ impl TraceConfig {
 fn parse_mode(v: &str) -> TraceMode {
     match v.trim().to_ascii_lowercase().as_str() {
         "counters" => TraceMode::Counters,
-        "spans" | "on" | "1" => TraceMode::Spans,
+        // `summary` needs the same span stream; only the export-time
+        // rendering differs (see TraceConfig::summary).
+        "spans" | "on" | "1" | "summary" => TraceMode::Spans,
         _ => TraceMode::Off,
     }
 }
@@ -100,6 +114,10 @@ fn parse_mode(v: &str) -> TraceMode {
 const MODE_UNINIT: u8 = u8::MAX;
 static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
 static DIR_OVERRIDE: Mutex<Option<PathBuf>> = Mutex::new(None);
+/// Separate from the mode byte on purpose: recording call sites consult
+/// only [`MODE`] (one relaxed load on the off-path); this flag is read
+/// exclusively on the cold export path.
+static SUMMARY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 /// Current recording mode. One relaxed atomic load on the fast path; the
 /// first call latches the mode from `NKT_TRACE`.
@@ -115,7 +133,11 @@ pub fn mode() -> TraceMode {
 
 #[cold]
 fn init_mode_from_env() -> TraceMode {
-    let m = TraceConfig::from_env().mode.unwrap_or(TraceMode::Off);
+    let cfg = TraceConfig::from_env();
+    if cfg.summary {
+        SUMMARY.store(true, Ordering::Relaxed);
+    }
+    let m = cfg.mode.unwrap_or(TraceMode::Off);
     // A racing thread may have latched first; either wrote the same
     // env-derived value or an explicit set_mode, which wins.
     let _ = MODE.compare_exchange(
@@ -134,6 +156,17 @@ fn init_mode_from_env() -> TraceMode {
 /// Overrides the recording mode (tests, embedders).
 pub fn set_mode(m: TraceMode) {
     MODE.store(m as u8, Ordering::Relaxed);
+}
+
+/// Whether `NKT_TRACE=summary` digest rendering is armed (see
+/// [`TraceConfig::summary`]). Only consulted at export time.
+pub fn summary_enabled() -> bool {
+    SUMMARY.load(Ordering::Relaxed)
+}
+
+/// Overrides the summary-digest flag (tests, embedders).
+pub fn set_summary(on: bool) {
+    SUMMARY.store(on, Ordering::Relaxed);
 }
 
 /// Overrides the export directory (None restores env/default resolution).
@@ -169,6 +202,9 @@ pub fn init(cfg: TraceConfig) {
     if let Some(m) = cfg.mode {
         set_mode(m);
     }
+    if cfg.summary {
+        set_summary(true);
+    }
     if cfg.dir.is_some() {
         set_dir(cfg.dir);
     }
@@ -184,6 +220,7 @@ mod tests {
         assert_eq!(parse_mode("counters"), TraceMode::Counters);
         assert_eq!(parse_mode("spans"), TraceMode::Spans);
         assert_eq!(parse_mode("SPANS"), TraceMode::Spans);
+        assert_eq!(parse_mode("summary"), TraceMode::Spans);
         assert_eq!(parse_mode("garbage"), TraceMode::Off);
     }
 
@@ -191,5 +228,29 @@ mod tests {
     fn mode_ordering_reflects_detail() {
         assert!(TraceMode::Off < TraceMode::Counters);
         assert!(TraceMode::Counters < TraceMode::Spans);
+    }
+
+    #[test]
+    fn summary_flag_keeps_off_path_single_load() {
+        // The summary flag must not leak into the recording fast path:
+        // with mode Off, a span is inert regardless of the flag — the
+        // only branch taken is the single relaxed load in mode(). The
+        // flag itself lives outside the mode byte and is consulted only
+        // by export().
+        set_mode(TraceMode::Off);
+        set_summary(true);
+        let before = span::with_buf(|b| b.data.events.len());
+        span("inert", "test").end();
+        record_vspan("inert", "test", 0.0, 1.0);
+        let after = span::with_buf(|b| b.data.events.len());
+        assert_eq!(before, after, "off-path recorded an event");
+        set_summary(false);
+    }
+
+    #[test]
+    fn init_applies_summary_flag() {
+        init(TraceConfig { mode: None, dir: None, summary: true });
+        assert!(summary_enabled());
+        set_summary(false);
     }
 }

@@ -17,6 +17,9 @@
 //! enstrophy, divergence, CFL, Reynolds stresses) every n steps and
 //! writes a byte-deterministic `results/STATS_cylinder_wake.json`;
 //! `NKT_HEALTH=1` arms the watchdog rules on every sample.
+//!
+//! With `NKT_CALIB=1` the run is calibrated (measured-vs-modeled drift,
+//! fitted machine constants) into `results/CALIB_cylinder_wake.json`.
 
 use nektar_repro::nektar::serial2d::{Serial2dSolver, SolverConfig};
 use nektar_repro::nektar::stats::{sample_serial2d, SERIAL2D_CHANNELS};
@@ -26,6 +29,11 @@ use nektar_repro::stats::{RuleLimits, StatsRecorder};
 fn main() {
     if nektar_repro::prof::enabled() {
         nektar_repro::prof::prepare();
+    }
+    if nektar_repro::calib::enabled() {
+        nektar_repro::calib::prepare();
+    }
+    if nektar_repro::prof::enabled() || nektar_repro::calib::enabled() {
         // The serial solver runs on the main thread; tag it as rank 0 so
         // its stage spans land on a profiled timeline.
         nektar_repro::trace::set_thread_meta("serial".to_string(), Some(0));
@@ -126,5 +134,18 @@ fn main() {
         "\nmatrix inversions take {solves:.0}% (paper: \"the matrix inversions \
          account for 60% of the total CPU time\")"
     );
-    nektar_repro::prof::profile_and_write("cylinder_wake");
+    // One drain serves both observers (take_collected empties the
+    // collector; see fourier_dns).
+    if nektar_repro::prof::enabled() || nektar_repro::calib::enabled() {
+        let threads = nektar_repro::trace::take_collected();
+        if nektar_repro::prof::enabled() {
+            let prof = nektar_repro::prof::Profile::build("cylinder_wake", &threads);
+            print!("{}", prof.report());
+            match prof.write() {
+                Ok(path) => println!("prof: wrote {}", path.display()),
+                Err(e) => eprintln!("prof: cannot write PROF_cylinder_wake.json: {e}"),
+            }
+        }
+        nektar_repro::calib::calibrate_and_write("cylinder_wake", &threads);
+    }
 }

@@ -14,6 +14,12 @@
 //! (the ALE invariant) every n steps into a byte-deterministic
 //! `results/STATS_flapping_wing_ale.json`; `NKT_HEALTH=1` arms the
 //! NaN/Inf and KE-growth watchdog rules.
+//!
+//! With `NKT_CALIB=1` (and `NKT_GS_OVERLAP=1`, the default) the run is
+//! calibrated into `results/CALIB_flapping_wing_ale.json` — including
+//! the **measured** per-stage gather-scatter overlap windows that the
+//! Table 3 / Figures 15–16 replays consume instead of the analytic
+//! `1 − 6/V^{1/3}` estimate.
 
 use nektar_repro::ckpt::Checkpointable;
 use nektar_repro::mesh::wing_box_mesh;
@@ -35,6 +41,9 @@ fn run<R: Send, F: Fn(&mut Comm) -> R + Sync>(
 fn main() {
     if nektar_repro::prof::enabled() {
         nektar_repro::prof::prepare();
+    }
+    if nektar_repro::calib::enabled() {
+        nektar_repro::calib::prepare();
     }
     let stats_every = nektar_repro::stats::effective_every();
     let health = nektar_repro::stats::health_enabled();
@@ -136,5 +145,18 @@ fn main() {
     println!("    a (steps 1-4,6)      {a:>5.1}%");
     println!("    b (pressure solve)   {b:>5.1}%");
     println!("    c (Helmholtz solves) {cgrp:>5.1}%");
-    nektar_repro::prof::profile_and_write("flapping_wing_ale");
+    // One drain serves both observers (take_collected empties the
+    // collector; see fourier_dns).
+    if nektar_repro::prof::enabled() || nektar_repro::calib::enabled() {
+        let threads = nektar_repro::trace::take_collected();
+        if nektar_repro::prof::enabled() {
+            let prof = nektar_repro::prof::Profile::build("flapping_wing_ale", &threads);
+            print!("{}", prof.report());
+            match prof.write() {
+                Ok(path) => println!("prof: wrote {}", path.display()),
+                Err(e) => eprintln!("prof: cannot write PROF_flapping_wing_ale.json: {e}"),
+            }
+        }
+        nektar_repro::calib::calibrate_and_write("flapping_wing_ale", &threads);
+    }
 }

@@ -13,6 +13,12 @@
 //! (MPI attribution, comm matrix, imbalance, critical path) and a
 //! deterministic `results/PROF_fourier_dns_<net>.json` is written.
 //!
+//! With `NKT_CALIB=1` each run is calibrated against the machine model:
+//! a measured-vs-modeled drift report plus fitted α–β / kernel-roofline
+//! constants, written to a byte-deterministic
+//! `results/CALIB_fourier_dns_<net>.json` that `scripts/calib_diff`
+//! gates against the committed baseline.
+//!
 //! With `NKT_STATS=<n>` each run samples online turbulence statistics
 //! (KE, dissipation, spectrum, divergence, CFL, Reynolds stresses,
 //! per-rank MPI counters) every n steps and writes a byte-deterministic
@@ -58,6 +64,9 @@ type RunOutcome = (
 fn main() {
     if nektar_repro::prof::enabled() {
         nektar_repro::prof::prepare();
+    }
+    if nektar_repro::calib::enabled() {
+        nektar_repro::calib::prepare();
     }
     let stats_every = nektar_repro::stats::effective_every();
     let health = nektar_repro::stats::health_enabled();
@@ -197,27 +206,32 @@ fn main() {
             pct[Stage::PressureSolve.index()] + pct[Stage::ViscousSolve.index()]
         );
         println!();
-        if nektar_repro::prof::enabled() {
+        // NKT_PROF and NKT_CALIB observe the same collector, which
+        // take_collected() empties — drain once, hand both the snapshot.
+        if nektar_repro::prof::enabled() || nektar_repro::calib::enabled() {
             let threads = nektar_repro::trace::take_collected();
-            let prof = nektar_repro::prof::Profile::build(&run_name, &threads);
-            print!("{}", prof.report());
-            // Self-check: the profile's per-stage attributed times must
-            // agree with the solvers' own StageClock ledgers (merged
-            // over ranks) — the same 1% contract the trace smoke keeps.
-            let mut ledger = nektar_repro::nektar::timers::StageClock::new();
-            for r in out.iter().flatten() {
-                ledger.merge(&r.1);
+            if nektar_repro::prof::enabled() {
+                let prof = nektar_repro::prof::Profile::build(&run_name, &threads);
+                print!("{}", prof.report());
+                // Self-check: the profile's per-stage attributed times must
+                // agree with the solvers' own StageClock ledgers (merged
+                // over ranks) — the same 1% contract the trace smoke keeps.
+                let mut ledger = nektar_repro::nektar::timers::StageClock::new();
+                for r in out.iter().flatten() {
+                    ledger.merge(&r.1);
+                }
+                let rows: Vec<(&str, f64)> = Stage::ALL
+                    .iter()
+                    .map(|s| (s.name(), ledger.totals[s.index()]))
+                    .collect();
+                let err = prof.stage_ledger_check(&rows, 1e-3);
+                println!("prof: stage ledger max rel err {:.4}%", 100.0 * err);
+                match prof.write() {
+                    Ok(path) => println!("prof: wrote {}", path.display()),
+                    Err(e) => eprintln!("prof: cannot write PROF_{run_name}.json: {e}"),
+                }
             }
-            let rows: Vec<(&str, f64)> = Stage::ALL
-                .iter()
-                .map(|s| (s.name(), ledger.totals[s.index()]))
-                .collect();
-            let err = prof.stage_ledger_check(&rows, 1e-3);
-            println!("prof: stage ledger max rel err {:.4}%", 100.0 * err);
-            match prof.write() {
-                Ok(path) => println!("prof: wrote {}", path.display()),
-                Err(e) => eprintln!("prof: cannot write PROF_{run_name}.json: {e}"),
-            }
+            nektar_repro::calib::calibrate_and_write(&run_name, &threads);
         }
     }
 }

@@ -64,10 +64,14 @@ fn main() -> ExitCode {
     println!("=== serve_farm: {} jobs, {} world slots ===", jobs.len(), max_worlds());
     println!("root: {}\n", root.display());
 
-    // --- The contended farm. ---
+    // --- The contended farm (with its scheduler timeline on disk). ---
     let farm = serve(
         jobs.clone(),
-        &ServeConfig { root: root.join("farm"), max_worlds: max_worlds() },
+        &ServeConfig {
+            root: root.join("farm"),
+            max_worlds: max_worlds(),
+            events: Some("farm".into()),
+        },
     )
     .expect("farm serve");
     println!(
@@ -90,6 +94,19 @@ fn main() -> ExitCode {
         );
     }
 
+    // The scheduler's decision timeline, as `serve_report` would show it.
+    let events_path = root.join("farm").join("EVENTS_farm.jsonl");
+    match std::fs::read_to_string(&events_path) {
+        Ok(text) => {
+            println!("\nscheduler timeline ({}):", events_path.display());
+            match nektar_repro::serve::render_events(&text) {
+                Ok(r) => println!("{r}"),
+                Err(e) => println!("  <unrenderable: {e}>"),
+            }
+        }
+        Err(e) => println!("\n(no event timeline: {e})"),
+    }
+
     let mut failures = 0usize;
     for r in &farm.jobs {
         if !r.finished() {
@@ -107,7 +124,7 @@ fn main() -> ExitCode {
     for (i, job) in jobs.iter().enumerate() {
         let solo = serve(
             vec![job.clone()],
-            &ServeConfig { root: root.join("solo"), max_worlds: 1 },
+            &ServeConfig { root: root.join("solo"), max_worlds: 1, events: None },
         )
         .expect("solo serve");
         let (s, f) = (&solo.jobs[0], &farm.jobs[i]);

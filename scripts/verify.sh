@@ -235,6 +235,57 @@ for m in "$serve_a"/farm/*/MANIFEST_*.json; do
         exit 1
     fi
 done
+# The scheduler's decision timeline is an artifact too: byte-identical
+# across reruns, and serve_report renders it.
+if ! cmp -s "$serve_a/farm/EVENTS_farm.jsonl" "$serve_b/farm/EVENTS_farm.jsonl"; then
+    echo "FAIL: EVENTS_farm.jsonl differs between two identical serve runs" >&2
+    exit 1
+fi
+serve_report_out="$(cargo run --release --offline -p nkt-serve --bin serve_report -- \
+    "$serve_a/farm/EVENTS_farm.jsonl")"
+for ev in admit cut complete; do
+    if ! grep -q "$ev" <<< "$serve_report_out"; then
+        echo "FAIL: serve_report timeline is missing $ev events" >&2
+        echo "$serve_report_out" >&2
+        exit 1
+    fi
+done
+
+echo "== calib smoke (NKT_CALIB=1: byte determinism, measured windows, calib_diff dry run) =="
+# Calibrations serialize only virtual-timeline quantities and exact
+# counters: two instrumented runs must write byte-identical CALIB_*.json
+# (DESIGN.md §17).
+calib_a="$(mktemp -d)"
+calib_b="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$prof_a" "$prof_b" "$stats_a" "$stats_b" "$stats_ck" "$serve_a" "$serve_b" "$calib_a" "$calib_b"' EXIT
+NKT_CALIB=1 NKT_TRACE_DIR="$calib_a" \
+    cargo run --release --offline --example fourier_dns > /dev/null
+NKT_CALIB=1 NKT_TRACE_DIR="$calib_b" \
+    cargo run --release --offline --example fourier_dns > /dev/null
+NKT_CALIB=1 NKT_GS_OVERLAP=1 NKT_TRACE_DIR="$calib_a" \
+    cargo run --release --offline --example flapping_wing_ale > /dev/null
+NKT_CALIB=1 NKT_GS_OVERLAP=1 NKT_TRACE_DIR="$calib_b" \
+    cargo run --release --offline --example flapping_wing_ale > /dev/null
+for f in "$calib_a"/CALIB_*.json; do
+    name="$(basename "$f")"
+    if ! cmp -s "$f" "$calib_b/$name"; then
+        echo "FAIL: $name differs between two identical calibrated runs" >&2
+        exit 1
+    fi
+done
+# The ALE calibration must carry the measured split-phase gs windows the
+# Table 3 / Fig 15-16 replays consume.
+if ! grep -q '"stage": "PressureSolve", "applies"' "$calib_a/CALIB_flapping_wing_ale.json"; then
+    echo "FAIL: ALE calibration has no measured overlap windows" >&2
+    exit 1
+fi
+# Self-diff is a pure parse check; then a dry run against the committed
+# baselines notes drift without gating. Gate deliberately with:
+# scripts/calib_diff
+cargo run --release --offline -p nkt-calib --bin calib_diff -- \
+    --fresh "$calib_a" --baseline "$calib_a" > /dev/null
+cargo run --release --offline -p nkt-calib --bin calib_diff -- \
+    --fresh "$calib_a" || echo "calib_diff: drift noted (dry run, not gating)"
 
 echo "== bench harness smoke (fast mode) + bench_diff dry run =="
 NKT_BENCH_FAST=1 NKT_RESULTS_DIR="$trace_dir" \
